@@ -1,0 +1,215 @@
+package afceph
+
+import (
+	"strings"
+	"testing"
+)
+
+func miniConfig(t Tuning) Config {
+	cfg := DefaultConfig()
+	cfg.Nodes = 2
+	cfg.OSDsPerNode = 2
+	cfg.SSDsPerOSD = 2
+	cfg.PGs = 128
+	cfg.Sustained = false
+	cfg.Verify = true
+	cfg.Tuning = t
+	return cfg
+}
+
+func TestTuningPresets(t *testing.T) {
+	comm := Community()
+	af := AFCeph()
+	if comm.PendingQueue || comm.LightTx || comm.AsyncLog {
+		t.Fatal("Community() not stock")
+	}
+	if !af.PendingQueue || !af.LightTx || !af.AsyncLog || !af.NoDelay || !af.Jemalloc {
+		t.Fatal("AFCeph() missing optimizations")
+	}
+	if af.LogOff {
+		t.Fatal("AFCeph keeps logging on (non-blocking), not off")
+	}
+}
+
+func TestScriptedWriteRead(t *testing.T) {
+	c := New(miniConfig(AFCeph()))
+	var stamp uint64
+	var exists bool
+	c.Run(func(ctx *Ctx) {
+		d := ctx.OpenDevice("img", 64<<20)
+		d.Write(ctx, 0, 4096, 1234)
+		stamp, exists = d.Read(ctx, 0, 4096)
+		if d.Size() != 64<<20 {
+			t.Error("size wrong")
+		}
+	})
+	if !exists || stamp != 1234 {
+		t.Fatalf("stamp=%d exists=%v", stamp, exists)
+	}
+}
+
+func TestScriptedClock(t *testing.T) {
+	c := New(miniConfig(AFCeph()))
+	var before, after float64
+	c.Run(func(ctx *Ctx) {
+		before = ctx.NowMs()
+		ctx.SleepMs(25)
+		after = ctx.NowMs()
+	})
+	if after-before != 25 {
+		t.Fatalf("slept %v ms, want 25", after-before)
+	}
+}
+
+func TestRunParallel(t *testing.T) {
+	c := New(miniConfig(AFCeph()))
+	done := 0
+	c.RunParallel(
+		func(ctx *Ctx) {
+			d := ctx.OpenDevice("a", 16<<20)
+			d.Write(ctx, 0, 4096, 1)
+			done++
+		},
+		func(ctx *Ctx) {
+			d := ctx.OpenDevice("b", 16<<20)
+			d.Write(ctx, 0, 4096, 2)
+			done++
+		},
+	)
+	if done != 2 {
+		t.Fatalf("done = %d", done)
+	}
+}
+
+func TestRunFioBasics(t *testing.T) {
+	c := New(miniConfig(AFCeph()))
+	res, err := c.RunFio(FioSpec{
+		Workload:   "randwrite",
+		BlockSize:  4096,
+		VMs:        2,
+		IODepth:    4,
+		ImageSize:  64 << 20,
+		RuntimeSec: 0.4,
+		RampSec:    0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IOPS <= 0 || res.Ops == 0 || res.LatMeanMs <= 0 {
+		t.Fatalf("bad result: %+v", res)
+	}
+	if len(res.SeriesIOPS) == 0 || len(res.SeriesT) != len(res.SeriesIOPS) {
+		t.Fatal("series missing")
+	}
+	if res.String() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestRunFioPrefillThenRead(t *testing.T) {
+	c := New(miniConfig(AFCeph()))
+	res, err := c.RunFio(FioSpec{
+		Workload:   "randread",
+		BlockSize:  4096,
+		VMs:        2,
+		IODepth:    4,
+		ImageSize:  32 << 20,
+		RuntimeSec: 0.3,
+		RampSec:    0.05,
+		Prefill:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IOPS <= 0 {
+		t.Fatal("no read throughput")
+	}
+}
+
+func TestRunFioValidation(t *testing.T) {
+	c := New(miniConfig(AFCeph()))
+	if _, err := c.RunFio(FioSpec{Workload: "bogus", BlockSize: 4096, VMs: 1, IODepth: 1}); err == nil {
+		t.Fatal("bogus workload accepted")
+	}
+	if _, err := c.RunFio(FioSpec{Workload: "randwrite"}); err == nil {
+		t.Fatal("zero-value spec accepted")
+	}
+}
+
+func TestStatsPopulated(t *testing.T) {
+	c := New(miniConfig(Community()))
+	_, err := c.RunFio(FioSpec{
+		Workload:   "randwrite",
+		BlockSize:  4096,
+		VMs:        2,
+		IODepth:    4,
+		ImageSize:  32 << 20,
+		RuntimeSec: 0.3,
+		RampSec:    0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats()
+	if st.OSDWriteOps == 0 {
+		t.Fatal("no writes recorded")
+	}
+	if len(st.CPUUtil) != 2 {
+		t.Fatalf("CPU util entries = %d", len(st.CPUUtil))
+	}
+}
+
+func TestSeedsReproducible(t *testing.T) {
+	run := func() FioResult {
+		c := New(miniConfig(AFCeph()))
+		res, err := c.RunFio(FioSpec{
+			Workload:   "randwrite",
+			BlockSize:  4096,
+			VMs:        2,
+			IODepth:    2,
+			ImageSize:  32 << 20,
+			RuntimeSec: 0.3,
+			RampSec:    0.05,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Ops != b.Ops || a.IOPS != b.IOPS || a.LatMeanMs != b.LatMeanMs {
+		t.Fatalf("non-deterministic: %+v vs %+v", a, b)
+	}
+}
+
+func TestDefaultConfigMatchesPaperTestbed(t *testing.T) {
+	cfg := DefaultConfig()
+	if cfg.Nodes != 4 || cfg.OSDsPerNode != 4 || cfg.Replicas != 2 {
+		t.Fatal("default testbed drifted from the paper's Figure 8")
+	}
+}
+
+func TestTraceReport(t *testing.T) {
+	cfg := miniConfig(Community())
+	cfg.TraceSample = 5
+	c := New(cfg)
+	if _, err := c.RunFio(FioSpec{
+		Workload: "randwrite", BlockSize: 4096, VMs: 2, IODepth: 4,
+		ImageSize: 32 << 20, RuntimeSec: 0.3, RampSec: 0.05,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rep := c.TraceReport()
+	for _, want := range []string{"acked", "journal-written", "samples"} {
+		if !strings.Contains(rep, want) {
+			t.Fatalf("trace report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+func TestTraceReportEmpty(t *testing.T) {
+	c := New(miniConfig(AFCeph()))
+	if rep := c.TraceReport(); !strings.Contains(rep, "no traces") {
+		t.Fatalf("empty trace report = %q", rep)
+	}
+}

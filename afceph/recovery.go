@@ -1,0 +1,58 @@
+package afceph
+
+import "fmt"
+
+// RecoveryReport summarizes a RecoverOSD run.
+type RecoveryReport struct {
+	PGsRecovered  int
+	LogRecoveries int
+	Backfills     int
+	ObjectsCopied int
+	BytesCopied   int64
+	DurationMs    float64
+}
+
+// String renders a one-line summary.
+func (r RecoveryReport) String() string {
+	return fmt.Sprintf("recovered %d PGs (%d log-based, %d backfill): %d objects / %.1f MB in %.1f ms",
+		r.PGsRecovered, r.LogRecoveries, r.Backfills,
+		r.ObjectsCopied, float64(r.BytesCopied)/(1<<20), r.DurationMs)
+}
+
+// FailOSD marks an OSD down: clients route around it and primaries stop
+// replicating to it (degraded writes). The cluster must be quiescent when
+// failing an OSD — fail between workloads, not during one.
+func (c *Cluster) FailOSD(id int) { c.inner.FailOSD(id) }
+
+// OSDDown reports whether the OSD is failed out.
+func (c *Cluster) OSDDown(id int) bool { return c.inner.Down(id) }
+
+// RecoverOSD brings a failed OSD back and resynchronizes it from its
+// peers (PG-log replay where the retained logs cover the outage, backfill
+// otherwise). The data motion runs in simulated time.
+func (c *Cluster) RecoverOSD(id int) RecoveryReport {
+	st := c.inner.RecoverOSD(id)
+	return RecoveryReport{
+		PGsRecovered:  st.PGsRecovered,
+		LogRecoveries: st.LogRecoveries,
+		Backfills:     st.Backfills,
+		ObjectsCopied: st.ObjectsCopied,
+		BytesCopied:   st.BytesCopied,
+		DurationMs:    float64(st.Duration) / 1e6,
+	}
+}
+
+// Scrub runs the cluster-wide consistency check and returns human-readable
+// findings: replication placement, replica version agreement, and PG-log
+// recovery invariants. Empty means healthy.
+func (c *Cluster) Scrub() []string {
+	var out []string
+	for _, inc := range c.inner.ScrubAll() {
+		out = append(out, fmt.Sprintf("object %s (pg %d): %s", inc.OID, inc.PG, inc.Detail))
+	}
+	out = append(out, c.inner.ScrubPGLogs()...)
+	return out
+}
+
+// NumOSDs returns the number of OSDs in the cluster.
+func (c *Cluster) NumOSDs() int { return len(c.inner.OSDs()) }

@@ -1,0 +1,52 @@
+package afceph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestFailRecoverScrubCycle(t *testing.T) {
+	c := New(miniConfig(AFCeph()))
+	c.Run(func(ctx *Ctx) {
+		dev := ctx.OpenDevice("vol", 64<<20)
+		for i := int64(0); i < 16; i++ {
+			dev.Write(ctx, i*(4<<20), 4096, uint64(i+1))
+		}
+		ctx.SleepMs(2000)
+	})
+	if f := c.Scrub(); len(f) != 0 {
+		t.Fatalf("baseline scrub dirty: %v", f[0])
+	}
+
+	c.FailOSD(0)
+	if !c.OSDDown(0) {
+		t.Fatal("not marked down")
+	}
+	c.Run(func(ctx *Ctx) {
+		dev := ctx.OpenDevice("vol", 64<<20)
+		for i := int64(0); i < 16; i++ {
+			dev.Write(ctx, i*(4<<20), 4096, uint64(100+i))
+		}
+		ctx.SleepMs(2000)
+	})
+	rep := c.RecoverOSD(0)
+	if c.OSDDown(0) {
+		t.Fatal("still down after recovery")
+	}
+	if rep.ObjectsCopied == 0 || rep.PGsRecovered == 0 {
+		t.Fatalf("empty recovery: %+v", rep)
+	}
+	if !strings.Contains(rep.String(), "recovered") {
+		t.Fatal("report string empty")
+	}
+	if f := c.Scrub(); len(f) != 0 {
+		t.Fatalf("scrub dirty after recovery: %v", f[0])
+	}
+}
+
+func TestNumOSDs(t *testing.T) {
+	c := New(miniConfig(Community()))
+	if c.NumOSDs() != 4 {
+		t.Fatalf("NumOSDs = %d", c.NumOSDs())
+	}
+}

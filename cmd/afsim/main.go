@@ -1,0 +1,158 @@
+// Command afsim runs one fio-style workload against one cluster profile
+// and prints a full report: throughput, latency percentiles, write-path
+// stage breakdown, PG lock contention, CPU utilization and journal state.
+//
+// Usage:
+//
+//	afsim -profile afceph -rw randwrite -bs 4096 -vms 20 -iodepth 8
+//	afsim -profile community -rw randread -bs 32768 -prefill
+//	afsim -profile afceph -no-light-tx    # ablation: AFCeph minus light tx
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/afceph"
+)
+
+// runSweep executes the iodepth sweep through the public API, building a
+// fresh cluster per point.
+func runSweep(cfg afceph.Config, rw string, bs int64, vms int, imageSize int64, runtime, ramp, maxLat float64) {
+	depths := []int{1, 2, 4, 8, 16, 32}
+	fmt.Printf("%-8s %10s %10s %10s\n", "iodepth", "iops", "lat(ms)", "p99(ms)")
+	bestIdx, bestIOPS := -1, 0.0
+	results := make([]afceph.FioResult, len(depths))
+	for i, d := range depths {
+		c := afceph.New(cfg)
+		res, err := c.RunFio(afceph.FioSpec{
+			Workload:   rw,
+			BlockSize:  bs,
+			VMs:        vms,
+			IODepth:    d,
+			ImageSize:  imageSize,
+			RuntimeSec: runtime,
+			RampSec:    ramp,
+			Prefill:    rw == "randread" || rw == "read",
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "afsim:", err)
+			os.Exit(1)
+		}
+		results[i] = res
+		if maxLat > 0 && res.LatMeanMs > maxLat {
+			continue
+		}
+		if bestIdx < 0 || res.IOPS > bestIOPS {
+			bestIdx, bestIOPS = i, res.IOPS
+		}
+	}
+	for i, d := range depths {
+		mark := " "
+		if i == bestIdx {
+			mark = "*"
+		}
+		fmt.Printf("%s%-7d %10.0f %10.2f %10.2f\n", mark, d, results[i].IOPS, results[i].LatMeanMs, results[i].LatP99Ms)
+	}
+}
+
+func main() {
+	var (
+		profile   = flag.String("profile", "afceph", "community | afceph")
+		rw        = flag.String("rw", "randwrite", "randwrite | randread | write | read")
+		bs        = flag.Int64("bs", 4096, "block size in bytes")
+		vms       = flag.Int("vms", 20, "number of VM clients")
+		iodepth   = flag.Int("iodepth", 8, "outstanding requests per VM")
+		imageGB   = flag.Int64("image-gb", 1, "image size per VM in GiB")
+		runtime   = flag.Float64("runtime", 2.0, "measured seconds")
+		ramp      = flag.Float64("ramp", 0.5, "warm-up seconds")
+		nodes     = flag.Int("nodes", 4, "OSD nodes")
+		sustained = flag.Bool("sustained", true, "worn (sustained) SSD state")
+		prefill   = flag.Bool("prefill", false, "prefill images before measuring")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		trace     = flag.Bool("trace", false, "print the write-path stage breakdown (Figure 3 style)")
+		sweep     = flag.Bool("sweep", false, "sweep iodepths and report the best point (the paper's methodology)")
+		maxLat    = flag.Float64("max-lat", 0, "with -sweep: discard points above this mean latency (ms)")
+
+		noPending  = flag.Bool("no-pending-queue", false, "ablate: disable pending queue")
+		noCompW    = flag.Bool("no-completion-worker", false, "ablate: disable completion worker")
+		noFastAck  = flag.Bool("no-fast-ack", false, "ablate: disable fast ack")
+		noThrottle = flag.Bool("no-throttle-tuning", false, "ablate: keep HDD throttles")
+		noAsyncLog = flag.Bool("no-async-log", false, "ablate: keep sync logging")
+		noLightTx  = flag.Bool("no-light-tx", false, "ablate: keep heavy transactions")
+	)
+	flag.Parse()
+
+	cfg := afceph.DefaultConfig()
+	cfg.Nodes = *nodes
+	cfg.Sustained = *sustained
+	cfg.Seed = *seed
+	if *trace {
+		cfg.TraceSample = 10
+	}
+	switch *profile {
+	case "community":
+		cfg.Tuning = afceph.Community()
+	case "afceph":
+		cfg.Tuning = afceph.AFCeph()
+	default:
+		fmt.Fprintf(os.Stderr, "afsim: unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+	if *noPending {
+		cfg.Tuning.PendingQueue = false
+	}
+	if *noCompW {
+		cfg.Tuning.CompletionWorker = false
+	}
+	if *noFastAck {
+		cfg.Tuning.FastAck = false
+	}
+	if *noThrottle {
+		cfg.Tuning.ThrottleSSD = false
+	}
+	if *noAsyncLog {
+		cfg.Tuning.AsyncLog = false
+	}
+	if *noLightTx {
+		cfg.Tuning.LightTx = false
+	}
+
+	if *sweep {
+		runSweep(cfg, *rw, *bs, *vms, *imageGB<<30, *runtime, *ramp, *maxLat)
+		return
+	}
+
+	c := afceph.New(cfg)
+	res, err := c.RunFio(afceph.FioSpec{
+		Workload:   *rw,
+		BlockSize:  *bs,
+		VMs:        *vms,
+		IODepth:    *iodepth,
+		ImageSize:  *imageGB << 30,
+		RuntimeSec: *runtime,
+		RampSec:    *ramp,
+		Prefill:    *prefill,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "afsim:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("profile=%s rw=%s bs=%d vms=%d iodepth=%d sustained=%v\n",
+		*profile, *rw, *bs, *vms, *iodepth, *sustained)
+	fmt.Println(res)
+	st := c.Stats()
+	fmt.Printf("pg-lock: wait=%.1fms contended=%d\n", st.PGLockWaitMs, st.PGLockContended)
+	fmt.Printf("journal full stalls: %d\n", st.JournalFullStalls)
+	fmt.Printf("osd ops: writes=%d reads=%d\n", st.OSDWriteOps, st.OSDReadOps)
+	fmt.Print("cpu util:")
+	for i, u := range st.CPUUtil {
+		fmt.Printf(" node%d=%.2f", i, u)
+	}
+	fmt.Println()
+	if *trace {
+		fmt.Print(c.TraceReport())
+	}
+}

@@ -1,0 +1,97 @@
+// Command crushtool inspects the CRUSH placement used by the simulated
+// cluster: per-OSD PG distribution, host separation of replicas, and data
+// movement when a host is removed.
+//
+// Usage:
+//
+//	crushtool -hosts 4 -osds-per-host 4 -pgs 1024 -replicas 2
+//	crushtool -hosts 5 -remove-host 4     # show remap fraction
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/crush"
+)
+
+func buildMap(hosts, osdsPer int, skip int) (*crush.Map, error) {
+	var hs []crush.Host
+	id := 0
+	for h := 0; h < hosts; h++ {
+		host := crush.Host{Name: fmt.Sprintf("host%d", h)}
+		for o := 0; o < osdsPer; o++ {
+			if h != skip {
+				host.OSDs = append(host.OSDs, crush.OSDInfo{ID: id, Weight: 1})
+			}
+			id++
+		}
+		if h != skip {
+			hs = append(hs, host)
+		}
+	}
+	return crush.NewMap(hs)
+}
+
+func main() {
+	var (
+		hosts    = flag.Int("hosts", 4, "number of hosts (failure domains)")
+		osdsPer  = flag.Int("osds-per-host", 4, "OSDs per host")
+		pgs      = flag.Int("pgs", 1024, "placement groups")
+		replicas = flag.Int("replicas", 2, "replica count")
+		remove   = flag.Int("remove-host", -1, "also compute remap fraction after removing this host index")
+	)
+	flag.Parse()
+
+	m, err := buildMap(*hosts, *osdsPer, -1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "crushtool:", err)
+		os.Exit(1)
+	}
+
+	counts := make(map[int]int)
+	primaries := make(map[int]int)
+	sameHost := 0
+	hostOf := func(osd int) int { return osd / *osdsPer }
+	for pg := 0; pg < *pgs; pg++ {
+		set := m.PGToOSDs(uint32(pg), *replicas)
+		seen := map[int]bool{}
+		for i, o := range set {
+			counts[o]++
+			if i == 0 {
+				primaries[o]++
+			}
+			if seen[hostOf(o)] {
+				sameHost++
+			}
+			seen[hostOf(o)] = true
+		}
+	}
+
+	fmt.Printf("map: %d hosts x %d OSDs, %d PGs, %d replicas\n",
+		*hosts, *osdsPer, *pgs, *replicas)
+	mean := float64(*pgs**replicas) / float64(m.NumOSDs())
+	fmt.Printf("%-6s %8s %10s %8s\n", "osd", "pgs", "primaries", "dev%")
+	for o := 0; o < m.NumOSDs(); o++ {
+		dev := 100 * (float64(counts[o]) - mean) / mean
+		fmt.Printf("osd.%-3d %8d %10d %+7.1f%%\n", o, counts[o], primaries[o], dev)
+	}
+	fmt.Printf("replica sets violating host separation: %d\n", sameHost)
+
+	if *remove >= 0 {
+		after, err := buildMap(*hosts, *osdsPer, *remove)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "crushtool:", err)
+			os.Exit(1)
+		}
+		moved := 0
+		for pg := 0; pg < *pgs; pg++ {
+			if m.Primary(uint32(pg), *replicas) != after.Primary(uint32(pg), *replicas) {
+				moved++
+			}
+		}
+		fmt.Printf("after removing host%d: %d/%d primaries moved (%.1f%%, ideal %.1f%%)\n",
+			*remove, moved, *pgs, 100*float64(moved)/float64(*pgs), 100/float64(*hosts))
+	}
+}

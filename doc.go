@@ -1,0 +1,11 @@
+// Package repro is a full reproduction of "Performance Optimization for
+// All Flash Scale-out Storage" (Oh et al., IEEE CLUSTER 2016): a
+// deterministic discrete-event model of a Ceph-like scale-out block store,
+// the paper's four optimizations (PG-lock minimization, throttle/system
+// tuning, non-blocking logging, light-weight transactions), a
+// SolidFire-style comparator, and a benchmark harness that regenerates
+// every figure of the paper's evaluation.
+//
+// The public API lives in package afceph; the benchmarks in this root
+// package regenerate the paper's figures (see EXPERIMENTS.md).
+package repro

@@ -1,0 +1,77 @@
+// ablation stacks the paper's optimizations one at a time (the Figure 9
+// experiment) and prints each step's contribution, so you can see which
+// fix buys what on the same workload.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/afceph"
+)
+
+type step struct {
+	name  string
+	apply func(*afceph.Tuning)
+}
+
+// The steps mirror Figure 9's stacking order: lock minimization first,
+// then throttle/system tuning, then non-blocking logging, then the
+// light-weight transaction.
+var steps = []step{
+	{"community (baseline)", func(t *afceph.Tuning) {}},
+	{"+ pg-lock minimization", func(t *afceph.Tuning) {
+		t.PendingQueue = true
+		t.CompletionWorker = true
+		t.FastAck = true
+	}},
+	{"+ throttle & system tuning", func(t *afceph.Tuning) {
+		t.ThrottleSSD = true
+		t.Jemalloc = true
+		t.NoDelay = true
+		t.NoBatchWakeup = true
+	}},
+	{"+ non-blocking logging", func(t *afceph.Tuning) {
+		t.AsyncLog = true
+	}},
+	{"+ light-weight transaction", func(t *afceph.Tuning) {
+		t.LightTx = true
+	}},
+}
+
+func main() {
+	vms := flag.Int("vms", 10, "VM clients")
+	iodepth := flag.Int("iodepth", 16, "outstanding requests per VM")
+	sustained := flag.Bool("sustained", false, "worn SSDs (paper Fig 9 used clean state)")
+	flag.Parse()
+
+	fmt.Printf("stepwise ablation: %d VMs x qd%d, 4K randwrite, sustained=%v\n\n",
+		*vms, *iodepth, *sustained)
+	tuning := afceph.Community()
+	var base float64
+	for _, s := range steps {
+		s.apply(&tuning)
+		cfg := afceph.DefaultConfig()
+		cfg.Tuning = tuning
+		cfg.Sustained = *sustained
+		c := afceph.New(cfg)
+		res, err := c.RunFio(afceph.FioSpec{
+			Workload:   "randwrite",
+			BlockSize:  4096,
+			VMs:        *vms,
+			IODepth:    *iodepth,
+			ImageSize:  512 << 20,
+			RuntimeSec: 1.0,
+			RampSec:    0.8,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == 0 {
+			base = res.IOPS
+		}
+		fmt.Printf("%-28s iops=%7.0f  lat=%6.2fms  %.2fx\n",
+			s.name, res.IOPS, res.LatMeanMs, res.IOPS/base)
+	}
+}

@@ -1,0 +1,53 @@
+// Quickstart: build a 4-node all-flash cluster with the paper's AFCeph
+// optimizations, map a block device, do some I/O, and run a small fio-style
+// benchmark — all in deterministic virtual time.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/afceph"
+)
+
+func main() {
+	// The default config is the paper's testbed: 4 nodes x 4 OSDs, 3 SSDs
+	// per OSD (RAID0), NVRAM journals, 10 GbE, 2 replicas.
+	cfg := afceph.DefaultConfig()
+	cfg.Verify = true // keep write stamps so reads can be checked
+	cluster := afceph.New(cfg)
+
+	// Scripted I/O: the closure runs as a simulated process; Write/Read
+	// block in virtual time until the cluster acks.
+	cluster.Run(func(ctx *afceph.Ctx) {
+		dev := ctx.OpenDevice("demo", 1<<30)
+		fmt.Printf("t=%.3fms  writing 4K at offset 0\n", ctx.NowMs())
+		dev.Write(ctx, 0, 4096, 42)
+		fmt.Printf("t=%.3fms  write acked (journaled on primary and replica)\n", ctx.NowMs())
+
+		stamp, ok := dev.Read(ctx, 0, 4096)
+		fmt.Printf("t=%.3fms  read back stamp=%d ok=%v\n", ctx.NowMs(), stamp, ok)
+		if !ok || stamp != 42 {
+			log.Fatal("read-your-write failed")
+		}
+	})
+
+	// Declarative fio: 10 VMs of 4K random writes for 1 virtual second.
+	res, err := cluster.RunFio(afceph.FioSpec{
+		Workload:   "randwrite",
+		BlockSize:  4096,
+		VMs:        10,
+		IODepth:    8,
+		ImageSize:  256 << 20,
+		RuntimeSec: 1.0,
+		RampSec:    0.3,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n10-VM 4K randwrite: %v\n", res)
+
+	st := cluster.Stats()
+	fmt.Printf("PG lock wait total: %.1f ms over %d contended acquisitions\n",
+		st.PGLockWaitMs, st.PGLockContended)
+}

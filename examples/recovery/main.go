@@ -1,0 +1,57 @@
+// recovery demonstrates why the paper refuses to replace the PG lock
+// scheme (§3.1): the sequentially-written PG log is what lets a failed OSD
+// rejoin. This example fails an OSD, writes through the outage (degraded),
+// recovers it, and scrubs the cluster to prove the optimized I/O path kept
+// replication and recovery semantics intact.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/afceph"
+)
+
+func main() {
+	cfg := afceph.DefaultConfig()
+	cfg.Nodes = 2
+	cfg.OSDsPerNode = 2
+	cfg.PGs = 128
+	cfg.Verify = true
+	cfg.Sustained = false
+	c := afceph.New(cfg)
+
+	// Baseline data set.
+	c.Run(func(ctx *afceph.Ctx) {
+		dev := ctx.OpenDevice("vol", 128<<20)
+		for i := int64(0); i < 32; i++ {
+			dev.Write(ctx, i*(4<<20), 4096, uint64(100+i))
+		}
+		ctx.SleepMs(2000) // let filestore applies settle
+	})
+	fmt.Printf("baseline written; scrub: %d findings\n", len(c.Scrub()))
+
+	// Fail osd.1 and keep writing: the cluster runs degraded.
+	c.FailOSD(1)
+	fmt.Printf("osd.1 failed (down=%v); writing through the outage...\n", c.OSDDown(1))
+	c.Run(func(ctx *afceph.Ctx) {
+		dev := ctx.OpenDevice("vol2", 128<<20)
+		for i := int64(0); i < 32; i++ {
+			dev.Write(ctx, i*(4<<20), 4096, uint64(500+i))
+		}
+		ctx.SleepMs(2000)
+	})
+
+	// Rejoin and resynchronize.
+	rep := c.RecoverOSD(1)
+	fmt.Println(rep)
+
+	findings := c.Scrub()
+	if len(findings) != 0 {
+		for _, f := range findings {
+			fmt.Println("  ", f)
+		}
+		log.Fatal("scrub found inconsistencies after recovery")
+	}
+	fmt.Println("scrub clean: replication and PG-log invariants hold after recovery")
+}

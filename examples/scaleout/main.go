@@ -1,0 +1,52 @@
+// scaleout reproduces the paper's Figure 12 scenario in miniature: the
+// same per-node load on growing cluster sizes. Random and sequential
+// workloads scale near-linearly; at large node counts random reads start
+// losing ground to messenger CPU overhead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/afceph"
+)
+
+func main() {
+	workloadName := flag.String("rw", "randwrite", "randwrite | randread | write | read")
+	vmsPerNode := flag.Int("vms-per-node", 5, "VM clients per OSD node")
+	flag.Parse()
+
+	fmt.Printf("scale-out: %s, %d VMs per node, clean SSDs, AFCeph profile\n\n",
+		*workloadName, *vmsPerNode)
+	var base float64
+	for _, nodes := range []int{2, 4, 8} {
+		cfg := afceph.DefaultConfig()
+		cfg.Nodes = nodes
+		cfg.Sustained = false
+		c := afceph.New(cfg)
+		bs := int64(4096)
+		if *workloadName == "write" || *workloadName == "read" {
+			bs = 1 << 20
+		}
+		res, err := c.RunFio(afceph.FioSpec{
+			Workload:   *workloadName,
+			BlockSize:  bs,
+			VMs:        nodes * *vmsPerNode,
+			IODepth:    8,
+			ImageSize:  512 << 20,
+			RuntimeSec: 1.0,
+			RampSec:    0.5,
+			Prefill:    *workloadName == "randread" || *workloadName == "read",
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == 0 {
+			base = res.IOPS / float64(nodes)
+		}
+		eff := res.IOPS / float64(nodes) / base
+		fmt.Printf("%2d nodes: iops=%8.0f  bw=%7.1fMB/s  lat=%6.2fms  per-node efficiency %.0f%%\n",
+			nodes, res.IOPS, res.BWMBps, res.LatMeanMs, eff*100)
+	}
+}

@@ -1,0 +1,175 @@
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/cpumodel"
+	"repro/internal/crush"
+	"repro/internal/netsim"
+	"repro/internal/osd"
+	"repro/internal/sim"
+)
+
+// Client is one block-storage consumer (a VM with a KRBD mount in the
+// paper's tests). It routes each object operation to the object's primary
+// OSD and correlates replies.
+type Client struct {
+	c       *Cluster
+	ep      *netsim.Endpoint
+	node    *cpumodel.Node
+	pending map[uint64]*pendingOp
+	nextID  uint64
+}
+
+type pendingOp struct {
+	done  *sim.Event
+	reply *osd.Reply
+}
+
+// NewClient creates a client with its own (generously provisioned) CPU
+// node; client-side compute is not the system under test.
+func (c *Cluster) NewClient() *Client {
+	c.clients++
+	node := cpumodel.NewNode(c.K, fmt.Sprintf("client%d", c.clients), 64, cpumodel.JEMalloc)
+	cl := &Client{
+		c:       c,
+		node:    node,
+		pending: make(map[uint64]*pendingOp),
+	}
+	cl.ep = c.Net.NewEndpoint(fmt.Sprintf("client%d", c.clients), node, c.Params.ClientNoDelay)
+	cl.ep.SetHandler(cl.handleReply)
+	return cl
+}
+
+// Endpoint returns the client's network identity.
+func (cl *Client) Endpoint() *netsim.Endpoint { return cl.ep }
+
+func (cl *Client) handleReply(p *sim.Proc, m *netsim.Message) {
+	rep := m.Payload.(*osd.Reply)
+	pend, ok := cl.pending[rep.Op.ID]
+	if !ok {
+		panic("cluster: reply for unknown op")
+	}
+	delete(cl.pending, rep.Op.ID)
+	pend.reply = rep
+	pend.done.Fire()
+}
+
+// WriteObject writes [off, off+size) of the named object, blocking until
+// the cluster acks (journaled on primary and all replicas). stamp is stored
+// for verification when the cluster runs with VerifyData.
+func (cl *Client) WriteObject(p *sim.Proc, oid string, off, size int64, stamp uint64) {
+	cl.doOp(p, osd.OpWrite, oid, off, size, stamp)
+}
+
+// ReadObject reads [off, off+size) of the named object, returning the
+// stamp of the extent (when VerifyData is on) and object existence.
+func (cl *Client) ReadObject(p *sim.Proc, oid string, off, size int64) (stamp uint64, exists bool) {
+	rep := cl.doOp(p, osd.OpRead, oid, off, size, 0)
+	return rep.Stamp, rep.Exists
+}
+
+func (cl *Client) doOp(p *sim.Proc, kind osd.OpKind, oid string, off, size int64, stamp uint64) *osd.Reply {
+	pg := crush.ObjectToPG(oid, cl.c.Params.PGs)
+	acting := cl.c.actingSet(pg)
+	if len(acting) == 0 {
+		panic("cluster: no up OSD for pg")
+	}
+	primary := cl.c.osds[acting[0]]
+	cl.nextID++
+	op := &osd.ClientOp{
+		Kind:   kind,
+		OID:    oid,
+		PG:     pg,
+		Off:    off,
+		Len:    size,
+		Stamp:  stamp,
+		Client: cl.ep,
+		ID:     cl.nextID,
+	}
+	pend := &pendingOp{done: sim.NewEvent(cl.c.K)}
+	cl.pending[op.ID] = pend
+	msgKind := osd.MsgWrite
+	wire := size + 200 // request header
+	if kind == osd.OpRead {
+		msgKind = osd.MsgRead
+		wire = 200
+	}
+	cl.ep.Send(p, primary.Endpoint(), wire, msgKind, op)
+	pend.done.Wait(p)
+	return pend.reply
+}
+
+// Image is an RBD-style block image striped over 4 MB objects.
+type Image struct {
+	Name string
+	Size int64
+}
+
+// locate maps a block offset to its object and intra-object offset.
+func (img *Image) locate(off int64) (oid string, objOff int64) {
+	idx := off / ObjectSize
+	return fmt.Sprintf("rbd.%s.%d", img.Name, idx), off % ObjectSize
+}
+
+// Objects returns the object count backing the image.
+func (img *Image) Objects() int64 {
+	return (img.Size + ObjectSize - 1) / ObjectSize
+}
+
+// BlockDevice is a client's view of an image (a mapped /dev/rbd*).
+type BlockDevice struct {
+	Client *Client
+	Img    Image
+}
+
+// OpenDevice maps an image for a client.
+func (cl *Client) OpenDevice(name string, size int64) *BlockDevice {
+	return &BlockDevice{Client: cl, Img: Image{Name: name, Size: size}}
+}
+
+// Size returns the image capacity in bytes.
+func (bd *BlockDevice) Size() int64 { return bd.Img.Size }
+
+// WriteAt writes size bytes at off, splitting on object boundaries.
+func (bd *BlockDevice) WriteAt(p *sim.Proc, off, size int64, stamp uint64) {
+	if off < 0 || off+size > bd.Img.Size {
+		panic("cluster: write beyond device")
+	}
+	for size > 0 {
+		oid, objOff := bd.Img.locate(off)
+		n := size
+		if objOff+n > ObjectSize {
+			n = ObjectSize - objOff
+		}
+		bd.Client.WriteObject(p, oid, objOff, n, stamp)
+		off += n
+		size -= n
+	}
+}
+
+// ReadAt reads size bytes at off. It returns the stamp of the first extent
+// (verification convenience) and whether all touched objects existed.
+func (bd *BlockDevice) ReadAt(p *sim.Proc, off, size int64) (stamp uint64, exists bool) {
+	if off < 0 || off+size > bd.Img.Size {
+		panic("cluster: read beyond device")
+	}
+	first := true
+	exists = true
+	for size > 0 {
+		oid, objOff := bd.Img.locate(off)
+		n := size
+		if objOff+n > ObjectSize {
+			n = ObjectSize - objOff
+		}
+		st, ex := bd.Client.ReadObject(p, oid, objOff, n)
+		if first {
+			stamp = st
+			first = false
+		}
+		exists = exists && ex
+		off += n
+		size -= n
+	}
+	return stamp, exists
+}

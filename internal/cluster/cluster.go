@@ -1,0 +1,209 @@
+// Package cluster assembles the full system: server nodes with CPU pools,
+// SSD RAID0 data devices and NVRAM journals, OSD daemons wired through the
+// simulated network, CRUSH placement, and RBD-style clients that stripe
+// block images over 4 MB objects — the paper's testbed (Figure 8) in
+// simulation.
+package cluster
+
+import (
+	"fmt"
+
+	"repro/internal/cpumodel"
+	"repro/internal/crush"
+	"repro/internal/device"
+	"repro/internal/netsim"
+	"repro/internal/osd"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// ObjectSize is the RBD striping unit (4 MB, the Ceph default the paper
+// cites when sizing the metadata cache).
+const ObjectSize int64 = 4 << 20
+
+// Params describes the testbed.
+type Params struct {
+	// Topology. The paper: 4 OSD nodes x 4 OSDs, 10 SSDs per node (2-3 per
+	// OSD as RAID0), one NVRAM journal device per node, 16 cores.
+	OSDNodes     int
+	OSDsPerNode  int
+	SSDsPerOSD   int
+	CoresPerNode int64
+	// Placement.
+	PGs      uint32
+	Replicas int
+	// Tuning.
+	Allocator     cpumodel.Allocator
+	ClientNoDelay bool // TCP_NODELAY on client connections (KRBD tuning)
+	Sustained     bool // SSD wear state
+	// UseHDD replaces the flash data devices with spinning disks — the
+	// paper's §1 baseline ("current scale-out systems are designed with
+	// HDD as basis").
+	UseHDD    bool
+	HDDParams device.HDDParams
+	// Components.
+	NetParams netsim.Params
+	SSDParams device.SSDParams
+	OSDConfig func(id int) osd.Config
+	// VerifyData threads write stamps through to the filestore so tests
+	// can check read-your-write (memory-heavy; off for big benches).
+	VerifyData bool
+	Seed       uint64
+}
+
+// DefaultParams returns the paper's testbed shape with community OSDs.
+func DefaultParams() Params {
+	return Params{
+		OSDNodes:      4,
+		OSDsPerNode:   4,
+		SSDsPerOSD:    3,
+		CoresPerNode:  16,
+		PGs:           1024,
+		Replicas:      2,
+		Allocator:     cpumodel.TCMalloc,
+		ClientNoDelay: false,
+		Sustained:     true,
+		NetParams:     netsim.DefaultParams(),
+		SSDParams:     device.DefaultSSDParams(),
+		HDDParams:     device.DefaultHDDParams(),
+		OSDConfig:     osd.CommunityConfig,
+		Seed:          1,
+	}
+}
+
+// Cluster is a running simulated storage cluster.
+type Cluster struct {
+	K      *sim.Kernel
+	Net    *netsim.Network
+	Params Params
+
+	cmap    *crush.Map
+	osds    []*osd.OSD
+	nodes   []*cpumodel.Node
+	ssds    []*device.SSD
+	rnd     *rng.Rand
+	clients int
+	down    map[int]bool
+	epoch   int
+}
+
+// New builds and wires the cluster; the kernel is ready to Run.
+func New(params Params) *Cluster {
+	k := sim.NewKernel()
+	c := &Cluster{
+		K:      k,
+		Net:    netsim.New(k, params.NetParams),
+		Params: params,
+		rnd:    rng.New(params.Seed),
+		down:   make(map[int]bool),
+	}
+
+	var hosts []crush.Host
+	id := 0
+	for n := 0; n < params.OSDNodes; n++ {
+		node := cpumodel.NewNode(k, fmt.Sprintf("node%d", n), params.CoresPerNode, params.Allocator)
+		c.nodes = append(c.nodes, node)
+		nvram := device.NewNVRAM(k, fmt.Sprintf("node%d.nvram", n), device.DefaultNVRAMParams())
+		nicPub := c.Net.NewNIC(fmt.Sprintf("node%d.pub", n))
+		nicCluster := c.Net.NewNIC(fmt.Sprintf("node%d.cluster", n))
+		host := crush.Host{Name: fmt.Sprintf("node%d", n)}
+		for d := 0; d < params.OSDsPerNode; d++ {
+			var members []device.Device
+			for s := 0; s < params.SSDsPerOSD; s++ {
+				if params.UseHDD {
+					members = append(members,
+						device.NewHDD(k, fmt.Sprintf("osd%d.hdd%d", id, s), params.HDDParams, c.rnd))
+					continue
+				}
+				ssd := device.NewSSD(k, fmt.Sprintf("osd%d.ssd%d", id, s), params.SSDParams, c.rnd)
+				ssd.SetSustained(params.Sustained)
+				c.ssds = append(c.ssds, ssd)
+				members = append(members, ssd)
+			}
+			data := device.NewRAID0(fmt.Sprintf("osd%d.raid", id), 64<<10, members...)
+			cfg := params.OSDConfig(id)
+			cfg.ID = id
+			cfg.FStore.VerifyData = params.VerifyData
+			// All OSDs on a server share the server's two physical NICs:
+			// public (clients) and cluster (replication), as in Figure 8.
+			ep := c.Net.NewEndpointNIC(fmt.Sprintf("osd%d", id), node, nicPub, true)
+			cep := c.Net.NewEndpointNIC(fmt.Sprintf("osd%d.c", id), node, nicCluster, true)
+			o := osd.NewSplit(k, cfg, node, ep, cep, data, nvram, c.rnd)
+			c.osds = append(c.osds, o)
+			host.OSDs = append(host.OSDs, crush.OSDInfo{ID: id, Weight: 1})
+			id++
+		}
+		hosts = append(hosts, host)
+	}
+	m, err := crush.NewMap(hosts)
+	if err != nil {
+		panic("cluster: " + err.Error())
+	}
+	c.cmap = m
+
+	// Placement: each OSD, asked about a PG it is primary for, returns the
+	// replica endpoints (the rest of the CRUSH set).
+	for i := range c.osds {
+		o := c.osds[i]
+		o.SetPlacer(func(pg uint32) []*netsim.Endpoint {
+			var eps []*netsim.Endpoint
+			for _, osdID := range c.actingSet(pg) {
+				if c.osds[osdID] != o {
+					eps = append(eps, c.osds[osdID].ClusterEndpoint())
+				}
+			}
+			return eps
+		})
+	}
+	return c
+}
+
+// OSDs returns all daemons.
+func (c *Cluster) OSDs() []*osd.OSD { return c.osds }
+
+// Nodes returns the server CPU nodes.
+func (c *Cluster) Nodes() []*cpumodel.Node { return c.nodes }
+
+// SSDs returns every flash device in the cluster.
+func (c *Cluster) SSDs() []*device.SSD { return c.ssds }
+
+// Map returns the CRUSH map.
+func (c *Cluster) Map() *crush.Map { return c.cmap }
+
+// PrimaryFor returns the primary OSD for an object name.
+func (c *Cluster) PrimaryFor(oid string) *osd.OSD {
+	pg := crush.ObjectToPG(oid, c.Params.PGs)
+	return c.osds[c.cmap.Primary(pg, c.Params.Replicas)]
+}
+
+// SetSustained flips the wear state of every SSD.
+func (c *Cluster) SetSustained(v bool) {
+	for _, s := range c.ssds {
+		s.SetSustained(v)
+	}
+}
+
+// TotalOSDWrites sums write ops over all OSDs (primary + replica).
+func (c *Cluster) TotalOSDWrites() uint64 {
+	var n uint64
+	for _, o := range c.osds {
+		n += o.Metrics().WriteOps.Value() + o.Metrics().RepOps.Value()
+	}
+	return n
+}
+
+// AggregateLockStats sums PG lock contention across the cluster.
+func (c *Cluster) AggregateLockStats() sim.MutexStats {
+	var agg sim.MutexStats
+	for _, o := range c.osds {
+		st := o.Locks().AggregateStats()
+		agg.Acquires += st.Acquires
+		agg.Contended += st.Contended
+		agg.WaitTime += st.WaitTime
+		agg.HoldTime += st.HoldTime
+		if st.MaxWait > agg.MaxWait {
+			agg.MaxWait = st.MaxWait
+		}
+	}
+	return agg
+}

@@ -1,0 +1,284 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+func TestShardLocksLazyAndStable(t *testing.T) {
+	k := sim.NewKernel()
+	s := NewShardLocks(k, "pg")
+	a := s.Get(3)
+	b := s.Get(3)
+	if a != b {
+		t.Fatal("same shard returned different locks")
+	}
+	if s.Get(4) == a {
+		t.Fatal("different shards share a lock")
+	}
+	if s.Len() != 2 {
+		t.Fatalf("len = %d", s.Len())
+	}
+}
+
+func TestShardLocksAggregateStats(t *testing.T) {
+	k := sim.NewKernel()
+	s := NewShardLocks(k, "pg")
+	for i := 0; i < 3; i++ {
+		i := i
+		k.Go("w", func(p *sim.Proc) {
+			m := s.Get(i % 2)
+			m.Lock(p)
+			p.Sleep(sim.Millisecond)
+			m.Unlock(p)
+		})
+	}
+	k.Run(sim.Forever)
+	agg := s.AggregateStats()
+	if agg.Acquires != 3 {
+		t.Fatalf("acquires = %d", agg.Acquires)
+	}
+	if agg.HoldTime != 3*sim.Millisecond {
+		t.Fatalf("hold = %v", agg.HoldTime)
+	}
+	if agg.Contended != 1 { // two procs on shard 0 or 1 collide once
+		t.Fatalf("contended = %d", agg.Contended)
+	}
+}
+
+// dispatchWorld runs items through a dispatcher with the given worker count
+// and per-item processing time, returning the per-shard processing order
+// and the total elapsed time.
+func dispatchWorld(usePending bool, workers int, items []int, procTime sim.Time) (map[int][]int, sim.Time, *DispatcherStats) {
+	k := sim.NewKernel()
+	locks := NewShardLocks(k, "pg")
+	d := NewDispatcher[int](k, "opwq", locks, 0, usePending)
+	order := make(map[int][]int)
+	seq := 0
+	for w := 0; w < workers; w++ {
+		k.Go(fmt.Sprintf("worker%d", w), func(p *sim.Proc) {
+			d.RunWorker(p, func(p *sim.Proc, shard int, v int) {
+				p.Sleep(procTime)
+				order[shard] = append(order[shard], v)
+			})
+		})
+	}
+	k.Go("submitter", func(p *sim.Proc) {
+		for _, shard := range items {
+			d.Submit(p, shard, seq)
+			seq++
+			p.Yield()
+		}
+		d.Close()
+	})
+	k.Run(sim.Forever)
+	return order, k.Now(), d.Stats()
+}
+
+func TestDispatcherProcessesEverything(t *testing.T) {
+	items := []int{0, 1, 0, 1, 2, 0, 2, 1}
+	for _, pending := range []bool{false, true} {
+		order, _, st := dispatchWorld(pending, 3, items, 100*sim.Microsecond)
+		total := 0
+		for _, o := range order {
+			total += len(o)
+		}
+		if total != len(items) {
+			t.Fatalf("pending=%v processed %d of %d", pending, total, len(items))
+		}
+		if st.Processed.Value() != uint64(len(items)) {
+			t.Fatalf("pending=%v stats.Processed = %d", pending, st.Processed.Value())
+		}
+	}
+}
+
+func TestDispatcherPreservesPerShardOrder(t *testing.T) {
+	// Sequence numbers are global and increasing; per-shard order must be
+	// increasing too — in both modes.
+	items := make([]int, 200)
+	for i := range items {
+		items[i] = i % 3
+	}
+	for _, pending := range []bool{false, true} {
+		order, _, _ := dispatchWorld(pending, 4, items, 50*sim.Microsecond)
+		for shard, seqs := range order {
+			for i := 1; i < len(seqs); i++ {
+				if seqs[i] < seqs[i-1] {
+					t.Fatalf("pending=%v shard %d out of order: %v", pending, shard, seqs)
+				}
+			}
+		}
+	}
+}
+
+func TestPendingQueueKeepsWorkersBusy(t *testing.T) {
+	// A burst of hot-shard ops followed by cold-shard ops, two workers.
+	// Blocking mode wedges both workers into the hot lock chain, so cold
+	// ops wait for the whole hot burst; pending mode lets the second
+	// worker defer hot ops and process cold ones concurrently (Fig. 5).
+	var items []int
+	for i := 0; i < 60; i++ {
+		items = append(items, 0) // hot burst
+	}
+	for i := 0; i < 60; i++ {
+		items = append(items, 1+i%4) // cold tail
+	}
+	_, blockedTime, blockedStats := dispatchWorld(false, 2, items, 200*sim.Microsecond)
+	_, pendingTime, pendingStats := dispatchWorld(true, 2, items, 200*sim.Microsecond)
+	if pendingTime >= blockedTime {
+		t.Fatalf("pending (%v) not faster than blocking (%v)", pendingTime, blockedTime)
+	}
+	if pendingStats.Deferred.Value() == 0 {
+		t.Fatal("pending mode never deferred")
+	}
+	if blockedStats.Blocked.Value() == 0 {
+		t.Fatal("blocking mode never blocked")
+	}
+}
+
+func TestDispatcherOrderProperty(t *testing.T) {
+	f := func(raw []uint8, pending bool) bool {
+		if len(raw) > 150 {
+			raw = raw[:150]
+		}
+		items := make([]int, len(raw))
+		for i, r := range raw {
+			items[i] = int(r % 5)
+		}
+		order, _, _ := dispatchWorld(pending, 3, items, 10*sim.Microsecond)
+		n := 0
+		for _, seqs := range order {
+			n += len(seqs)
+			for i := 1; i < len(seqs); i++ {
+				if seqs[i] < seqs[i-1] {
+					return false
+				}
+			}
+		}
+		return n == len(items)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompletionWorkerBatchesPerShardLock(t *testing.T) {
+	k := sim.NewKernel()
+	locks := NewShardLocks(k, "pg")
+	w := NewCompletionWorker(k, "comp", locks, 64)
+	done := 0
+	k.Go("comp", w.Run)
+	k.Go("producer", func(p *sim.Proc) {
+		// Queue 32 completions for one shard while the worker is busy
+		// elsewhere, so they arrive as one batch.
+		locks.Get(9).Lock(p)
+		for i := 0; i < 32; i++ {
+			w.Defer(p, Completion{Shard: 9, Fn: func(p *sim.Proc) { done++ }})
+		}
+		p.Sleep(sim.Millisecond)
+		locks.Get(9).Unlock(p)
+	})
+	k.Run(sim.Forever)
+	if done != 32 {
+		t.Fatalf("done = %d", done)
+	}
+	st := w.Stats()
+	if st.LockAcquires.Value() >= st.Completions.Value() {
+		t.Fatalf("no batching: %d lock acquires for %d completions",
+			st.LockAcquires.Value(), st.Completions.Value())
+	}
+}
+
+func TestCompletionWorkerRunsUnderLock(t *testing.T) {
+	k := sim.NewKernel()
+	locks := NewShardLocks(k, "pg")
+	w := NewCompletionWorker(k, "comp", locks, 0)
+	ok := false
+	k.Go("comp", w.Run)
+	k.Go("producer", func(p *sim.Proc) {
+		w.Defer(p, Completion{Shard: 1, Fn: func(p *sim.Proc) {
+			ok = locks.Get(1).Locked()
+		}})
+	})
+	k.Run(sim.Forever)
+	if !ok {
+		t.Fatal("completion ran without the shard lock held")
+	}
+}
+
+func TestCompletionWorkerPerShardOrder(t *testing.T) {
+	k := sim.NewKernel()
+	locks := NewShardLocks(k, "pg")
+	w := NewCompletionWorker(k, "comp", locks, 64)
+	var got []int
+	k.Go("comp", w.Run)
+	k.Go("producer", func(p *sim.Proc) {
+		locks.Get(2).Lock(p) // hold so batch accumulates
+		for i := 0; i < 10; i++ {
+			i := i
+			w.Defer(p, Completion{Shard: 2, Fn: func(p *sim.Proc) { got = append(got, i) }})
+		}
+		p.Sleep(sim.Millisecond)
+		locks.Get(2).Unlock(p)
+	})
+	k.Run(sim.Forever)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("completion order: %v", got)
+		}
+	}
+}
+
+func TestCompletionWorkerClose(t *testing.T) {
+	k := sim.NewKernel()
+	locks := NewShardLocks(k, "pg")
+	w := NewCompletionWorker(k, "comp", locks, 4)
+	k.Go("comp", w.Run)
+	k.Go("closer", func(p *sim.Proc) {
+		p.Sleep(sim.Millisecond)
+		w.Close()
+	})
+	k.Run(sim.Forever)
+	if k.Live() != 0 {
+		t.Fatal("completion worker did not exit on close")
+	}
+}
+
+func TestThrottleConfigs(t *testing.T) {
+	hdd := HDDThrottles()
+	ssd := SSDThrottles()
+	if hdd.FilestoreQueueMaxOps >= ssd.FilestoreQueueMaxOps {
+		t.Fatal("SSD filestore throttle should be much deeper than HDD")
+	}
+	if hdd.OSDClientMessageCap >= ssd.OSDClientMessageCap {
+		t.Fatal("SSD message cap should exceed HDD")
+	}
+	if hdd.FilestoreQueueMaxOps != 50 {
+		t.Fatalf("stock filestore_queue_max_ops = %d, want 50", hdd.FilestoreQueueMaxOps)
+	}
+}
+
+func TestDispatcherQueueCapBackpressure(t *testing.T) {
+	k := sim.NewKernel()
+	locks := NewShardLocks(k, "pg")
+	d := NewDispatcher[int](k, "opwq", locks, 2, false)
+	var submitDone sim.Time
+	k.Go("submitter", func(p *sim.Proc) {
+		for i := 0; i < 3; i++ {
+			d.Submit(p, 0, i) // third submit blocks until a worker pops
+		}
+		submitDone = p.Now()
+		d.Close()
+	})
+	k.Go("worker", func(p *sim.Proc) {
+		p.Sleep(5 * sim.Millisecond)
+		d.RunWorker(p, func(p *sim.Proc, shard, v int) {})
+	})
+	k.Run(sim.Forever)
+	if submitDone < 5*sim.Millisecond {
+		t.Fatalf("submit did not feel backpressure: done at %v", submitDone)
+	}
+}

@@ -1,0 +1,154 @@
+package cpumodel
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestUseChargesTime(t *testing.T) {
+	k := sim.NewKernel()
+	n := NewNode(k, "node0", 4, JEMalloc)
+	var end sim.Time
+	k.Go("w", func(p *sim.Proc) {
+		n.Use(p, sim.Millisecond)
+		end = p.Now()
+	})
+	k.Run(sim.Forever)
+	if end != sim.Millisecond {
+		t.Fatalf("end = %v", end)
+	}
+	if n.BusyNanos() != uint64(sim.Millisecond) {
+		t.Fatalf("busy = %d", n.BusyNanos())
+	}
+}
+
+func TestUseZeroOrNegativeIsFree(t *testing.T) {
+	k := sim.NewKernel()
+	n := NewNode(k, "node0", 1, JEMalloc)
+	k.Go("w", func(p *sim.Proc) {
+		n.Use(p, 0)
+		n.Use(p, -5)
+	})
+	k.Run(sim.Forever)
+	if k.Now() != 0 || n.BusyNanos() != 0 {
+		t.Fatal("zero-cost use advanced time")
+	}
+}
+
+func TestCoreContention(t *testing.T) {
+	k := sim.NewKernel()
+	n := NewNode(k, "node0", 2, JEMalloc)
+	var last sim.Time
+	for i := 0; i < 4; i++ {
+		k.Go("w", func(p *sim.Proc) {
+			n.Use(p, sim.Millisecond)
+			if p.Now() > last {
+				last = p.Now()
+			}
+		})
+	}
+	k.Run(sim.Forever)
+	// 4ms of work on 2 cores takes 2ms wall time.
+	if last != 2*sim.Millisecond {
+		t.Fatalf("finished at %v, want 2ms", last)
+	}
+}
+
+func TestAllocCostOrdering(t *testing.T) {
+	k := sim.NewKernel()
+	tc := NewNode(k, "a", 4, TCMalloc)
+	je := NewNode(k, "b", 4, JEMalloc)
+	glibc := NewNode(k, "c", 4, GlibcMalloc)
+	// At idle, jemalloc < tcmalloc < malloc.
+	if !(je.AllocCost(100) < tc.AllocCost(100) && tc.AllocCost(100) < glibc.AllocCost(100)) {
+		t.Fatalf("idle alloc cost ordering wrong: je=%v tc=%v malloc=%v",
+			je.AllocCost(100), tc.AllocCost(100), glibc.AllocCost(100))
+	}
+}
+
+func TestAllocCostGrowsWithLoad(t *testing.T) {
+	k := sim.NewKernel()
+	n := NewNode(k, "node0", 1, TCMalloc)
+	idleCost := n.AllocCost(10)
+	k.Go("busy", func(p *sim.Proc) {
+		n.Use(p, sim.Second)
+	})
+	k.Run(500 * sim.Millisecond) // utilization now ~1.0
+	busyCost := n.AllocCost(10)
+	if busyCost <= idleCost {
+		t.Fatalf("alloc cost did not grow under load: idle=%v busy=%v", idleCost, busyCost)
+	}
+	// tcmalloc contention factor 5 -> ~6x at full utilization
+	if busyCost < 4*idleCost {
+		t.Fatalf("tcmalloc contention too weak: idle=%v busy=%v", idleCost, busyCost)
+	}
+}
+
+func TestJemallocLessSensitiveThanTcmalloc(t *testing.T) {
+	k := sim.NewKernel()
+	tc := NewNode(k, "a", 1, TCMalloc)
+	je := NewNode(k, "b", 1, JEMalloc)
+	k.Go("busyA", func(p *sim.Proc) { tc.Use(p, sim.Second) })
+	k.Go("busyB", func(p *sim.Proc) { je.Use(p, sim.Second) })
+	k.Run(500 * sim.Millisecond)
+	tcRatio := float64(tc.AllocCost(100)) / float64(120*100)
+	jeRatio := float64(je.AllocCost(100)) / float64(120*100)
+	if jeRatio >= tcRatio {
+		t.Fatalf("jemalloc should degrade less: je=%v tc=%v", jeRatio, tcRatio)
+	}
+}
+
+func TestSetAllocator(t *testing.T) {
+	k := sim.NewKernel()
+	n := NewNode(k, "node0", 4, TCMalloc)
+	before := n.AllocCost(1000)
+	n.SetAllocator(JEMalloc)
+	after := n.AllocCost(1000)
+	if after >= before {
+		t.Fatalf("switch to jemalloc did not reduce cost: %v -> %v", before, after)
+	}
+	if n.Allocator() != JEMalloc {
+		t.Fatal("allocator not switched")
+	}
+}
+
+func TestAllocCostZeroCount(t *testing.T) {
+	k := sim.NewKernel()
+	n := NewNode(k, "node0", 4, TCMalloc)
+	if n.AllocCost(0) != 0 || n.AllocCost(-1) != 0 {
+		t.Fatal("zero/negative count must be free")
+	}
+}
+
+func TestUseWithAllocs(t *testing.T) {
+	k := sim.NewKernel()
+	n := NewNode(k, "node0", 4, JEMalloc)
+	var end sim.Time
+	k.Go("w", func(p *sim.Proc) {
+		n.UseWithAllocs(p, sim.Microsecond, 10)
+		end = p.Now()
+	})
+	k.Run(sim.Forever)
+	if end <= sim.Microsecond {
+		t.Fatalf("allocs added no time: %v", end)
+	}
+}
+
+func TestAllocatorString(t *testing.T) {
+	if TCMalloc.String() != "tcmalloc" || JEMalloc.String() != "jemalloc" ||
+		GlibcMalloc.String() != "malloc" || Allocator(99).String() != "unknown" {
+		t.Fatal("String() labels wrong")
+	}
+}
+
+func TestNodeMetadata(t *testing.T) {
+	k := sim.NewKernel()
+	n := NewNode(k, "node7", 16, JEMalloc)
+	if n.Name() != "node7" || n.Cores() != 16 {
+		t.Fatal("metadata wrong")
+	}
+	if n.QueueLen() != 0 {
+		t.Fatal("fresh node has queue")
+	}
+}

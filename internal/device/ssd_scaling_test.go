@@ -1,0 +1,64 @@
+package device
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// bwMBps measures sustained random-write bandwidth at a block size.
+func bwMBps(t *testing.T, bs int64) float64 {
+	t.Helper()
+	k := sim.NewKernel()
+	d := NewSSD(k, "ssd", DefaultSSDParams(), rng.New(21))
+	d.SetSustained(true)
+	r := rng.New(22)
+	var bytes int64
+	for w := 0; w < 8; w++ {
+		k.Go("w", func(p *sim.Proc) {
+			for p.Now() < sim.Second {
+				d.Write(p, r.Int63n(1<<36)&^(bs-1), bs)
+				bytes += bs
+			}
+		})
+	}
+	k.Run(sim.Second)
+	return float64(bytes) / (1 << 20)
+}
+
+func TestSustainedRandomWriteSizeScaling(t *testing.T) {
+	bw4 := bwMBps(t, 4096)
+	bw32 := bwMBps(t, 32768)
+	// 4K random ~40 MB/s class; 32K random must be better per second but
+	// nowhere near 8x (super-linear service growth).
+	if bw4 < 20 || bw4 > 90 {
+		t.Fatalf("4K sustained random write bw = %.0f MB/s, want SATA-class 20-90", bw4)
+	}
+	if bw32 < bw4 {
+		t.Fatalf("32K bw %.0f below 4K bw %.0f", bw32, bw4)
+	}
+	if bw32 > 4*bw4 {
+		t.Fatalf("32K bw %.0f more than 4x 4K bw %.0f: size scaling too linear", bw32, bw4)
+	}
+}
+
+func TestSequentialWriteFastEvenSustained(t *testing.T) {
+	k := sim.NewKernel()
+	d := NewSSD(k, "ssd", DefaultSSDParams(), rng.New(23))
+	d.SetSustained(true)
+	var bytes int64
+	k.Go("w", func(p *sim.Proc) {
+		off := int64(0)
+		for p.Now() < sim.Second {
+			d.Write(p, off, 128<<10)
+			off += 128 << 10
+			bytes += 128 << 10
+		}
+	})
+	k.Run(sim.Second)
+	bw := float64(bytes) / (1 << 20)
+	if bw < 200 {
+		t.Fatalf("sequential sustained write bw = %.0f MB/s, want >200 (streaming)", bw)
+	}
+}

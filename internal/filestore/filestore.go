@@ -1,0 +1,421 @@
+// Package filestore models Ceph's FileStore backend: object data in files
+// on a local filesystem (here: directly on a block device), object/PG
+// metadata in a key-value store, and xattrs. A write arrives as a
+// transaction — data write + PG log append + omap sets + attr sets — and
+// the per-transaction costs (syscalls, metadata reads, separate KV puts)
+// are exactly what the paper's light-weight transaction removes:
+//
+//   - redundant syscalls (open/stat repeated per op) are collapsed,
+//   - set-alloc-hint (fallocate) is dropped from the random-write path,
+//   - KV operations are batched into one WAL write,
+//   - a write-through metadata cache removes metadata *reads* from the
+//     write path, avoiding the SSD mixed read/write penalty.
+//
+// The object table is real bookkeeping: sizes, versions and (optionally)
+// per-extent stamps survive, so integration tests can verify that the
+// storage semantics are preserved by every optimization profile.
+package filestore
+
+import (
+	"repro/internal/cpumodel"
+	"repro/internal/device"
+	"repro/internal/kvstore"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Config selects the transaction-processing behaviour.
+type Config struct {
+	// SyscallCost is the CPU cost of one system call (mode switch + VFS).
+	SyscallCost sim.Time
+	// MinimizeSyscalls collapses the repeated open/stat/write/close
+	// sequences to one open+write per transaction (light-weight tx).
+	MinimizeSyscalls bool
+	// SetAllocHint issues the extra fallocate-style syscall per data write
+	// (community behaviour; useless for random workloads).
+	SetAllocHint bool
+	// BatchKVOps applies all of a transaction's KV mutations as one batch
+	// instead of one WAL write per mutation.
+	BatchKVOps bool
+	// WriteThroughMetaCache keeps object/PG metadata in a write-through
+	// cache so writes never read metadata from storage.
+	WriteThroughMetaCache bool
+	// MetaMissProb is the probability a write needs a metadata read from
+	// the device when there is no write-through cache. It reflects dataset
+	// size vs. page cache (high in the paper's sustained 80%-full tests).
+	MetaMissProb float64
+	// MetaReadSize is the device read size for one metadata miss.
+	MetaReadSize int64
+	// VerifyData records per-extent stamps so tests can check
+	// read-your-write semantics (costs host memory; off for big benches).
+	VerifyData bool
+	// ApplyWriteback buffers data writes in the page cache and flushes
+	// them from a background syncer (classic HDD-era filestore behaviour:
+	// the deep writeback queue is what lets the disk's elevator scheduler
+	// amortize seeks). When false, applies write through synchronously.
+	ApplyWriteback bool
+	// DirtyLimit bounds buffered dirty bytes; applies block beyond it.
+	DirtyLimit int64
+}
+
+// CommunityConfig returns FileStore behaviour matching stock Ceph 0.94.
+func CommunityConfig() Config {
+	return Config{
+		SyscallCost:           2 * sim.Microsecond,
+		MinimizeSyscalls:      false,
+		SetAllocHint:          true,
+		BatchKVOps:            false,
+		WriteThroughMetaCache: false,
+		MetaMissProb:          0.65,
+		MetaReadSize:          4096,
+	}
+}
+
+// LightConfig returns the paper's light-weight transaction behaviour.
+func LightConfig() Config {
+	return Config{
+		SyscallCost:           2 * sim.Microsecond,
+		MinimizeSyscalls:      true,
+		SetAllocHint:          false,
+		BatchKVOps:            true,
+		WriteThroughMetaCache: true,
+		MetaMissProb:          0.65, // irrelevant when cache is on
+		MetaReadSize:          4096,
+	}
+}
+
+// Stats aggregates filestore activity.
+type Stats struct {
+	Applies       stats.Counter
+	Reads         stats.Counter
+	Syscalls      stats.Counter
+	MetaReads     stats.Counter
+	MetaReadBytes stats.Counter
+	DataBytes     stats.Counter
+}
+
+// Transaction is one OSD write transaction.
+type Transaction struct {
+	OID string
+	Off int64
+	Len int64
+	// PGLogKey/PGLogValue is the PG log append entry.
+	PGLogKey   string
+	PGLogValue []byte
+	// OmapOps are the object's metadata KV mutations.
+	OmapOps []kvstore.Op
+	// XattrBytes is object attribute payload written via setattr.
+	XattrBytes int64
+	// Stamp verifies read-your-write when Config.VerifyData is on.
+	Stamp uint64
+}
+
+// object is the authoritative per-object record.
+type object struct {
+	size    int64
+	version uint64
+	base    int64 // device extent base assigned on first touch
+	stamps  map[int64]uint64
+}
+
+// extentSize is the device address space reserved per object (the RBD
+// object size); distinct objects land on distinct extents so the device
+// model sees the workload's true randomness.
+const extentSize = 4 << 20
+
+// FileStore is the object store backend.
+type FileStore struct {
+	k    *sim.Kernel
+	name string
+	dev  device.Device
+	db   *kvstore.DB
+	node *cpumodel.Node
+	cfg  Config
+	rnd  *rng.Rand
+
+	objects    map[string]*object
+	nextExtent int64
+
+	// Writeback state (ApplyWriteback mode).
+	dirty     int64
+	flushQ    *sim.Queue[flushReq]
+	dirtyMu   *sim.Mutex
+	dirtyCond *sim.Cond
+
+	stats Stats
+}
+
+type flushReq struct {
+	off, size int64
+}
+
+// New creates a filestore over dev with metadata in db.
+func New(k *sim.Kernel, name string, dev device.Device, db *kvstore.DB, node *cpumodel.Node, cfg Config, r *rng.Rand) *FileStore {
+	f := &FileStore{
+		k:       k,
+		name:    name,
+		dev:     dev,
+		db:      db,
+		node:    node,
+		cfg:     cfg,
+		rnd:     r.Fork(),
+		objects: make(map[string]*object),
+	}
+	if cfg.ApplyWriteback {
+		if f.cfg.DirtyLimit <= 0 {
+			f.cfg.DirtyLimit = 128 << 20
+		}
+		f.flushQ = sim.NewQueue[flushReq](k, name+".flushq", 0)
+		f.dirtyMu = sim.NewMutex(k, name+".dirty")
+		f.dirtyCond = sim.NewCond(f.dirtyMu)
+		// A pool of flushers keeps the device queue deep — that depth is
+		// what the HDD elevator (and flash parallelism) feeds on.
+		for i := 0; i < 16; i++ {
+			k.Go(name+".flusher", f.flusher)
+		}
+	}
+	return f
+}
+
+// flusher is the background writeback thread: it keeps the device queue
+// deep (letting an HDD elevator do its job) and returns dirty credit.
+func (f *FileStore) flusher(p *sim.Proc) {
+	for {
+		req, ok := f.flushQ.Pop(p)
+		if !ok {
+			return
+		}
+		f.dev.Write(p, req.off, req.size)
+		f.dirtyMu.Lock(p)
+		f.dirty -= req.size
+		f.dirtyCond.Broadcast()
+		f.dirtyMu.Unlock(p)
+	}
+}
+
+// DirtyBytes returns currently buffered writeback bytes.
+func (f *FileStore) DirtyBytes() int64 { return f.dirty }
+
+// Stats returns live statistics.
+func (f *FileStore) Stats() *Stats { return &f.stats }
+
+// Config returns the active configuration.
+func (f *FileStore) Config() Config { return f.cfg }
+
+// Device returns the backing data device.
+func (f *FileStore) Device() device.Device { return f.dev }
+
+// DB returns the metadata store.
+func (f *FileStore) DB() *kvstore.DB { return f.db }
+
+// syscalls charges n system calls of CPU.
+func (f *FileStore) syscalls(p *sim.Proc, n int) {
+	f.stats.Syscalls.Add(uint64(n))
+	f.node.Use(p, f.cfg.SyscallCost*sim.Time(n))
+}
+
+// writeSyscallCount returns the syscall count for one data write.
+func (f *FileStore) writeSyscallCount() int {
+	if f.cfg.MinimizeSyscalls {
+		// open + write (fd cache hit, stat folded into cached metadata)
+		n := 2
+		if f.cfg.SetAllocHint {
+			n++
+		}
+		return n
+	}
+	// open + stat + write + setxattr + omap touch + close
+	n := 6
+	if f.cfg.SetAllocHint {
+		n++ // set-alloc-hint (fallocate)
+	}
+	return n
+}
+
+// Apply performs a write transaction and blocks until it is durable on the
+// data device and the KV store.
+func (f *FileStore) Apply(p *sim.Proc, tx *Transaction) {
+	f.stats.Applies.Inc()
+	f.syscalls(p, f.writeSyscallCount())
+
+	// Metadata read (read-modify-write) on the write path unless the
+	// write-through cache holds it. Inode/omap blocks are scattered, so
+	// the read is random — it lands in the middle of the write stream and
+	// pays the SSD mixed read/write penalty.
+	if !f.cfg.WriteThroughMetaCache && f.rnd.Float64() < f.cfg.MetaMissProb {
+		f.dev.Read(p, f.rnd.Int63n(1<<34)&^4095, f.cfg.MetaReadSize)
+		f.stats.MetaReads.Inc()
+		f.stats.MetaReadBytes.Add(uint64(f.cfg.MetaReadSize))
+	}
+
+	// KV mutations: PG log entry + omap ops.
+	ops := make([]kvstore.Op, 0, len(tx.OmapOps)+1)
+	if tx.PGLogKey != "" {
+		ops = append(ops, kvstore.Op{Key: tx.PGLogKey, Value: tx.PGLogValue})
+	}
+	ops = append(ops, tx.OmapOps...)
+	if f.cfg.BatchKVOps {
+		f.db.Apply(p, ops)
+	} else {
+		for _, op := range ops {
+			f.db.Apply(p, []kvstore.Op{op})
+		}
+	}
+
+	// Bookkeeping (the authoritative object table).
+	obj := f.lookup(tx.OID)
+
+	// Data write, at the object's device extent.
+	if tx.Len > 0 {
+		devOff := obj.base + tx.Off%extentSize
+		if f.cfg.ApplyWriteback {
+			// Page-cache write: block only when past the dirty limit,
+			// then hand the extent to the background flusher.
+			f.dirtyMu.Lock(p)
+			for f.dirty >= f.cfg.DirtyLimit {
+				f.dirtyCond.Wait(p)
+			}
+			f.dirty += tx.Len
+			f.dirtyMu.Unlock(p)
+			f.flushQ.Push(p, flushReq{off: devOff, size: tx.Len})
+		} else {
+			f.dev.Write(p, devOff, tx.Len)
+		}
+		f.stats.DataBytes.Add(uint64(tx.Len))
+	}
+	if end := tx.Off + tx.Len; end > obj.size {
+		obj.size = end
+	}
+	obj.version++
+	if f.cfg.VerifyData && tx.Len > 0 {
+		if obj.stamps == nil {
+			obj.stamps = make(map[int64]uint64)
+		}
+		obj.stamps[tx.Off] = tx.Stamp
+	}
+}
+
+// lookup returns the object record, allocating its device extent on first
+// touch.
+func (f *FileStore) lookup(oid string) *object {
+	obj := f.objects[oid]
+	if obj == nil {
+		obj = &object{base: f.nextExtent}
+		f.nextExtent += extentSize
+		f.objects[oid] = obj
+	}
+	return obj
+}
+
+// Read fetches size bytes at off of oid. It returns the stamp recorded for
+// that exact extent (when VerifyData is on) and whether the object exists.
+func (f *FileStore) Read(p *sim.Proc, oid string, off, size int64) (stamp uint64, exists bool) {
+	f.stats.Reads.Inc()
+	if f.cfg.MinimizeSyscalls {
+		f.syscalls(p, 1)
+	} else {
+		f.syscalls(p, 3) // open + read + close
+	}
+	obj, ok := f.objects[oid]
+	// Without the write-through metadata cache, serving a read needs the
+	// object's metadata (inode, xattr, omap header) from storage first.
+	if !f.cfg.WriteThroughMetaCache && f.rnd.Float64() < f.cfg.MetaMissProb {
+		f.dev.Read(p, f.rnd.Int63n(1<<34)&^4095, f.cfg.MetaReadSize)
+		f.stats.MetaReads.Inc()
+		f.stats.MetaReadBytes.Add(uint64(f.cfg.MetaReadSize))
+	}
+	base := int64(0)
+	if ok {
+		base = obj.base
+	}
+	f.dev.Read(p, base+off%extentSize, size)
+	if !ok {
+		return 0, false
+	}
+	if f.cfg.VerifyData && obj.stamps != nil {
+		return obj.stamps[off], true
+	}
+	return 0, true
+}
+
+// ObjectSize returns the current size of oid (0 if absent).
+func (f *FileStore) ObjectSize(oid string) int64 {
+	if o, ok := f.objects[oid]; ok {
+		return o.size
+	}
+	return 0
+}
+
+// ObjectVersion returns the mutation count of oid.
+func (f *FileStore) ObjectVersion(oid string) uint64 {
+	if o, ok := f.objects[oid]; ok {
+		return o.version
+	}
+	return 0
+}
+
+// Objects returns the number of distinct objects stored.
+func (f *FileStore) Objects() int { return len(f.objects) }
+
+// ObjectNames lists every stored object (scrub support).
+func (f *FileStore) ObjectNames() []string {
+	names := make([]string, 0, len(f.objects))
+	for n := range f.objects {
+		names = append(names, n)
+	}
+	return names
+}
+
+// ObjectState is a recoverable snapshot of one object's metadata.
+type ObjectState struct {
+	Size    int64
+	Version uint64
+	Stamps  map[int64]uint64
+}
+
+// ExportObject snapshots an object's state for recovery. It charges no
+// I/O itself — the caller reads the object data separately.
+func (f *FileStore) ExportObject(oid string) (ObjectState, bool) {
+	o, ok := f.objects[oid]
+	if !ok {
+		return ObjectState{}, false
+	}
+	st := ObjectState{Size: o.size, Version: o.version}
+	if o.stamps != nil {
+		st.Stamps = make(map[int64]uint64, len(o.stamps))
+		for k, v := range o.stamps {
+			st.Stamps[k] = v
+		}
+	}
+	return st, true
+}
+
+// IngestObject installs a recovered object: the payload is written to the
+// local device (stream-class, it arrives as one large push) and the
+// object's metadata — including verification stamps — is replaced.
+func (f *FileStore) IngestObject(p *sim.Proc, oid string, st ObjectState) {
+	obj := f.lookup(oid)
+	size := st.Size
+	if size <= 0 {
+		size = 4096
+	}
+	// Recovery pushes land as large contiguous writes.
+	const chunk = 1 << 20
+	for off := int64(0); off < size; off += chunk {
+		n := size - off
+		if n > chunk {
+			n = chunk
+		}
+		f.dev.Write(p, obj.base+off%extentSize, n)
+	}
+	f.stats.DataBytes.Add(uint64(size))
+	obj.size = st.Size
+	obj.version = st.Version
+	if f.cfg.VerifyData && st.Stamps != nil {
+		obj.stamps = make(map[int64]uint64, len(st.Stamps))
+		for k, v := range st.Stamps {
+			obj.stamps[k] = v
+		}
+	}
+}

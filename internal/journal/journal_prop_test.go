@@ -1,0 +1,95 @@
+package journal
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+// TestJournalSpaceConservationProperty: for any interleaving of submits and
+// trims, reserved space never exceeds the ring and is fully returned once
+// every entry is trimmed.
+func TestJournalSpaceConservationProperty(t *testing.T) {
+	f := func(sizes []uint16, writers uint8) bool {
+		if len(sizes) > 64 {
+			sizes = sizes[:64]
+		}
+		if len(sizes) == 0 {
+			return true
+		}
+		nw := int(writers%4) + 1
+		k := sim.NewKernel()
+		nvram := device.NewNVRAM(k, "nv", device.DefaultNVRAMParams())
+		j := New(k, "j", nvram, 256<<10)
+
+		padded := sim.NewQueue[int64](k, "padded", 0)
+		minFree := j.Size()
+		sample := func() {
+			if f := j.Free(); f < minFree {
+				minFree = f
+			}
+		}
+		// Writers submit; a trimmer returns space with a delay.
+		per := (len(sizes) + nw - 1) / nw
+		for w := 0; w < nw; w++ {
+			lo := w * per
+			if lo > len(sizes) {
+				lo = len(sizes)
+			}
+			hi := lo + per
+			if hi > len(sizes) {
+				hi = len(sizes)
+			}
+			chunk := sizes[lo:hi]
+			k.Go("writer", func(p *sim.Proc) {
+				for _, s := range chunk {
+					n := j.Submit(p, int64(s)+1)
+					sample()
+					padded.Push(p, n)
+				}
+			})
+		}
+		k.Go("trimmer", func(p *sim.Proc) {
+			for i := 0; i < len(sizes); i++ {
+				n, ok := padded.Pop(p)
+				if !ok {
+					return
+				}
+				p.Sleep(50 * sim.Microsecond)
+				j.Trim(n)
+			}
+		})
+		k.Run(sim.Forever)
+		if minFree < 0 {
+			return false // over-reservation
+		}
+		return j.Free() == j.Size() // full trim restores the ring
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestJournalPaddedAlignedProperty: Submit always returns block-aligned
+// reservations covering the payload.
+func TestJournalPaddedAlignedProperty(t *testing.T) {
+	k := sim.NewKernel()
+	nvram := device.NewNVRAM(k, "nv", device.DefaultNVRAMParams())
+	j := New(k, "j", nvram, 64<<20)
+	ok := true
+	k.Go("w", func(p *sim.Proc) {
+		for _, n := range []int64{1, 4095, 4096, 4097, 100000, 1 << 20} {
+			padded := j.Submit(p, n)
+			if padded%BlockSize != 0 || padded < n {
+				ok = false
+			}
+			j.Trim(padded)
+		}
+	})
+	k.Run(sim.Forever)
+	if !ok {
+		t.Fatal("padding invariant violated")
+	}
+}

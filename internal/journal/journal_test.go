@@ -1,0 +1,144 @@
+package journal
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/sim"
+)
+
+func testJournal(k *sim.Kernel, size int64) *Journal {
+	nvram := device.NewNVRAM(k, "nvram", device.DefaultNVRAMParams())
+	return New(k, "j", nvram, size)
+}
+
+func TestSubmitPadsToBlock(t *testing.T) {
+	k := sim.NewKernel()
+	j := testJournal(k, 1<<20)
+	var padded int64
+	k.Go("w", func(p *sim.Proc) {
+		padded = j.Submit(p, 100)
+	})
+	k.Run(sim.Forever)
+	if padded != BlockSize {
+		t.Fatalf("padded = %d, want %d", padded, BlockSize)
+	}
+	if j.Free() != 1<<20-BlockSize {
+		t.Fatalf("free = %d", j.Free())
+	}
+}
+
+func TestSubmitExactBlockNotOverPadded(t *testing.T) {
+	k := sim.NewKernel()
+	j := testJournal(k, 1<<20)
+	var padded int64
+	k.Go("w", func(p *sim.Proc) {
+		padded = j.Submit(p, BlockSize)
+	})
+	k.Run(sim.Forever)
+	if padded != BlockSize {
+		t.Fatalf("padded = %d", padded)
+	}
+}
+
+func TestTrimReturnsSpace(t *testing.T) {
+	k := sim.NewKernel()
+	j := testJournal(k, 1<<20)
+	k.Go("w", func(p *sim.Proc) {
+		n := j.Submit(p, 8000)
+		j.Trim(n)
+	})
+	k.Run(sim.Forever)
+	if j.Free() != 1<<20 {
+		t.Fatalf("free = %d after trim", j.Free())
+	}
+}
+
+func TestFullRingBlocksUntilTrim(t *testing.T) {
+	k := sim.NewKernel()
+	j := testJournal(k, 4*BlockSize)
+	var thirdDone sim.Time
+	var sizes []int64
+	k.Go("writer", func(p *sim.Proc) {
+		sizes = append(sizes, j.Submit(p, BlockSize*2))
+		sizes = append(sizes, j.Submit(p, BlockSize*2))
+		// Ring now full; this blocks until trimmer frees space at 10ms.
+		sizes = append(sizes, j.Submit(p, BlockSize))
+		thirdDone = p.Now()
+	})
+	k.Go("trimmer", func(p *sim.Proc) {
+		p.Sleep(10 * sim.Millisecond)
+		j.Trim(2 * BlockSize)
+	})
+	k.Run(sim.Forever)
+	if thirdDone < 10*sim.Millisecond {
+		t.Fatalf("third submit completed at %v before trim", thirdDone)
+	}
+	if j.Stats().FullStalls.Value() != 1 {
+		t.Fatalf("full stalls = %d", j.Stats().FullStalls.Value())
+	}
+	if j.Stats().StallTime.Value() == 0 {
+		t.Fatal("stall time not recorded")
+	}
+}
+
+func TestOversizeEntryPanics(t *testing.T) {
+	k := sim.NewKernel()
+	j := testJournal(k, 4*BlockSize)
+	k.Go("w", func(p *sim.Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic for oversize entry")
+			}
+		}()
+		j.Submit(p, 5*BlockSize)
+	})
+	k.Run(sim.Forever)
+}
+
+func TestTinyJournalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	testJournal(sim.NewKernel(), 100)
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	k := sim.NewKernel()
+	j := testJournal(k, 1<<20)
+	k.Go("w", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			n := j.Submit(p, 4096)
+			j.Trim(n)
+		}
+	})
+	k.Run(sim.Forever)
+	if j.Stats().Writes.Value() != 10 {
+		t.Fatalf("writes = %d", j.Stats().Writes.Value())
+	}
+	if j.Stats().Bytes.Value() != 10*4096 {
+		t.Fatalf("bytes = %d", j.Stats().Bytes.Value())
+	}
+	if j.Size() != 1<<20 {
+		t.Fatal("size accessor wrong")
+	}
+}
+
+func TestJournalWriteIsFast(t *testing.T) {
+	// Journal on NVRAM must be far faster than an SSD data write — the
+	// premise of ack-on-journal-commit.
+	k := sim.NewKernel()
+	j := testJournal(k, 1<<20)
+	var lat sim.Time
+	k.Go("w", func(p *sim.Proc) {
+		t0 := p.Now()
+		j.Submit(p, 4096)
+		lat = p.Now() - t0
+	})
+	k.Run(sim.Forever)
+	if lat > 100*sim.Microsecond {
+		t.Fatalf("journal write took %v, want µs-class", lat)
+	}
+}

@@ -1,0 +1,317 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cpumodel"
+	"repro/internal/device"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+func testDB(k *sim.Kernel) *DB {
+	node := cpumodel.NewNode(k, "node", 8, cpumodel.JEMalloc)
+	ssd := device.NewSSD(k, "ssd", device.DefaultSSDParams(), rng.New(1))
+	return New(k, "db", ssd, node, DefaultParams())
+}
+
+// smallDB uses a tiny memtable so flush/compaction trigger quickly.
+func smallDB(k *sim.Kernel) *DB {
+	node := cpumodel.NewNode(k, "node", 8, cpumodel.JEMalloc)
+	ssd := device.NewSSD(k, "ssd", device.DefaultSSDParams(), rng.New(1))
+	p := DefaultParams()
+	p.MemtableSize = 4 << 10
+	return New(k, "db", ssd, node, p)
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	k := sim.NewKernel()
+	db := testDB(k)
+	k.Go("io", func(p *sim.Proc) {
+		db.Put(p, "alpha", []byte("one"))
+		db.Put(p, "beta", []byte("two"))
+		if v, ok := db.Get(p, "alpha"); !ok || string(v) != "one" {
+			t.Errorf("alpha = %q, %v", v, ok)
+		}
+		if v, ok := db.Get(p, "beta"); !ok || string(v) != "two" {
+			t.Errorf("beta = %q, %v", v, ok)
+		}
+		if _, ok := db.Get(p, "gamma"); ok {
+			t.Error("missing key found")
+		}
+	})
+	k.Run(sim.Forever)
+}
+
+func TestOverwriteReturnsNewest(t *testing.T) {
+	k := sim.NewKernel()
+	db := testDB(k)
+	k.Go("io", func(p *sim.Proc) {
+		for i := 0; i < 10; i++ {
+			db.Put(p, "k", []byte(fmt.Sprintf("v%d", i)))
+		}
+		if v, _ := db.Get(p, "k"); string(v) != "v9" {
+			t.Errorf("k = %q", v)
+		}
+	})
+	k.Run(sim.Forever)
+}
+
+func TestDeleteHidesKey(t *testing.T) {
+	k := sim.NewKernel()
+	db := testDB(k)
+	k.Go("io", func(p *sim.Proc) {
+		db.Put(p, "k", []byte("v"))
+		db.Delete(p, "k")
+		if _, ok := db.Get(p, "k"); ok {
+			t.Error("deleted key still visible")
+		}
+	})
+	k.Run(sim.Forever)
+}
+
+func TestGetAcrossFlushedTables(t *testing.T) {
+	k := sim.NewKernel()
+	db := smallDB(k)
+	k.Go("io", func(p *sim.Proc) {
+		for i := 0; i < 500; i++ {
+			db.Put(p, fmt.Sprintf("key%04d", i), []byte(fmt.Sprintf("val%04d", i)))
+		}
+		p.Sleep(100 * sim.Millisecond) // let flush/compaction settle
+		for i := 0; i < 500; i++ {
+			key := fmt.Sprintf("key%04d", i)
+			v, ok := db.Get(p, key)
+			if !ok || string(v) != fmt.Sprintf("val%04d", i) {
+				t.Errorf("%s = %q, %v", key, v, ok)
+				return
+			}
+		}
+	})
+	k.Run(sim.Forever)
+	if db.Stats().FlushBytes.Value() == 0 {
+		t.Fatal("no flush happened; memtable threshold not exercised")
+	}
+}
+
+func TestDeleteSurvivesCompaction(t *testing.T) {
+	k := sim.NewKernel()
+	db := smallDB(k)
+	k.Go("io", func(p *sim.Proc) {
+		db.Put(p, "victim", []byte("x"))
+		db.Delete(p, "victim")
+		// Force many flushes and compactions on top.
+		for i := 0; i < 2000; i++ {
+			db.Put(p, fmt.Sprintf("filler%05d", i), make([]byte, 64))
+		}
+		p.Sleep(200 * sim.Millisecond)
+		if _, ok := db.Get(p, "victim"); ok {
+			t.Error("tombstoned key resurrected by compaction")
+		}
+	})
+	k.Run(sim.Forever)
+	if db.Stats().Compactions.Value() == 0 {
+		t.Fatal("compaction never ran")
+	}
+}
+
+func TestModelEquivalenceProperty(t *testing.T) {
+	// The DB must agree with a plain map across random op sequences.
+	type opDesc struct {
+		Key    uint8
+		Del    bool
+		ValLen uint8
+	}
+	f := func(descs []opDesc) bool {
+		k := sim.NewKernel()
+		db := smallDB(k)
+		model := map[string]string{}
+		okAll := true
+		k.Go("io", func(p *sim.Proc) {
+			for i, d := range descs {
+				key := fmt.Sprintf("k%d", d.Key%32)
+				if d.Del {
+					db.Delete(p, key)
+					delete(model, key)
+				} else {
+					val := fmt.Sprintf("v%d-%d", i, d.ValLen)
+					db.Put(p, key, []byte(val))
+					model[key] = val
+				}
+			}
+			p.Sleep(100 * sim.Millisecond)
+			for key, want := range model {
+				v, ok := db.Get(p, key)
+				if !ok || string(v) != want {
+					okAll = false
+					return
+				}
+			}
+			for i := 0; i < 32; i++ {
+				key := fmt.Sprintf("k%d", i)
+				if _, inModel := model[key]; !inModel {
+					if _, ok := db.Get(p, key); ok {
+						okAll = false
+						return
+					}
+				}
+			}
+		})
+		k.Run(sim.Forever)
+		return okAll
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchCheaperThanSinglePuts(t *testing.T) {
+	// The light-weight transaction claim: batching N ops into one Apply
+	// must cost fewer WAL bytes and less time than N separate Puts.
+	run := func(batch bool) (walBytes uint64, elapsed sim.Time) {
+		k := sim.NewKernel()
+		db := testDB(k)
+		k.Go("io", func(p *sim.Proc) {
+			for i := 0; i < 200; i++ {
+				ops := make([]Op, 4)
+				for j := range ops {
+					ops[j] = Op{Key: fmt.Sprintf("k%d.%d", i, j), Value: make([]byte, 100)}
+				}
+				if batch {
+					db.Apply(p, ops)
+				} else {
+					for _, op := range ops {
+						db.Apply(p, []Op{op})
+					}
+				}
+			}
+		})
+		k.Run(sim.Forever)
+		return db.Stats().WALBytes.Value(), k.Now()
+	}
+	walSingle, timeSingle := run(false)
+	walBatch, timeBatch := run(true)
+	if walBatch >= walSingle {
+		t.Fatalf("batching did not reduce WAL bytes: %d vs %d", walBatch, walSingle)
+	}
+	if timeBatch >= timeSingle {
+		t.Fatalf("batching did not reduce time: %v vs %v", timeBatch, timeSingle)
+	}
+}
+
+func TestWALOverheadWorseForSmallEntries(t *testing.T) {
+	// Paper §3.4: for the same payload, small-block workloads make many
+	// more KV operations, so fixed per-operation overhead (WAL headers,
+	// entry framing) amplifies small writes far more than large ones.
+	walWA := func(valSize int) float64 {
+		k := sim.NewKernel()
+		db := testDB(k) // big memtable: isolate WAL overhead from flushes
+		k.Go("io", func(p *sim.Proc) {
+			total := 256 << 10 // same payload either way
+			n := total / valSize
+			for i := 0; i < n; i++ {
+				db.Put(p, fmt.Sprintf("key%06d", i), make([]byte, valSize))
+			}
+		})
+		k.Run(sim.Forever)
+		return float64(db.Stats().WALBytes.Value()) / float64(db.Stats().UserBytes.Value())
+	}
+	small := walWA(32)
+	large := walWA(4096)
+	if small <= 1.5*large {
+		t.Fatalf("WAL amplification small=%.2f should dwarf large=%.2f", small, large)
+	}
+}
+
+func TestCompactionAddsDeviceWrites(t *testing.T) {
+	// Total device writes (WAL + flush + compaction) exceed user payload
+	// once the LSM churns — the write amplification the paper measures.
+	k := sim.NewKernel()
+	db := smallDB(k)
+	k.Go("io", func(p *sim.Proc) {
+		for i := 0; i < 4000; i++ {
+			db.Put(p, fmt.Sprintf("key%06d", i), make([]byte, 64))
+		}
+		p.Sleep(500 * sim.Millisecond)
+	})
+	k.Run(sim.Forever)
+	if wa := db.Stats().WriteAmplification(); wa < 2.0 {
+		t.Fatalf("write amplification = %.2f, want > 2 under churn", wa)
+	}
+	if db.Stats().CompactionWriteBytes.Value() == 0 {
+		t.Fatal("compaction wrote nothing")
+	}
+}
+
+func TestWriteStallTriggers(t *testing.T) {
+	k := sim.NewKernel()
+	node := cpumodel.NewNode(k, "node", 8, cpumodel.JEMalloc)
+	// A deliberately slow device so compaction cannot keep up with the
+	// tiny memtable's flush rate.
+	sp := device.DefaultSSDParams()
+	sp.TransferBytesPerSec = 2 << 20
+	sp.WriteBaseSeq = 2 * sim.Millisecond
+	ssd := device.NewSSD(k, "ssd", sp, rng.New(1))
+	ssd.SetSustained(true)
+	p := DefaultParams()
+	p.MemtableSize = 2 << 10
+	p.L0CompactTrigger = 2
+	p.L0StallTrigger = 3
+	db := New(k, "db", ssd, node, p)
+	k.Go("io", func(pp *sim.Proc) {
+		// Large distinct values: L1 grows every cycle, so compaction time
+		// grows until it falls behind the flush rate and writers stall.
+		for i := 0; i < 800; i++ {
+			db.Put(pp, fmt.Sprintf("key%06d", i), make([]byte, 4096))
+		}
+	})
+	k.Run(sim.Forever)
+	if db.Stats().Stalls.Value() == 0 {
+		t.Fatal("no write stalls under compaction pressure")
+	}
+	if db.Stats().StallTime.Value() == 0 {
+		t.Fatal("stall time not accounted")
+	}
+}
+
+func TestEmptyApplyIsNoop(t *testing.T) {
+	k := sim.NewKernel()
+	db := testDB(k)
+	k.Go("io", func(p *sim.Proc) {
+		db.Apply(p, nil)
+	})
+	k.Run(sim.Forever)
+	if db.Stats().WALBytes.Value() != 0 {
+		t.Fatal("empty apply wrote WAL")
+	}
+}
+
+func TestBadParamsPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	k := sim.NewKernel()
+	node := cpumodel.NewNode(k, "node", 8, cpumodel.JEMalloc)
+	ssd := device.NewSSD(k, "ssd", device.DefaultSSDParams(), rng.New(1))
+	p := DefaultParams()
+	p.L0StallTrigger = p.L0CompactTrigger - 1
+	New(k, "db", ssd, node, p)
+}
+
+func TestStatsCounts(t *testing.T) {
+	k := sim.NewKernel()
+	db := testDB(k)
+	k.Go("io", func(p *sim.Proc) {
+		db.Put(p, "a", []byte("1"))
+		db.Delete(p, "b")
+		db.Get(p, "a")
+	})
+	k.Run(sim.Forever)
+	s := db.Stats()
+	if s.Puts.Value() != 1 || s.Deletes.Value() != 1 || s.Gets.Value() != 1 {
+		t.Fatalf("puts=%d deletes=%d gets=%d", s.Puts.Value(), s.Deletes.Value(), s.Gets.Value())
+	}
+}

@@ -1,0 +1,243 @@
+// Package netsim models the cluster network: endpoints with finite NIC
+// bandwidth, propagation latency, an optional Nagle penalty for small
+// frames, and a Ceph-SimpleMessenger-style receive path that charges CPU
+// per message on per-connection receiver threads.
+//
+// Two paper observations depend on this model: disabling TCP_NODELAY on
+// KRBD hurts small random I/O (§3.2), and the messenger's per-connection
+// threads burn enough CPU to cap random-read scale-out at 16 nodes (§4.5).
+package netsim
+
+import (
+	"repro/internal/cpumodel"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// MSS is the TCP segment payload size below which Nagle batching applies.
+const MSS = 1448
+
+// Params configures the fabric.
+type Params struct {
+	// Propagation is the one-way switch+stack latency.
+	Propagation sim.Time
+	// BytesPerSec is per-NIC bandwidth (10 GbE by default).
+	BytesPerSec int64
+	// NagleDelay is the extra latency suffered by a sub-MSS message on a
+	// connection without TCP_NODELAY (Nagle waiting on the delayed ACK of
+	// previous data).
+	NagleDelay sim.Time
+	// MsgCPU is the messenger CPU time charged per received message
+	// (SimpleMessenger dispatch: header parse, crc, throttle, dispatch).
+	MsgCPU sim.Time
+	// MsgAllocs is the number of small allocations per received message.
+	MsgAllocs int
+	// ConnCPUFactor scales per-message CPU with the receiving endpoint's
+	// connection count: effective = MsgCPU * (1 + factor*conns/100).
+	// SimpleMessenger runs two threads per connection; past a few hundred
+	// connections the context-switch and wakeup churn dominates — the
+	// paper's 16-node random-read ceiling (§4.5).
+	ConnCPUFactor float64
+}
+
+// DefaultParams returns 10 GbE datacenter parameters.
+func DefaultParams() Params {
+	return Params{
+		Propagation:   40 * sim.Microsecond,
+		BytesPerSec:   1150 << 20, // ~10 Gb/s payload
+		NagleDelay:    1500 * sim.Microsecond,
+		MsgCPU:        30 * sim.Microsecond,
+		MsgAllocs:     35,
+		ConnCPUFactor: 0.6,
+	}
+}
+
+// Network is the shared fabric.
+type Network struct {
+	K      *sim.Kernel
+	Params Params
+	// BytesSent counts all payload bytes placed on the wire.
+	BytesSent stats.Counter
+	// Msgs counts messages delivered.
+	Msgs stats.Counter
+}
+
+// New creates a network on kernel k.
+func New(k *sim.Kernel, params Params) *Network {
+	return &Network{K: k, Params: params}
+}
+
+// Message is one transfer on the fabric.
+type Message struct {
+	From    *Endpoint
+	Size    int64
+	Kind    int
+	Payload interface{}
+	SentAt  sim.Time
+}
+
+// Handler consumes delivered messages. It runs on the receiving
+// connection's messenger process; long work must be handed off to queues.
+type Handler func(p *sim.Proc, m *Message)
+
+// NIC is one physical network interface: the transmit and receive
+// directions each serialize at the configured bandwidth. Endpoints on the
+// same server must share one NIC, or the model hands a 4-OSD node 4x10GbE
+// for free.
+type NIC struct {
+	egress  *sim.Resource
+	ingress *sim.Resource
+}
+
+// NewNIC creates an interface on the fabric.
+func (n *Network) NewNIC(name string) *NIC {
+	return &NIC{
+		egress:  sim.NewResource(n.K, name+".tx", 1),
+		ingress: sim.NewResource(n.K, name+".rx", 1),
+	}
+}
+
+// Endpoint is one network identity (a client mount, an OSD, a monitor).
+type Endpoint struct {
+	name    string
+	net     *Network
+	node    *cpumodel.Node
+	nic     *NIC
+	noDelay bool
+	handler Handler
+	rx      map[*Endpoint]*rxConn
+	tx      map[*Endpoint]*txConn
+	// RxMsgs counts messages received by this endpoint.
+	RxMsgs stats.Counter
+}
+
+type rxConn struct {
+	q *sim.Queue[*Message]
+}
+
+// txConn is a connection's outbound queue, drained by a dedicated sender
+// process (SimpleMessenger's per-connection sender thread): callers of
+// Send never block on wire serialization.
+type txConn struct {
+	q *sim.Queue[*Message]
+}
+
+// NewEndpoint creates an endpoint with its own NIC; the receive path
+// charges CPU to node.
+func (n *Network) NewEndpoint(name string, node *cpumodel.Node, noDelay bool) *Endpoint {
+	return n.NewEndpointNIC(name, node, n.NewNIC(name), noDelay)
+}
+
+// NewEndpointNIC creates an endpoint sharing an existing NIC (e.g. the
+// four OSDs of one server node).
+func (n *Network) NewEndpointNIC(name string, node *cpumodel.Node, nic *NIC, noDelay bool) *Endpoint {
+	return &Endpoint{
+		name:    name,
+		net:     n,
+		node:    node,
+		nic:     nic,
+		noDelay: noDelay,
+		rx:      make(map[*Endpoint]*rxConn),
+		tx:      make(map[*Endpoint]*txConn),
+	}
+}
+
+// Name returns the endpoint name.
+func (e *Endpoint) Name() string { return e.name }
+
+// Node returns the CPU node that pays for this endpoint's messenger work.
+func (e *Endpoint) Node() *cpumodel.Node { return e.node }
+
+// SetNoDelay toggles TCP_NODELAY for messages *sent* by this endpoint.
+func (e *Endpoint) SetNoDelay(v bool) { e.noDelay = v }
+
+// NoDelay reports the TCP_NODELAY setting.
+func (e *Endpoint) NoDelay() bool { return e.noDelay }
+
+// SetHandler installs the message consumer. Must be set before any peer
+// sends to this endpoint.
+func (e *Endpoint) SetHandler(h Handler) { e.handler = h }
+
+// Send queues size payload bytes toward dst and returns immediately: the
+// connection's sender process serializes the transfer onto the NIC
+// (SimpleMessenger semantics — I/O threads never block on the wire).
+// Per-connection ordering is preserved. kind and payload travel with the
+// message.
+func (e *Endpoint) Send(p *sim.Proc, dst *Endpoint, size int64, kind int, payload interface{}) {
+	if size <= 0 {
+		size = 1
+	}
+	c, ok := e.tx[dst]
+	if !ok {
+		c = &txConn{q: sim.NewQueue[*Message](e.net.K, e.name+"->"+dst.name, 0)}
+		e.tx[dst] = c
+		e.net.K.Go("msgr.tx:"+e.name+"->"+dst.name, func(sp *sim.Proc) {
+			e.sendLoop(sp, c, dst)
+		})
+	}
+	m := &Message{From: e, Size: size, Kind: kind, Payload: payload, SentAt: p.Now()}
+	c.q.Push(p, m) // unbounded: never blocks the caller
+}
+
+// sendLoop is the per-connection sender thread.
+func (e *Endpoint) sendLoop(p *sim.Proc, c *txConn, dst *Endpoint) {
+	for {
+		m, ok := c.q.Pop(p)
+		if !ok {
+			return
+		}
+		tx := sim.Time(m.Size * int64(sim.Second) / e.net.Params.BytesPerSec)
+		e.nic.egress.Use(p, tx)
+		e.net.BytesSent.Add(uint64(m.Size))
+		delay := e.net.Params.Propagation
+		if !e.noDelay && m.Size < MSS {
+			delay += e.net.Params.NagleDelay
+		}
+		mm := m
+		e.net.K.After(delay, func() { dst.enqueue(e, mm) })
+	}
+}
+
+// enqueue runs in kernel context: append to the per-connection receive
+// queue, creating the connection's messenger process on first contact.
+func (e *Endpoint) enqueue(from *Endpoint, m *Message) {
+	if e.handler == nil {
+		panic("netsim: message delivered to endpoint without handler: " + e.name)
+	}
+	c, ok := e.rx[from]
+	if !ok {
+		c = &rxConn{q: sim.NewQueue[*Message](e.net.K, e.name+"<-"+from.name, 0)}
+		e.rx[from] = c
+		e.net.K.Go("msgr:"+e.name+"<-"+from.name, func(p *sim.Proc) {
+			e.receiveLoop(p, c)
+		})
+	}
+	c.q.TryPush(m) // unbounded queue: cannot fail
+}
+
+// receiveLoop is the per-connection messenger thread: it pays the
+// per-message CPU cost on the endpoint's node, then dispatches.
+func (e *Endpoint) receiveLoop(p *sim.Proc, c *rxConn) {
+	for {
+		m, ok := c.q.Pop(p)
+		if !ok {
+			return
+		}
+		// Receive-side NIC serialization: all endpoints sharing this NIC
+		// drain the wire at the configured bandwidth.
+		rxT := sim.Time(m.Size * int64(sim.Second) / e.net.Params.BytesPerSec)
+		e.nic.ingress.Use(p, rxT)
+		cpu := e.net.Params.MsgCPU
+		if f := e.net.Params.ConnCPUFactor; f > 0 {
+			cpu = sim.Time(float64(cpu) * (1 + f*float64(len(e.rx))/100))
+		}
+		e.node.UseWithAllocs(p, cpu, e.net.Params.MsgAllocs)
+		e.RxMsgs.Inc()
+		e.net.Msgs.Inc()
+		e.handler(p, m)
+	}
+}
+
+// Connections returns how many distinct peers have sent to this endpoint
+// (== live messenger receiver threads).
+func (e *Endpoint) Connections() int { return len(e.rx) }

@@ -1,0 +1,147 @@
+// Package osd implements the object storage daemon: Ceph's full write and
+// read paths — messenger → PG queue → OP_WQ workers under PG locks →
+// replication → journal → filestore → completion/ack processing — with
+// every one of the paper's optimizations behind a Config toggle so that
+// community Ceph 0.94 behaviour and AFCeph behaviour (and any ablation in
+// between) run on the same code.
+package osd
+
+import (
+	"repro/internal/core"
+	"repro/internal/filestore"
+	"repro/internal/oslog"
+	"repro/internal/sim"
+)
+
+// Costs collects the CPU/byte constants of the OSD pipeline. They are
+// calibrated so that the *relative* behaviour matches the paper's
+// measurements (§2.3's stage latencies under saturation, §4's throughput
+// ratios); absolute values approximate Ceph 0.94 on 2016-era Xeons.
+type Costs struct {
+	// OpSetupCPU: request decode, op context creation, PG resolution.
+	OpSetupCPU    sim.Time
+	OpSetupAllocs int
+	// PGLogBuildCPU: building the pg_log entry and object context under
+	// the PG lock (the §2.3 step-2 work).
+	PGLogBuildCPU    sim.Time
+	PGLogBuildAllocs int
+	// RepSendCPU: per-replica sub-op marshalling.
+	RepSendCPU sim.Time
+	// CommitCPU: community completion handling (journal commit, applied,
+	// replica ack) done by the finisher under the PG lock.
+	CommitCPU    sim.Time
+	CommitAllocs int
+	// CommitFastCPU: AFCeph minimal completion work under the OP lock.
+	CommitFastCPU sim.Time
+	// DeferredCPU: AFCeph deferred bookkeeping done in completion-worker
+	// batches under the PG lock.
+	DeferredCPU sim.Time
+	// AckCPU: building and sending the client ack.
+	AckCPU sim.Time
+	// ReadCPU: read-path CPU besides the filestore read.
+	ReadCPU sim.Time
+	// Message framing overheads in bytes.
+	JournalHeaderBytes int64
+	RepMsgOverhead     int64
+	AckBytes           int64
+	ReadReplyOverhead  int64
+	// PGLogValueBytes / OmapBytes: metadata payload per write transaction.
+	PGLogValueBytes int64
+	OmapBytes       int64
+}
+
+// DefaultCosts returns the calibrated pipeline constants.
+func DefaultCosts() Costs {
+	return Costs{
+		OpSetupCPU:         60 * sim.Microsecond,
+		OpSetupAllocs:      50,
+		PGLogBuildCPU:      80 * sim.Microsecond,
+		PGLogBuildAllocs:   60,
+		RepSendCPU:         12 * sim.Microsecond,
+		CommitCPU:          55 * sim.Microsecond,
+		CommitAllocs:       40,
+		CommitFastCPU:      4 * sim.Microsecond,
+		DeferredCPU:        12 * sim.Microsecond,
+		AckCPU:             25 * sim.Microsecond,
+		ReadCPU:            150 * sim.Microsecond,
+		JournalHeaderBytes: 300,
+		RepMsgOverhead:     250,
+		AckBytes:           100,
+		ReadReplyOverhead:  150,
+		PGLogValueBytes:    180,
+		OmapBytes:          300,
+	}
+}
+
+// Config selects the OSD's behaviour. CommunityConfig and AFCephConfig
+// return the two paper profiles; individual toggles support ablations.
+type Config struct {
+	ID int
+	// Worker pools.
+	NumOpWorkers        int
+	NumFilestoreWorkers int
+	// Throttles (§3.2).
+	Throttles core.ThrottleConfig
+	// JournalQueueCap bounds ops queued toward the journal writer.
+	JournalQueueCap int
+	// JournalSize is the NVRAM ring size in bytes (paper: 2 GB per OSD).
+	JournalSize int64
+	// Optimization toggles (§3.1).
+	OptPendingQueue     bool
+	OptCompletionWorker bool
+	OptFastAck          bool
+	OrderedAcks         bool
+	// Batching-based wakeup (§2.1): community Ceph batches queued ops to
+	// amortize HDD seeks; ops wait for WakeupBatch peers or WakeupTimeout.
+	WakeupBatch   int
+	WakeupTimeout sim.Time
+	// Logging (§3.3).
+	LogMode     oslog.Mode
+	LogParams   oslog.Params
+	LogPerStage int // debug entries emitted per pipeline stage
+	// Filestore / transaction behaviour (§3.4).
+	FStore filestore.Config
+	// TraceSample: record a stage trace for every Nth client write
+	// (0 disables tracing).
+	TraceSample int
+	Costs       Costs
+}
+
+// CommunityConfig returns stock Ceph 0.94 behaviour.
+func CommunityConfig(id int) Config {
+	return Config{
+		ID:                  id,
+		NumOpWorkers:        2, // osd_op_threads default
+		NumFilestoreWorkers: 2, // filestore_op_threads default
+		Throttles:           core.HDDThrottles(),
+		JournalQueueCap:     500,
+		JournalSize:         2 << 30,
+		OptPendingQueue:     false,
+		OptCompletionWorker: false,
+		OptFastAck:          false,
+		OrderedAcks:         false,
+		WakeupBatch:         4,
+		WakeupTimeout:       sim.Millisecond,
+		LogMode:             oslog.Sync,
+		LogParams:           oslog.CommunityParams(),
+		LogPerStage:         8,
+		FStore:              filestore.CommunityConfig(),
+		Costs:               DefaultCosts(),
+	}
+}
+
+// AFCephConfig returns the fully optimized profile.
+func AFCephConfig(id int) Config {
+	c := CommunityConfig(id)
+	c.Throttles = core.SSDThrottles()
+	c.NumFilestoreWorkers = 6 // flash-era thread tuning (part of §3.2)
+	c.OptPendingQueue = true
+	c.OptCompletionWorker = true
+	c.OptFastAck = true
+	c.WakeupBatch = 1
+	c.WakeupTimeout = 0
+	c.LogMode = oslog.Async
+	c.LogParams = oslog.AFCephParams()
+	c.FStore = filestore.LightConfig()
+	return c
+}

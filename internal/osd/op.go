@@ -1,0 +1,90 @@
+package osd
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/sim"
+)
+
+// Network message kinds used by the storage protocol.
+const (
+	MsgWrite     = iota // client -> primary OSD
+	MsgRead             // client -> primary OSD
+	MsgRepOp            // primary -> replica OSD
+	MsgRepCommit        // replica -> primary OSD
+	MsgReply            // OSD -> client (write ack / read reply)
+)
+
+// OpKind distinguishes client operations.
+type OpKind int
+
+// Client operation kinds.
+const (
+	OpWrite OpKind = iota
+	OpRead
+)
+
+// ClientOp is one client request and, at the primary, its completion state.
+type ClientOp struct {
+	Kind  OpKind
+	OID   string
+	PG    uint32
+	Off   int64
+	Len   int64
+	Stamp uint64
+	// Client is the reply-to endpoint; ID correlates the reply.
+	Client *netsim.Endpoint
+	ID     uint64
+
+	// Primary-side completion state (guarded by the PG lock in community
+	// mode, by DES atomicity plus the OP-level discipline in AFCeph mode).
+	waitCommits int
+	localCommit bool
+	acked       bool
+	seq         uint64
+	received    sim.Time
+	tr          *Trace
+}
+
+// Reply is the payload of a MsgReply message.
+type Reply struct {
+	Op *ClientOp
+	// Stamp echoes the filestore extent stamp for read verification.
+	Stamp  uint64
+	Exists bool
+}
+
+// repOp is a replication sub-op sent to a replica OSD.
+type repOp struct {
+	oid     string
+	pg      uint32
+	off     int64
+	length  int64
+	stamp   uint64
+	seq     uint64 // primary-assigned PG log sequence
+	parent  *ClientOp
+	primary *netsim.Endpoint
+}
+
+// repCommit notifies the primary that a replica journaled the sub-op.
+type repCommit struct {
+	parent *ClientOp
+}
+
+// workItem is a PG-queue entry (exactly one field set).
+type workItem struct {
+	cop *ClientOp
+	rop *repOp
+	rc  *repCommit
+}
+
+// jEntry is a journal-submission record carrying the transaction that must
+// subsequently be applied to the filestore.
+type jEntry struct {
+	pg     uint32
+	seq    uint64
+	bytes  int64
+	padded int64
+	enq    sim.Time
+	cop    *ClientOp // set at the primary
+	rop    *repOp    // set at a replica
+}

@@ -1,0 +1,562 @@
+package osd
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/cpumodel"
+	"repro/internal/device"
+	"repro/internal/filestore"
+	"repro/internal/journal"
+	"repro/internal/kvstore"
+	"repro/internal/netsim"
+	"repro/internal/oslog"
+	"repro/internal/rng"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Log call sites (for the oslog cache).
+const (
+	siteOpEnter = iota
+	siteSubmit
+	siteCommit
+	siteApplied
+	siteAck
+	siteRead
+)
+
+// finisher event kinds (community completion path).
+const (
+	finCommit = iota
+	finApplied
+)
+
+type finEvent struct {
+	kind int
+	e    *jEntry
+}
+
+type stagedItem struct {
+	it workItem
+	at sim.Time
+}
+
+// Metrics aggregates OSD-level operation counts.
+type Metrics struct {
+	WriteOps stats.Counter
+	ReadOps  stats.Counter
+	RepOps   stats.Counter
+	AcksSent stats.Counter
+}
+
+// OSD is one object storage daemon.
+type OSD struct {
+	k    *sim.Kernel
+	cfg  Config
+	node *cpumodel.Node
+	ep   *netsim.Endpoint // public network (clients)
+	cep  *netsim.Endpoint // cluster network (replication); may equal ep
+
+	fs     *filestore.FileStore
+	jrnl   *journal.Journal
+	logger *oslog.Logger
+
+	locks *core.ShardLocks
+	disp  *core.Dispatcher[workItem]
+	compw *core.CompletionWorker
+
+	msgCap     *sim.Semaphore
+	fsThrottle *sim.Semaphore
+
+	journalQ  *sim.Queue[*jEntry]
+	fsQ       *sim.Queue[*jEntry]
+	finisherQ *sim.Queue[finEvent]
+	stageQ    *sim.Queue[stagedItem]
+
+	placer func(pg uint32) []*netsim.Endpoint
+
+	pgSeq   map[uint32]uint64
+	pglogs  map[uint32]*pgLog
+	ackNext map[uint32]uint64
+	ackHeld map[uint32]map[uint64]*ClientOp
+	logSeq  uint64
+	opCount uint64
+
+	traces  *TraceCollector
+	metrics Metrics
+	// JournalQDelay records time entries wait between journal submission
+	// and the journal writer picking them up.
+	JournalQDelay *stats.Histogram
+}
+
+// New builds an OSD on the given node/endpoint with its data device and
+// journal device, and spawns its worker processes. The caller must install
+// a placement function with SetPlacer before any write arrives.
+func New(k *sim.Kernel, cfg Config, node *cpumodel.Node, ep *netsim.Endpoint,
+	dataDev device.Device, journalDev device.Device, r *rng.Rand) *OSD {
+	return NewSplit(k, cfg, node, ep, ep, dataDev, journalDev, r)
+}
+
+// NewSplit builds an OSD with separate public (client) and cluster
+// (replication) endpoints — the paper's testbed separates the two 10 GbE
+// networks for Ceph (Figure 8), so sequential client traffic and replica
+// traffic do not share a wire.
+func NewSplit(k *sim.Kernel, cfg Config, node *cpumodel.Node, ep, cep *netsim.Endpoint,
+	dataDev device.Device, journalDev device.Device, r *rng.Rand) *OSD {
+
+	name := fmt.Sprintf("osd%d", cfg.ID)
+	o := &OSD{
+		k:             k,
+		cfg:           cfg,
+		node:          node,
+		ep:            ep,
+		cep:           cep,
+		pgSeq:         make(map[uint32]uint64),
+		pglogs:        make(map[uint32]*pgLog),
+		ackNext:       make(map[uint32]uint64),
+		ackHeld:       make(map[uint32]map[uint64]*ClientOp),
+		traces:        NewTraceCollector(),
+		JournalQDelay: stats.NewHistogram(),
+	}
+	db := kvstore.New(k, name+".kv", dataDev, node, kvstore.DefaultParams())
+	o.fs = filestore.New(k, name+".fs", dataDev, db, node, cfg.FStore, r)
+	o.jrnl = journal.New(k, name+".journal", journalDev, cfg.JournalSize)
+	o.logger = oslog.New(k, name, node, cfg.LogMode, cfg.LogParams)
+
+	o.locks = core.NewShardLocks(k, name)
+	o.disp = core.NewDispatcher[workItem](k, name+".opwq", o.locks, 0, cfg.OptPendingQueue)
+	o.msgCap = sim.NewSemaphore(k, name+".msgcap", cfg.Throttles.OSDClientMessageCap)
+	o.fsThrottle = sim.NewSemaphore(k, name+".fsq", cfg.Throttles.FilestoreQueueMaxOps)
+	o.journalQ = sim.NewQueue[*jEntry](k, name+".jq", cfg.JournalQueueCap)
+	o.fsQ = sim.NewQueue[*jEntry](k, name+".fsq", 0)
+
+	ep.SetHandler(o.handleMessage)
+	if cep != ep {
+		cep.SetHandler(o.handleMessage)
+	}
+
+	for i := 0; i < cfg.NumOpWorkers; i++ {
+		k.Go(fmt.Sprintf("%s.opwq%d", name, i), func(p *sim.Proc) {
+			o.disp.RunWorker(p, o.processItem)
+		})
+	}
+	k.Go(name+".journalw", o.journalWriter)
+	for i := 0; i < cfg.NumFilestoreWorkers; i++ {
+		k.Go(fmt.Sprintf("%s.fsw%d", name, i), o.filestoreWorker)
+	}
+	if cfg.OptCompletionWorker {
+		o.compw = core.NewCompletionWorker(k, name+".comp", o.locks, 64)
+		k.Go(name+".comp", o.compw.Run)
+	} else {
+		o.finisherQ = sim.NewQueue[finEvent](k, name+".finq", 0)
+		k.Go(name+".finisher", o.finisher)
+	}
+	if cfg.WakeupBatch > 1 {
+		o.stageQ = sim.NewQueue[stagedItem](k, name+".stage", 0)
+		k.Go(name+".batcher", o.batchFlusher)
+	}
+	return o
+}
+
+// SetPlacer installs the function mapping a PG to its replica endpoints
+// (excluding this OSD, which is the primary for PGs it receives writes on).
+func (o *OSD) SetPlacer(f func(pg uint32) []*netsim.Endpoint) { o.placer = f }
+
+// Endpoint returns the OSD's public (client-facing) network identity.
+func (o *OSD) Endpoint() *netsim.Endpoint { return o.ep }
+
+// ClusterEndpoint returns the replication-network identity (equals
+// Endpoint when the networks are not separated).
+func (o *OSD) ClusterEndpoint() *netsim.Endpoint { return o.cep }
+
+// FileStore exposes the backend (for integration-test verification).
+func (o *OSD) FileStore() *filestore.FileStore { return o.fs }
+
+// Journal exposes the write-ahead journal.
+func (o *OSD) Journal() *journal.Journal { return o.jrnl }
+
+// Logger exposes the debug-log subsystem.
+func (o *OSD) Logger() *oslog.Logger { return o.logger }
+
+// Locks exposes the PG lock table (contention stats).
+func (o *OSD) Locks() *core.ShardLocks { return o.locks }
+
+// Dispatcher exposes the OP_WQ.
+func (o *OSD) Dispatcher() *core.Dispatcher[workItem] { return o.disp }
+
+// Metrics returns operation counters.
+func (o *OSD) Metrics() *Metrics { return &o.metrics }
+
+// Traces returns the stage-trace collector.
+func (o *OSD) Traces() *TraceCollector { return o.traces }
+
+// FsThrottle exposes the filestore throttle (for fluctuation analysis).
+func (o *OSD) FsThrottle() *sim.Semaphore { return o.fsThrottle }
+
+// MsgCap exposes the client-message throttle.
+func (o *OSD) MsgCap() *sim.Semaphore { return o.msgCap }
+
+// Config returns the active configuration.
+func (o *OSD) Config() Config { return o.cfg }
+
+// handleMessage is the messenger dispatch: it runs on the per-connection
+// receiver process.
+func (o *OSD) handleMessage(p *sim.Proc, m *netsim.Message) {
+	switch m.Kind {
+	case MsgWrite, MsgRead:
+		cop := m.Payload.(*ClientOp)
+		cop.received = p.Now()
+		if o.cfg.TraceSample > 0 && cop.Kind == OpWrite {
+			o.opCount++
+			if o.opCount%uint64(o.cfg.TraceSample) == 0 {
+				cop.tr = &Trace{}
+				cop.tr.stamp(StageReceived, p.Now())
+			}
+		}
+		// osd_client_message_cap: blocks this connection when the OSD has
+		// too many client messages in flight.
+		o.msgCap.Acquire(p, 1)
+		o.enqueue(p, workItem{cop: cop})
+	case MsgRepOp:
+		rop := m.Payload.(*repOp)
+		rop.parent.tr.stamp(StageRepReceived, p.Now())
+		o.enqueue(p, workItem{rop: rop})
+	case MsgRepCommit:
+		rc := m.Payload.(*repCommit)
+		if o.cfg.OptFastAck {
+			// §3.1: process the ack right away in messenger context
+			// instead of pushing it through the PG queue.
+			o.node.Use(p, o.cfg.Costs.CommitFastCPU)
+			o.commitArrived(p, rc.parent, true)
+		} else {
+			// Community: acks share the data path and its PG locking.
+			o.enqueue(p, workItem{rc: rc})
+		}
+	default:
+		panic("osd: unknown message kind")
+	}
+}
+
+// enqueue routes an item into the OP_WQ, via the batching stage when the
+// community wakeup-batch behaviour is configured.
+func (o *OSD) enqueue(p *sim.Proc, it workItem) {
+	if o.stageQ != nil {
+		o.stageQ.Push(p, stagedItem{it: it, at: p.Now()})
+		return
+	}
+	o.disp.Submit(p, int(o.itemPG(it)), it)
+}
+
+func (o *OSD) itemPG(it workItem) uint32 {
+	switch {
+	case it.cop != nil:
+		return it.cop.PG
+	case it.rop != nil:
+		return it.rop.pg
+	case it.rc != nil:
+		return it.rc.parent.PG
+	}
+	panic("osd: empty work item")
+}
+
+// batchFlusher implements the HDD-era batching wakeup: ops wait until
+// WakeupBatch peers have queued or the oldest has waited WakeupTimeout.
+func (o *OSD) batchFlusher(p *sim.Proc) {
+	const poll = 200 * sim.Microsecond
+	for {
+		first, ok := o.stageQ.Pop(p)
+		if !ok {
+			return
+		}
+		batch := []stagedItem{first}
+		deadline := first.at + o.cfg.WakeupTimeout
+		for len(batch) < o.cfg.WakeupBatch {
+			if v, ok := o.stageQ.TryPop(); ok {
+				batch = append(batch, v)
+				continue
+			}
+			if p.Now() >= deadline {
+				break
+			}
+			d := deadline - p.Now()
+			if d > poll {
+				d = poll
+			}
+			p.Sleep(d)
+		}
+		for _, s := range batch {
+			o.disp.Submit(p, int(o.itemPG(s.it)), s.it)
+		}
+	}
+}
+
+// processItem runs in an OP_WQ worker with the PG lock held.
+func (o *OSD) processItem(p *sim.Proc, shard int, it workItem) {
+	switch {
+	case it.cop != nil && it.cop.Kind == OpWrite:
+		o.processWrite(p, it.cop)
+	case it.cop != nil:
+		o.processRead(p, it.cop)
+	case it.rop != nil:
+		o.processRepOp(p, it.rop)
+	case it.rc != nil:
+		// Community ack processing: full completion cost under the PG lock.
+		o.node.UseWithAllocs(p, o.cfg.Costs.CommitCPU, o.cfg.Costs.CommitAllocs)
+		o.logger.Log(p, siteCommit, o.cfg.LogPerStage)
+		o.commitArrived(p, it.rc.parent, true)
+	}
+}
+
+// processWrite is the primary write path, steps (1)-(3) of Figure 2(b).
+func (o *OSD) processWrite(p *sim.Proc, op *ClientOp) {
+	op.tr.stamp(StageDequeued, p.Now())
+	o.metrics.WriteOps.Inc()
+	o.logger.Log(p, siteOpEnter, o.cfg.LogPerStage)
+	c := &o.cfg.Costs
+	o.node.UseWithAllocs(p, c.OpSetupCPU, c.OpSetupAllocs)
+	o.node.UseWithAllocs(p, c.PGLogBuildCPU, c.PGLogBuildAllocs)
+	o.pgSeq[op.PG]++
+	op.seq = o.pgSeq[op.PG]
+	o.appendPGLog(op.PG, PGLogEntry{Seq: op.seq, OID: op.OID, Stamp: op.Stamp})
+
+	// Replication sub-ops (splay: client acked only after all journals).
+	reps := o.placer(op.PG)
+	op.waitCommits = len(reps)
+	for _, r := range reps {
+		o.node.Use(p, c.RepSendCPU)
+		o.cep.Send(p, r, op.Len+c.RepMsgOverhead, MsgRepOp, &repOp{
+			oid: op.OID, pg: op.PG, off: op.Off, length: op.Len,
+			stamp: op.Stamp, seq: op.seq, parent: op, primary: o.cep,
+		})
+	}
+	o.logger.Log(p, siteSubmit, o.cfg.LogPerStage)
+
+	// filestore_queue_max_ops: a token is held from journal submission
+	// until the filestore has applied the transaction. With the HDD-sized
+	// default this acquire blocks *while the PG lock is held* — the §2.4
+	// backup the paper observed.
+	o.fsThrottle.Acquire(p, 1)
+	op.tr.stamp(StageSubmitted, p.Now())
+	o.journalQ.Push(p, &jEntry{pg: op.PG, seq: op.seq, bytes: op.Len + c.JournalHeaderBytes, enq: p.Now(), cop: op})
+}
+
+// processRead services a read on the primary under the PG lock.
+func (o *OSD) processRead(p *sim.Proc, op *ClientOp) {
+	o.metrics.ReadOps.Inc()
+	c := &o.cfg.Costs
+	o.logger.Log(p, siteRead, o.cfg.LogPerStage)
+	o.node.UseWithAllocs(p, c.OpSetupCPU, c.OpSetupAllocs)
+	o.node.Use(p, c.ReadCPU)
+	st, exists := o.fs.Read(p, op.OID, op.Off, op.Len)
+	o.logger.Log(p, siteAck, o.cfg.LogPerStage)
+	o.ep.Send(p, op.Client, op.Len+c.ReadReplyOverhead, MsgReply,
+		&Reply{Op: op, Stamp: st, Exists: exists})
+	o.msgCap.Release(1)
+}
+
+// processRepOp is the replica write path.
+func (o *OSD) processRepOp(p *sim.Proc, rop *repOp) {
+	o.metrics.RepOps.Inc()
+	c := &o.cfg.Costs
+	o.logger.Log(p, siteOpEnter, o.cfg.LogPerStage)
+	o.node.UseWithAllocs(p, c.OpSetupCPU, c.OpSetupAllocs)
+	o.node.UseWithAllocs(p, c.PGLogBuildCPU, c.PGLogBuildAllocs)
+	// Track the primary-assigned sequence so this OSD can continue the
+	// numbering seamlessly if it ever becomes the acting primary.
+	if rop.seq > o.pgSeq[rop.pg] {
+		o.pgSeq[rop.pg] = rop.seq
+	}
+	o.appendPGLog(rop.pg, PGLogEntry{Seq: rop.seq, OID: rop.oid, Stamp: rop.stamp})
+	o.fsThrottle.Acquire(p, 1)
+	o.journalQ.Push(p, &jEntry{pg: rop.pg, seq: rop.seq, bytes: rop.length + c.JournalHeaderBytes, enq: p.Now(), rop: rop})
+}
+
+// journalWriter drains the journal queue onto the journal device and
+// dispatches commit completions.
+func (o *OSD) journalWriter(p *sim.Proc) {
+	c := &o.cfg.Costs
+	for {
+		e, ok := o.journalQ.Pop(p)
+		if !ok {
+			return
+		}
+		o.JournalQDelay.Record(int64(p.Now() - e.enq))
+		e.padded = o.jrnl.Submit(p, e.bytes) // blocks while the ring is full
+		if e.cop != nil {
+			e.cop.tr.stamp(StageJournalWritten, p.Now())
+		}
+		if e.rop != nil {
+			e.rop.parent.tr.stamp(StageRepJournaled, p.Now())
+		}
+		if o.cfg.OptCompletionWorker {
+			// Minimal work under the OP lock; PG-lock bookkeeping deferred
+			// to the batching completion worker (§3.1, Fig. 6).
+			o.node.Use(p, c.CommitFastCPU)
+			if e.cop != nil {
+				o.commitArrived(p, e.cop, false)
+			}
+			if e.rop != nil {
+				o.sendRepCommit(p, e.rop)
+			}
+			pg := e.pg
+			o.compw.Defer(p, core.Completion{Shard: int(pg), Fn: func(pp *sim.Proc) {
+				o.node.Use(pp, c.DeferredCPU)
+				o.logger.Log(pp, siteCommit, o.cfg.LogPerStage)
+			}})
+		} else {
+			o.finisherQ.Push(p, finEvent{kind: finCommit, e: e})
+		}
+		// Write-ahead order: filestore apply follows the journal write.
+		o.fsQ.Push(p, e)
+	}
+}
+
+// finisher is the community single completion thread: every journal commit
+// and filestore-applied event takes the PG lock here, one at a time.
+func (o *OSD) finisher(p *sim.Proc) {
+	c := &o.cfg.Costs
+	for {
+		ev, ok := o.finisherQ.Pop(p)
+		if !ok {
+			return
+		}
+		lock := o.locks.Get(int(ev.e.pg))
+		lock.Lock(p)
+		o.node.UseWithAllocs(p, c.CommitCPU, c.CommitAllocs)
+		switch ev.kind {
+		case finCommit:
+			o.logger.Log(p, siteCommit, o.cfg.LogPerStage)
+			if ev.e.cop != nil {
+				o.commitArrived(p, ev.e.cop, false)
+			}
+			if ev.e.rop != nil {
+				o.sendRepCommit(p, ev.e.rop)
+			}
+		case finApplied:
+			o.logger.Log(p, siteApplied, o.cfg.LogPerStage)
+		}
+		lock.Unlock(p)
+	}
+}
+
+func (o *OSD) sendRepCommit(p *sim.Proc, rop *repOp) {
+	o.cep.Send(p, rop.primary, 150, MsgRepCommit, &repCommit{parent: rop.parent})
+}
+
+// filestoreWorker applies journaled transactions to the backend, trims the
+// journal and returns the throttle token.
+func (o *OSD) filestoreWorker(p *sim.Proc) {
+	c := &o.cfg.Costs
+	for {
+		e, ok := o.fsQ.Pop(p)
+		if !ok {
+			return
+		}
+		tx := o.buildTx(e)
+		o.fs.Apply(p, tx)
+		o.markApplied(e.pg, e.seq)
+		o.jrnl.Trim(e.padded)
+		o.fsThrottle.Release(1)
+		if o.cfg.OptCompletionWorker {
+			pg := e.pg
+			o.compw.Defer(p, core.Completion{Shard: int(pg), Fn: func(pp *sim.Proc) {
+				o.node.Use(pp, c.DeferredCPU)
+				o.logger.Log(pp, siteApplied, o.cfg.LogPerStage)
+			}})
+		} else {
+			o.finisherQ.Push(p, finEvent{kind: finApplied, e: e})
+		}
+	}
+}
+
+// buildTx converts a journal entry into a filestore transaction.
+func (o *OSD) buildTx(e *jEntry) *filestore.Transaction {
+	c := &o.cfg.Costs
+	o.logSeq++
+	var oid string
+	var off, length int64
+	var stamp uint64
+	if e.cop != nil {
+		oid, off, length, stamp = e.cop.OID, e.cop.Off, e.cop.Len, e.cop.Stamp
+	} else {
+		oid, off, length, stamp = e.rop.oid, e.rop.off, e.rop.length, e.rop.stamp
+	}
+	return &filestore.Transaction{
+		OID:        oid,
+		Off:        off,
+		Len:        length,
+		PGLogKey:   fmt.Sprintf("pglog.%d.%d", e.pg, o.logSeq),
+		PGLogValue: make([]byte, c.PGLogValueBytes),
+		OmapOps: []kvstore.Op{
+			{Key: fmt.Sprintf("omap.%s.info", oid), Value: make([]byte, c.OmapBytes)},
+		},
+		XattrBytes: 250,
+		Stamp:      stamp,
+	}
+}
+
+// commitArrived records a local or replica journal commit for op and sends
+// the client ack when the commit set is complete. It is called with
+// whatever locking discipline the active profile uses (PG lock in
+// community mode; messenger/journal context in fast-ack mode).
+func (o *OSD) commitArrived(p *sim.Proc, op *ClientOp, fromReplica bool) {
+	if fromReplica {
+		op.waitCommits--
+		if op.waitCommits == 0 {
+			op.tr.stamp(StageReplicaCommit, p.Now())
+		}
+	} else {
+		op.localCommit = true
+		op.tr.stamp(StageLocalCommit, p.Now())
+	}
+	if op.localCommit && op.waitCommits <= 0 && !op.acked {
+		o.readyAck(p, op)
+	}
+}
+
+// readyAck sends the ack, honouring per-PG ordering when OrderedAcks is on
+// (the §3.1 option for clients that require in-order completion).
+func (o *OSD) readyAck(p *sim.Proc, op *ClientOp) {
+	if !o.cfg.OrderedAcks {
+		o.sendAck(p, op)
+		return
+	}
+	held := o.ackHeld[op.PG]
+	if held == nil {
+		held = make(map[uint64]*ClientOp)
+		o.ackHeld[op.PG] = held
+	}
+	held[op.seq] = op
+	next := o.ackNext[op.PG]
+	if next == 0 {
+		next = 1
+	}
+	for {
+		ready, ok := held[next]
+		if !ok {
+			break
+		}
+		delete(held, next)
+		o.sendAck(p, ready)
+		next++
+	}
+	o.ackNext[op.PG] = next
+}
+
+func (o *OSD) sendAck(p *sim.Proc, op *ClientOp) {
+	if op.acked {
+		return
+	}
+	op.acked = true
+	c := &o.cfg.Costs
+	o.node.Use(p, c.AckCPU)
+	o.logger.Log(p, siteAck, o.cfg.LogPerStage)
+	o.ep.Send(p, op.Client, c.AckBytes, MsgReply, &Reply{Op: op})
+	o.msgCap.Release(1)
+	op.tr.stamp(StageAcked, p.Now())
+	if op.tr != nil {
+		o.traces.Add(op.tr)
+	}
+	o.metrics.AcksSent.Inc()
+}

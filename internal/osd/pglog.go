@@ -1,0 +1,155 @@
+package osd
+
+// The in-memory PG log. The paper's §3.1 keeps Ceph's PG lock scheme
+// precisely because the PG log underpins recovery: "PG log is used to
+// recover PG metadata ... it should be written sequentially in order to do
+// rollback to the previous state." This file maintains that log for every
+// PG an OSD hosts — entries are appended under the PG-ordering discipline
+// (dispatcher worker or completion path) with primary-assigned sequence
+// numbers — and exposes the invariant checks the optimization profiles
+// must preserve: per-PG sequence numbers strictly increase, and trims only
+// remove applied-and-durable prefixes.
+
+// PGLogEntry records one mutation of a placement group.
+type PGLogEntry struct {
+	Seq   uint64 // primary-assigned, strictly increasing per PG
+	OID   string
+	Stamp uint64
+}
+
+// pgLog is one PG's log with its applied (durable in filestore) horizon.
+type pgLog struct {
+	entries    []PGLogEntry
+	appliedSeq uint64
+	trimmedTo  uint64
+}
+
+// pgLogKeep is how many applied entries remain after a trim (Ceph keeps a
+// bounded tail for peer recovery).
+const pgLogKeep = 100
+
+// appendPGLog records a mutation; called with per-PG ordering guaranteed
+// by the caller (dispatcher worker under the PG lock).
+func (o *OSD) appendPGLog(pg uint32, e PGLogEntry) {
+	l := o.pglog(pg)
+	l.entries = append(l.entries, e)
+}
+
+// markApplied advances the applied horizon and trims the log prefix,
+// keeping pgLogKeep applied entries for recovery.
+func (o *OSD) markApplied(pg uint32, seq uint64) {
+	l := o.pglog(pg)
+	if seq > l.appliedSeq {
+		l.appliedSeq = seq
+	}
+	// Trim entries below the applied horizon minus the retained tail.
+	if l.appliedSeq <= pgLogKeep {
+		return
+	}
+	horizon := l.appliedSeq - pgLogKeep
+	cut := 0
+	for cut < len(l.entries) && l.entries[cut].Seq <= horizon {
+		cut++
+	}
+	if cut > 0 {
+		l.trimmedTo = l.entries[cut-1].Seq
+		l.entries = append([]PGLogEntry(nil), l.entries[cut:]...)
+	}
+}
+
+func (o *OSD) pglog(pg uint32) *pgLog {
+	l, ok := o.pglogs[pg]
+	if !ok {
+		l = &pgLog{}
+		o.pglogs[pg] = l
+	}
+	return l
+}
+
+// PGLog returns a copy of the retained log for a PG.
+func (o *OSD) PGLog(pg uint32) []PGLogEntry {
+	l, ok := o.pglogs[pg]
+	if !ok {
+		return nil
+	}
+	return append([]PGLogEntry(nil), l.entries...)
+}
+
+// PGLogApplied returns the PG's applied horizon.
+func (o *OSD) PGLogApplied(pg uint32) uint64 {
+	if l, ok := o.pglogs[pg]; ok {
+		return l.appliedSeq
+	}
+	return 0
+}
+
+// AdoptPGState fast-forwards the PG's log to a peer's head after recovery:
+// the local (stale) entries are discarded, the trim horizon moves to the
+// adopted sequence, and future entries continue from there.
+func (o *OSD) AdoptPGState(pg uint32, seq uint64) {
+	if seq == 0 {
+		return
+	}
+	l := o.pglog(pg)
+	if seq <= l.appliedSeq {
+		return
+	}
+	l.entries = nil
+	l.trimmedTo = seq
+	l.appliedSeq = seq
+	if seq > o.pgSeq[pg] {
+		o.pgSeq[pg] = seq
+	}
+}
+
+// PGLogHead returns the newest sequence this OSD has logged for the PG
+// (zero when it has none).
+func (o *OSD) PGLogHead(pg uint32) uint64 {
+	l, ok := o.pglogs[pg]
+	if !ok {
+		return 0
+	}
+	if n := len(l.entries); n > 0 {
+		return l.entries[n-1].Seq
+	}
+	return l.trimmedTo
+}
+
+// PGLogViolations checks the recovery invariants over every PG this OSD
+// has logged: sequences strictly increasing, no gap between the trimmed
+// prefix and the retained entries, and the applied horizon within range.
+// It returns human-readable violations (empty = healthy).
+func (o *OSD) PGLogViolations() []string {
+	var out []string
+	for pg, l := range o.pglogs {
+		prev := l.trimmedTo
+		for _, e := range l.entries {
+			if e.Seq != prev+1 {
+				out = append(out, pgLogErr(pg, "gap or reorder", prev, e.Seq))
+			}
+			prev = e.Seq
+		}
+		if l.appliedSeq > prev {
+			out = append(out, pgLogErr(pg, "applied beyond log head", prev, l.appliedSeq))
+		}
+	}
+	return out
+}
+
+func pgLogErr(pg uint32, what string, a, b uint64) string {
+	return "pg " + itoa(uint64(pg)) + ": " + what + " (" + itoa(a) + " -> " + itoa(b) + ")"
+}
+
+func itoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

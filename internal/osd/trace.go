@@ -1,0 +1,102 @@
+package osd
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Stage indices of the write path, matching the paper's Figure 3 control
+// flow (message head received ... ack sent to client).
+const (
+	StageReceived       = iota // message head received by messenger
+	StageDequeued              // OP_WQ worker holds the PG lock
+	StageSubmitted             // repops sent, journal submission queued
+	StageJournalWritten        // local journal write durable
+	StageLocalCommit           // local commit processed (PG backend notified)
+	StageRepReceived           // replica messenger received the sub-op
+	StageRepJournaled          // replica journal write durable
+	StageReplicaCommit         // last replica commit processed at primary
+	StageAcked                 // ack sent to client
+	numStages
+)
+
+// StageNames labels the trace stages.
+var StageNames = [numStages]string{
+	"received",
+	"dequeued(pg-lock)",
+	"submitted",
+	"journal-written",
+	"local-commit",
+	"rep-received",
+	"rep-journaled",
+	"replica-commit",
+	"acked",
+}
+
+// Trace is one sampled write's stage timestamps.
+type Trace struct {
+	t [numStages]sim.Time
+}
+
+func (tr *Trace) stamp(stage int, now sim.Time) {
+	if tr == nil {
+		return
+	}
+	tr.t[stage] = now
+}
+
+// TraceCollector aggregates sampled traces into per-stage latency
+// histograms (time from StageReceived to each stage).
+type TraceCollector struct {
+	hists [numStages]*stats.Histogram
+	count uint64
+}
+
+// NewTraceCollector returns an empty collector.
+func NewTraceCollector() *TraceCollector {
+	c := &TraceCollector{}
+	for i := range c.hists {
+		c.hists[i] = stats.NewHistogram()
+	}
+	return c
+}
+
+// Add folds one completed trace into the collector.
+func (c *TraceCollector) Add(tr *Trace) {
+	if tr == nil || tr.t[StageAcked] == 0 {
+		return
+	}
+	base := tr.t[StageReceived]
+	for i := 0; i < numStages; i++ {
+		if tr.t[i] >= base {
+			c.hists[i].Record(int64(tr.t[i] - base))
+		}
+	}
+	c.count++
+}
+
+// Count returns the number of traces added.
+func (c *TraceCollector) Count() uint64 { return c.count }
+
+// StageMeanMillis returns the mean elapsed time (ms) from receive to the
+// given stage.
+func (c *TraceCollector) StageMeanMillis(stage int) float64 {
+	return c.hists[stage].Mean() / 1e6
+}
+
+// Report renders the Figure-3-style breakdown: cumulative mean time at each
+// stage plus the per-stage delta.
+func (c *TraceCollector) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "write path stage breakdown (%d samples)\n", c.count)
+	prev := 0.0
+	for i := 0; i < numStages; i++ {
+		cum := c.StageMeanMillis(i)
+		fmt.Fprintf(&b, "  %-18s cum %8.3f ms   +%8.3f ms\n", StageNames[i], cum, cum-prev)
+		prev = cum
+	}
+	return b.String()
+}

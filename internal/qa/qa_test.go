@@ -1,0 +1,154 @@
+package qa
+
+import (
+	"testing"
+
+	"repro/internal/osd"
+)
+
+func runProfile(t *testing.T, name string, profile func(int) osd.Config, seed uint64) {
+	t.Helper()
+	cfg := DefaultStress(profile)
+	cfg.Seed = seed
+	res := RunStress(cfg)
+	t.Logf("%s seed=%d: writes=%d reads=%d verified=%d objects=%d simtime=%v",
+		name, seed, res.Writes, res.Reads, res.ReadVerified, res.ObjectsWritten, res.SimulatedTime)
+	if res.Failed() {
+		for _, v := range res.Violations {
+			t.Error(v)
+		}
+	}
+	if res.Writes == 0 || res.Reads == 0 {
+		t.Fatal("degenerate workload")
+	}
+	if res.ReadVerified == 0 {
+		t.Fatal("no read verified against the model; stress has no teeth")
+	}
+}
+
+func TestStressCommunity(t *testing.T) {
+	runProfile(t, "community", osd.CommunityConfig, 1)
+}
+
+func TestStressAFCeph(t *testing.T) {
+	runProfile(t, "afceph", osd.AFCephConfig, 1)
+}
+
+func TestStressAFCephOrderedAcks(t *testing.T) {
+	runProfile(t, "afceph+ordered", func(id int) osd.Config {
+		cfg := osd.AFCephConfig(id)
+		cfg.OrderedAcks = true
+		return cfg
+	}, 1)
+}
+
+// TestStressEveryPartialProfile flips each optimization alone: semantics
+// must hold for every ablation point, not just the two endpoints.
+func TestStressEveryPartialProfile(t *testing.T) {
+	mods := map[string]func(*osd.Config){
+		"pending-only":    func(c *osd.Config) { c.OptPendingQueue = true },
+		"compworker-only": func(c *osd.Config) { c.OptCompletionWorker = true },
+		"fastack-only":    func(c *osd.Config) { c.OptFastAck = true },
+		"lighttx-only":    func(c *osd.Config) { c.FStore = osd.AFCephConfig(0).FStore },
+		"asynclog-only": func(c *osd.Config) {
+			a := osd.AFCephConfig(0)
+			c.LogMode = a.LogMode
+			c.LogParams = a.LogParams
+		},
+		"all-but-pending": func(c *osd.Config) {
+			*c = osd.AFCephConfig(c.ID)
+			c.OptPendingQueue = false
+		},
+		"all-but-compworker": func(c *osd.Config) {
+			*c = osd.AFCephConfig(c.ID)
+			c.OptCompletionWorker = false
+		},
+	}
+	for name, mod := range mods {
+		name, mod := name, mod
+		t.Run(name, func(t *testing.T) {
+			runProfile(t, name, func(id int) osd.Config {
+				cfg := osd.CommunityConfig(id)
+				mod(&cfg)
+				return cfg
+			}, 2)
+		})
+	}
+}
+
+// TestStressManySeeds runs shorter randomized workloads across seeds, the
+// property-test style sweep.
+func TestStressManySeeds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep is slow")
+	}
+	for seed := uint64(10); seed < 18; seed++ {
+		seed := seed
+		t.Run(profileSeedName(seed), func(t *testing.T) {
+			cfg := DefaultStress(osd.AFCephConfig)
+			cfg.Seed = seed
+			cfg.Clients = 4
+			cfg.OpsPerClient = 60
+			res := RunStress(cfg)
+			if res.Failed() {
+				for _, v := range res.Violations {
+					t.Error(v)
+				}
+			}
+		})
+	}
+}
+
+func profileSeedName(seed uint64) string {
+	return "seed" + string(rune('0'+seed%10))
+}
+
+func TestStressTinyJournalBackpressure(t *testing.T) {
+	// A deliberately tiny journal forces ring-full stalls mid-run; the
+	// invariants must still hold (no lost ops, full trim afterwards).
+	cfg := DefaultStress(func(id int) osd.Config {
+		c := osd.AFCephConfig(id)
+		c.JournalSize = 1 << 20
+		return c
+	})
+	cfg.BlockSizes = []int64{32768, 65536}
+	cfg.ReadFraction = 0.1
+	res := RunStress(cfg)
+	if res.Failed() {
+		for _, v := range res.Violations {
+			t.Error(v)
+		}
+	}
+}
+
+// TestStressWithOutageCycle interleaves failure and recovery with
+// randomized load: the full cycle must leave the cluster consistent.
+func TestStressWithOutageCycle(t *testing.T) {
+	cfg := DefaultStress(osd.AFCephConfig)
+	cfg.OpsPerClient = 60
+	res := RunStressWithOutage(cfg, 1)
+	if res.Failed() {
+		for _, v := range res.Violations {
+			t.Error(v)
+		}
+	}
+	if res.Recovered == 0 {
+		t.Fatal("outage cycle copied nothing; vacuous")
+	}
+}
+
+func TestStressHDDThrottleProfile(t *testing.T) {
+	// Community throttles with AFCeph speed elsewhere: heavy backpressure
+	// through the 50-op filestore throttle must not deadlock.
+	cfg := DefaultStress(func(id int) osd.Config {
+		c := osd.AFCephConfig(id)
+		c.Throttles = osd.CommunityConfig(id).Throttles
+		return c
+	})
+	res := RunStress(cfg)
+	if res.Failed() {
+		for _, v := range res.Violations {
+			t.Error(v)
+		}
+	}
+}

@@ -1,0 +1,202 @@
+// Package rng provides small, fast, deterministic pseudo-random number
+// generators and distribution samplers for the simulator.
+//
+// The simulator cannot use math/rand's global state: every component needs
+// its own seeded stream so that adding a component does not perturb the
+// random sequence seen by the others (which would break golden tests and
+// A/B comparisons between profiles).
+package rng
+
+import "math"
+
+// splitMix64 advances the SplitMix64 state and returns the next value.
+// It is used both as a seed expander and as a standalone generator.
+func splitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Rand is a xoshiro256** generator. The zero value is invalid; use New.
+type Rand struct {
+	s [4]uint64
+}
+
+// New returns a generator seeded from seed via SplitMix64 (so any seed,
+// including 0, yields a well-mixed state).
+func New(seed uint64) *Rand {
+	var r Rand
+	st := seed
+	for i := range r.s {
+		r.s[i] = splitMix64(&st)
+	}
+	return &r
+}
+
+// Fork derives an independent child generator. Components should Fork the
+// parent stream once at construction time.
+func (r *Rand) Fork() *Rand {
+	return New(r.Uint64() ^ 0xa3cc1b5d36f2aa9d)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Int63 returns a non-negative random int64.
+func (r *Rand) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform int64 in [0, n). It panics if n <= 0.
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int63n with n <= 0")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool { return r.Float64() < p }
+
+// Exp returns an exponentially distributed sample with the given mean.
+func (r *Rand) Exp(mean float64) float64 {
+	u := r.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -mean * math.Log(1-u)
+}
+
+// Normal returns a normally distributed sample (Box–Muller).
+func (r *Rand) Normal(mean, stddev float64) float64 {
+	u1 := r.Float64()
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	u2 := r.Float64()
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return mean + stddev*z
+}
+
+// LogNormal returns exp(Normal(mu, sigma)); useful for heavy-ish service
+// time noise that never goes negative.
+func (r *Rand) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// Pareto returns a Pareto(xm, alpha) sample (alpha > 0), used for rare
+// large stalls such as SSD GC pauses.
+func (r *Rand) Pareto(xm, alpha float64) float64 {
+	u := r.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return xm / math.Pow(1-u, 1/alpha)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		j := r.Intn(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Zipf samples from a bounded Zipf distribution over [0, n) with skew s>1,
+// using rejection-inversion (Hörmann). For s very close to 1 accuracy is
+// adequate for workload-skew purposes.
+type Zipf struct {
+	r                 *Rand
+	n                 float64
+	s                 float64
+	oneMinusS         float64
+	hIntegralX1       float64
+	hIntegralNumElems float64
+}
+
+// NewZipf creates a Zipf sampler over [0, n) with exponent s > 1.
+func NewZipf(r *Rand, s float64, n uint64) *Zipf {
+	if s <= 1 || n == 0 {
+		panic("rng: NewZipf needs s > 1 and n > 0")
+	}
+	z := &Zipf{r: r, n: float64(n), s: s, oneMinusS: 1 - s}
+	z.hIntegralX1 = z.hIntegral(1.5) - 1
+	z.hIntegralNumElems = z.hIntegral(z.n + 0.5)
+	return z
+}
+
+func (z *Zipf) hIntegral(x float64) float64 {
+	logX := math.Log(x)
+	return helper2(z.oneMinusS*logX) * logX
+}
+
+func (z *Zipf) h(x float64) float64 {
+	return math.Exp(-z.s * math.Log(x))
+}
+
+func helper2(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Expm1(x) / x
+	}
+	return 1 + x/2*(1+x/3*(1+x/4))
+}
+
+func (z *Zipf) hIntegralInverse(x float64) float64 {
+	t := x * z.oneMinusS
+	if t < -1 {
+		t = -1
+	}
+	return math.Exp(helper1(t) * x)
+}
+
+func helper1(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Log1p(x) / x
+	}
+	return 1 - x/2*(1-2*x/3*(1-3*x/4))
+}
+
+// Next returns the next Zipf sample in [0, n).
+func (z *Zipf) Next() uint64 {
+	for {
+		u := z.hIntegralNumElems + z.r.Float64()*(z.hIntegralX1-z.hIntegralNumElems)
+		x := z.hIntegralInverse(u)
+		k := math.Floor(x + 0.5)
+		if k < 1 {
+			k = 1
+		} else if k > z.n {
+			k = z.n
+		}
+		if k-x <= 0.5 || u >= z.hIntegral(k+0.5)-z.h(k) {
+			return uint64(k) - 1
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package sim
+
+import "testing"
+
+func TestUnlockHookFiresOnFree(t *testing.T) {
+	k := NewKernel()
+	m := NewMutex(k, "m")
+	fired := 0
+	m.SetUnlockHook(func() { fired++ })
+	k.Go("a", func(p *Proc) {
+		m.Lock(p)
+		p.Sleep(Millisecond)
+		m.Unlock(p)
+	})
+	k.Run(Forever)
+	if fired != 1 {
+		t.Fatalf("hook fired %d times, want 1", fired)
+	}
+}
+
+func TestUnlockHookNotFiredOnHandoff(t *testing.T) {
+	// While waiters exist, Unlock hands off; the hook fires only when the
+	// lock finally becomes free.
+	k := NewKernel()
+	m := NewMutex(k, "m")
+	fired := 0
+	m.SetUnlockHook(func() { fired++ })
+	for i := 0; i < 3; i++ {
+		k.Go("w", func(p *Proc) {
+			m.Lock(p)
+			p.Sleep(Millisecond)
+			m.Unlock(p)
+		})
+	}
+	k.Run(Forever)
+	if fired != 1 {
+		t.Fatalf("hook fired %d times, want 1 (handoffs must not fire)", fired)
+	}
+}
+
+func TestUnlockHookSeesConsistentState(t *testing.T) {
+	k := NewKernel()
+	m := NewMutex(k, "m")
+	var lockedInHook bool
+	m.SetUnlockHook(func() { lockedInHook = m.Locked() })
+	k.Go("a", func(p *Proc) {
+		m.Lock(p)
+		m.Unlock(p)
+	})
+	k.Run(Forever)
+	if lockedInHook {
+		t.Fatal("hook ran while mutex still marked locked")
+	}
+}

@@ -1,0 +1,202 @@
+// Package sim implements a deterministic discrete-event simulation (DES)
+// kernel with goroutine-backed processes.
+//
+// The kernel maintains virtual time at nanosecond resolution. Exactly one
+// process (or event callback) executes at any instant; control is handed
+// between the kernel's dispatch loop and process goroutines through a pair
+// of channels, so simulated code is written in ordinary blocking style
+// (Sleep, Lock, Push/Pop on queues) without data races and without real
+// wall-clock delays.
+//
+// Events scheduled for the same virtual time fire in schedule order, which
+// makes every run bit-for-bit reproducible for a given seed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is virtual simulation time in nanoseconds.
+type Time int64
+
+// Common durations, in virtual nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond Time = 1000 * Nanosecond
+	Millisecond Time = 1000 * Microsecond
+	Second      Time = 1000 * Millisecond
+)
+
+// Forever is a sentinel for Run meaning "run until the event queue drains".
+const Forever Time = -1
+
+// String formats a Time with an adaptive unit, e.g. "1.500ms".
+func (t Time) String() string {
+	switch {
+	case t < 0:
+		return "-" + (-t).String()
+	case t < Microsecond:
+		return fmt.Sprintf("%dns", int64(t))
+	case t < Millisecond:
+		return fmt.Sprintf("%.3fus", float64(t)/float64(Microsecond))
+	case t < Second:
+		return fmt.Sprintf("%.3fms", float64(t)/float64(Millisecond))
+	default:
+		return fmt.Sprintf("%.3fs", float64(t)/float64(Second))
+	}
+}
+
+// Seconds returns the time as floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Millis returns the time as floating-point milliseconds.
+func (t Time) Millis() float64 { return float64(t) / float64(Millisecond) }
+
+// Micros returns the time as floating-point microseconds.
+func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
+
+type event struct {
+	t    Time
+	seq  uint64
+	proc *Proc  // if non-nil, resume this process
+	fn   func() // otherwise run this callback (must not block)
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].t != h[j].t {
+		return h[i].t < h[j].t
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Kernel is a discrete-event simulation executive. The zero value is not
+// usable; create kernels with NewKernel.
+type Kernel struct {
+	now        Time
+	seq        uint64
+	events     eventHeap
+	parked     chan struct{} // process -> kernel: "I yielded"
+	running    *Proc
+	live       int // spawned processes that have not finished
+	stopped    bool
+	inRun      bool
+	nextID     int64
+	dispatched uint64
+}
+
+// NewKernel returns a fresh kernel at time zero.
+func NewKernel() *Kernel {
+	return &Kernel{parked: make(chan struct{})}
+}
+
+// Now returns the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Live returns the number of spawned processes that have not yet finished.
+func (k *Kernel) Live() int { return k.live }
+
+// Pending returns the number of queued events.
+func (k *Kernel) Pending() int { return len(k.events) }
+
+// Dispatched returns the total number of events executed so far.
+func (k *Kernel) Dispatched() uint64 { return k.dispatched }
+
+// Stop makes the current or next Run call return as soon as the event in
+// flight completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Stopped reports whether Stop has been called.
+func (k *Kernel) Stopped() bool { return k.stopped }
+
+func (k *Kernel) schedule(t Time, p *Proc, fn func()) {
+	if t < k.now {
+		t = k.now
+	}
+	k.seq++
+	heap.Push(&k.events, &event{t: t, seq: k.seq, proc: p, fn: fn})
+}
+
+// At schedules fn to run at absolute time t. fn runs in kernel context and
+// must not block on simulation primitives; it may schedule events and wake
+// processes.
+func (k *Kernel) At(t Time, fn func()) { k.schedule(t, nil, fn) }
+
+// After schedules fn to run d nanoseconds from now.
+func (k *Kernel) After(d Time, fn func()) { k.schedule(k.now+d, nil, fn) }
+
+// Go spawns a new simulated process that executes fn. The process starts at
+// the current virtual time, after the currently running event yields. Go may
+// be called both from outside Run (to set up the world) and from running
+// processes.
+func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
+	k.nextID++
+	p := &Proc{k: k, id: k.nextID, name: name, wake: make(chan struct{})}
+	k.live++
+	go func() {
+		<-p.wake // wait for first dispatch
+		fn(p)
+		p.done = true
+		k.live--
+		k.parked <- struct{}{}
+	}()
+	k.schedule(k.now, p, nil)
+	return p
+}
+
+// Run executes events until the queue drains, Stop is called, or virtual
+// time would exceed `until` (use Forever for no limit). It returns the
+// number of events dispatched by this call. Run must not be re-entered.
+func (k *Kernel) Run(until Time) uint64 {
+	if k.inRun {
+		panic("sim: Kernel.Run re-entered")
+	}
+	k.inRun = true
+	defer func() { k.inRun = false }()
+	var n uint64
+	for !k.stopped && len(k.events) > 0 {
+		ev := k.events[0]
+		if until != Forever && ev.t > until {
+			k.now = until
+			return n
+		}
+		heap.Pop(&k.events)
+		if ev.t > k.now {
+			k.now = ev.t
+		}
+		n++
+		k.dispatched++
+		if ev.proc != nil {
+			if ev.proc.done {
+				continue // stale wakeup for a finished process
+			}
+			k.running = ev.proc
+			ev.proc.wake <- struct{}{}
+			<-k.parked
+			k.running = nil
+		} else if ev.fn != nil {
+			ev.fn()
+		}
+	}
+	if until != Forever && k.now < until {
+		k.now = until
+	}
+	return n
+}
+
+// Running returns the currently executing process, or nil when the kernel is
+// running a callback or is idle.
+func (k *Kernel) Running() *Proc { return k.running }

@@ -1,0 +1,286 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0ns"},
+		{999, "999ns"},
+		{1500, "1.500us"},
+		{2 * Millisecond, "2.000ms"},
+		{3*Second + 500*Millisecond, "3.500s"},
+		{-1500, "-1.500us"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	tt := 1500 * Millisecond
+	if tt.Seconds() != 1.5 {
+		t.Errorf("Seconds = %v", tt.Seconds())
+	}
+	if tt.Millis() != 1500 {
+		t.Errorf("Millis = %v", tt.Millis())
+	}
+	if Time(2500).Micros() != 2.5 {
+		t.Errorf("Micros = %v", Time(2500).Micros())
+	}
+}
+
+func TestRunEmptyKernel(t *testing.T) {
+	k := NewKernel()
+	if n := k.Run(Forever); n != 0 {
+		t.Fatalf("dispatched %d events on empty kernel", n)
+	}
+	if k.Now() != 0 {
+		t.Fatalf("time advanced to %v", k.Now())
+	}
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	k := NewKernel()
+	k.Run(5 * Second)
+	if k.Now() != 5*Second {
+		t.Fatalf("Now = %v, want 5s", k.Now())
+	}
+}
+
+func TestSleepAdvancesTime(t *testing.T) {
+	k := NewKernel()
+	var woke Time
+	k.Go("sleeper", func(p *Proc) {
+		p.Sleep(10 * Millisecond)
+		woke = p.Now()
+	})
+	k.Run(Forever)
+	if woke != 10*Millisecond {
+		t.Fatalf("woke at %v, want 10ms", woke)
+	}
+}
+
+func TestNegativeSleepIsZero(t *testing.T) {
+	k := NewKernel()
+	var woke Time
+	k.Go("p", func(p *Proc) {
+		p.Sleep(-5)
+		woke = p.Now()
+	})
+	k.Run(Forever)
+	if woke != 0 {
+		t.Fatalf("woke at %v, want 0", woke)
+	}
+}
+
+func TestEventOrderingSameTime(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.At(Millisecond, func() { order = append(order, i) })
+	}
+	k.Run(Forever)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order = %v; same-time events must fire in schedule order", order)
+		}
+	}
+}
+
+func TestAfterAndAt(t *testing.T) {
+	k := NewKernel()
+	var times []Time
+	k.After(3*Millisecond, func() { times = append(times, k.Now()) })
+	k.At(Millisecond, func() { times = append(times, k.Now()) })
+	k.Run(Forever)
+	if len(times) != 2 || times[0] != Millisecond || times[1] != 3*Millisecond {
+		t.Fatalf("times = %v", times)
+	}
+}
+
+func TestRunUntilStopsAtBoundary(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	k.At(10*Second, func() { fired = true })
+	k.Run(5 * Second)
+	if fired {
+		t.Fatal("event past until-boundary fired")
+	}
+	if k.Now() != 5*Second {
+		t.Fatalf("Now = %v", k.Now())
+	}
+	k.Run(Forever)
+	if !fired {
+		t.Fatal("event did not fire on resumed run")
+	}
+}
+
+func TestStop(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	k.Go("loop", func(p *Proc) {
+		for i := 0; i < 1000; i++ {
+			count++
+			if count == 5 {
+				k.Stop()
+			}
+			p.Sleep(Millisecond)
+		}
+	})
+	k.Run(Forever)
+	if count != 5 {
+		t.Fatalf("ran %d iterations, want 5", count)
+	}
+	if !k.Stopped() {
+		t.Fatal("Stopped() = false")
+	}
+}
+
+func TestProcIdentity(t *testing.T) {
+	k := NewKernel()
+	var id int64
+	var name string
+	p := k.Go("worker", func(p *Proc) {
+		id = p.ID()
+		name = p.Name()
+		if p.Kernel() != k {
+			t.Error("Kernel() mismatch")
+		}
+	})
+	k.Run(Forever)
+	if id != p.ID() || name != "worker" {
+		t.Fatalf("id=%d name=%q", id, name)
+	}
+	if !p.Done() {
+		t.Fatal("proc not done")
+	}
+}
+
+func TestLiveCount(t *testing.T) {
+	k := NewKernel()
+	k.Go("a", func(p *Proc) { p.Sleep(Second) })
+	k.Go("b", func(p *Proc) { p.Sleep(2 * Second) })
+	if k.Live() != 2 {
+		t.Fatalf("Live = %d before run", k.Live())
+	}
+	k.Run(1500 * Millisecond)
+	if k.Live() != 1 {
+		t.Fatalf("Live = %d at 1.5s", k.Live())
+	}
+	k.Run(Forever)
+	if k.Live() != 0 {
+		t.Fatalf("Live = %d at end", k.Live())
+	}
+}
+
+func TestNestedSpawn(t *testing.T) {
+	k := NewKernel()
+	var trace []string
+	k.Go("parent", func(p *Proc) {
+		trace = append(trace, "parent-start")
+		p.Go("child", func(c *Proc) {
+			trace = append(trace, "child")
+		})
+		p.Sleep(Millisecond)
+		trace = append(trace, "parent-end")
+	})
+	k.Run(Forever)
+	want := []string{"parent-start", "child", "parent-end"}
+	if fmt.Sprint(trace) != fmt.Sprint(want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+}
+
+func TestYieldReordersSameInstant(t *testing.T) {
+	k := NewKernel()
+	var trace []string
+	k.Go("a", func(p *Proc) {
+		trace = append(trace, "a1")
+		p.Yield()
+		trace = append(trace, "a2")
+	})
+	k.Go("b", func(p *Proc) {
+		trace = append(trace, "b")
+	})
+	k.Run(Forever)
+	want := []string{"a1", "b", "a2"}
+	if fmt.Sprint(trace) != fmt.Sprint(want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+}
+
+func TestRunReentryPanics(t *testing.T) {
+	k := NewKernel()
+	k.At(0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("nested Run did not panic")
+			}
+		}()
+		k.Run(Forever)
+	})
+	k.Run(Forever)
+}
+
+// determinismTrace runs a contended scenario and returns an execution trace.
+func determinismTrace(seedProcs int) []string {
+	k := NewKernel()
+	m := NewMutex(k, "m")
+	q := NewQueue[int](k, "q", 4)
+	var trace []string
+	for i := 0; i < seedProcs; i++ {
+		i := i
+		k.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+			for j := 0; j < 20; j++ {
+				m.Lock(p)
+				p.Sleep(Time(100 + i*13))
+				trace = append(trace, fmt.Sprintf("w%d.%d@%d", i, j, p.Now()))
+				m.Unlock(p)
+				q.Push(p, i*100+j)
+			}
+		})
+	}
+	k.Go("drain", func(p *Proc) {
+		for i := 0; i < seedProcs*20; i++ {
+			v, ok := q.Pop(p)
+			if !ok {
+				return
+			}
+			trace = append(trace, fmt.Sprintf("pop%d@%d", v, p.Now()))
+			p.Sleep(50)
+		}
+	})
+	k.Run(Forever)
+	return trace
+}
+
+func TestDeterminism(t *testing.T) {
+	a := determinismTrace(5)
+	b := determinismTrace(5)
+	if len(a) == 0 {
+		t.Fatal("empty trace")
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatal("two identical runs produced different traces")
+	}
+}
+
+func TestDispatchedCounter(t *testing.T) {
+	k := NewKernel()
+	for i := 0; i < 7; i++ {
+		k.At(Time(i), func() {})
+	}
+	n := k.Run(Forever)
+	if n != 7 || k.Dispatched() != 7 {
+		t.Fatalf("n=%d dispatched=%d", n, k.Dispatched())
+	}
+}

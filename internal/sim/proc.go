@@ -1,0 +1,56 @@
+package sim
+
+// Proc is a simulated process: a goroutine whose execution is interleaved
+// deterministically by the kernel. All blocking methods must be called from
+// the process's own goroutine.
+type Proc struct {
+	k    *Kernel
+	id   int64
+	name string
+	wake chan struct{}
+	done bool
+}
+
+// ID returns the process's unique id (assigned in spawn order).
+func (p *Proc) ID() int64 { return p.id }
+
+// Name returns the name given at spawn time.
+func (p *Proc) Name() string { return p.name }
+
+// Kernel returns the owning kernel.
+func (p *Proc) Kernel() *Kernel { return p.k }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.k.now }
+
+// park yields control to the kernel and blocks until the process is
+// rescheduled. Every blocking primitive bottoms out here.
+func (p *Proc) park() {
+	p.k.parked <- struct{}{}
+	<-p.wake
+}
+
+// resume schedules the process to continue at time t.
+func (p *Proc) resumeAt(t Time) { p.k.schedule(t, p, nil) }
+
+// Sleep advances the process by d nanoseconds of virtual time.
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.resumeAt(p.k.now + d)
+	p.park()
+}
+
+// Yield reschedules the process at the current time, letting every other
+// event already queued for this instant run first.
+func (p *Proc) Yield() {
+	p.resumeAt(p.k.now)
+	p.park()
+}
+
+// Go spawns a child process (convenience for p.Kernel().Go).
+func (p *Proc) Go(name string, fn func(p *Proc)) *Proc { return p.k.Go(name, fn) }
+
+// Done reports whether the process function has returned.
+func (p *Proc) Done() bool { return p.done }

@@ -1,0 +1,142 @@
+package sim
+
+// Queue is a FIFO channel-like queue of T with optional capacity.
+// Push blocks when the queue is full (capacity > 0); Pop blocks when it is
+// empty. Blocked processes are served in FIFO order. Queue tracks occupancy
+// statistics so models can report queue depths and backpressure.
+type Queue[T any] struct {
+	k        *Kernel
+	name     string
+	capacity int
+	items    []T
+	getters  []*Proc
+	putters  []*Proc
+	closed   bool
+
+	// stats
+	pushes      uint64
+	maxDepth    int
+	blockedPush uint64
+	blockedPop  uint64
+}
+
+// NewQueue creates a queue. capacity <= 0 means unbounded.
+func NewQueue[T any](k *Kernel, name string, capacity int) *Queue[T] {
+	return &Queue[T]{k: k, name: name, capacity: capacity}
+}
+
+// Name returns the queue name.
+func (q *Queue[T]) Name() string { return q.name }
+
+// Len returns the number of queued items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// Cap returns the configured capacity (<=0 means unbounded).
+func (q *Queue[T]) Cap() int { return q.capacity }
+
+// MaxDepth returns the high-water mark of queue occupancy.
+func (q *Queue[T]) MaxDepth() int { return q.maxDepth }
+
+// Pushes returns the total number of completed Push calls.
+func (q *Queue[T]) Pushes() uint64 { return q.pushes }
+
+// BlockedPushes returns how many Push calls had to wait for space.
+func (q *Queue[T]) BlockedPushes() uint64 { return q.blockedPush }
+
+// BlockedPops returns how many Pop calls had to wait for an item.
+func (q *Queue[T]) BlockedPops() uint64 { return q.blockedPop }
+
+// Close marks the queue closed: Pop on an empty closed queue returns
+// ok=false instead of blocking, and blocked getters wake.
+func (q *Queue[T]) Close() {
+	q.closed = true
+	for _, g := range q.getters {
+		g.resumeAt(q.k.now)
+	}
+	q.getters = nil
+}
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool { return q.closed }
+
+// Push appends v, blocking p while the queue is full. Pushing to a closed
+// queue panics (a model bug).
+func (q *Queue[T]) Push(p *Proc, v T) {
+	for q.capacity > 0 && len(q.items) >= q.capacity && !q.closed {
+		q.blockedPush++
+		q.putters = append(q.putters, p)
+		p.park()
+	}
+	if q.closed {
+		panic("sim: Push to closed Queue " + q.name)
+	}
+	q.add(v)
+}
+
+// TryPush appends v only if there is room, reporting success.
+func (q *Queue[T]) TryPush(v T) bool {
+	if q.closed {
+		panic("sim: Push to closed Queue " + q.name)
+	}
+	if q.capacity > 0 && len(q.items) >= q.capacity {
+		return false
+	}
+	q.add(v)
+	return true
+}
+
+func (q *Queue[T]) add(v T) {
+	q.items = append(q.items, v)
+	q.pushes++
+	if len(q.items) > q.maxDepth {
+		q.maxDepth = len(q.items)
+	}
+	if len(q.getters) > 0 {
+		g := q.getters[0]
+		q.getters = q.getters[1:]
+		g.resumeAt(q.k.now)
+	}
+}
+
+// Pop removes and returns the head item, blocking p while the queue is
+// empty. ok is false only if the queue was closed and drained.
+func (q *Queue[T]) Pop(p *Proc) (v T, ok bool) {
+	for len(q.items) == 0 {
+		if q.closed {
+			return v, false
+		}
+		q.blockedPop++
+		q.getters = append(q.getters, p)
+		p.park()
+	}
+	return q.take(), true
+}
+
+// TryPop removes and returns the head item without blocking.
+func (q *Queue[T]) TryPop() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	return q.take(), true
+}
+
+func (q *Queue[T]) take() T {
+	v := q.items[0]
+	var zero T
+	q.items[0] = zero
+	q.items = q.items[1:]
+	if len(q.putters) > 0 {
+		w := q.putters[0]
+		q.putters = q.putters[1:]
+		w.resumeAt(q.k.now)
+	}
+	return v
+}
+
+// Peek returns the head item without removing it.
+func (q *Queue[T]) Peek() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	return q.items[0], true
+}

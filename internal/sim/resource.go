@@ -1,0 +1,108 @@
+package sim
+
+// Resource models a multi-server service station (a device with k parallel
+// channels, a CPU with k cores, a NIC, ...). Use acquires one server, holds
+// it for the given service time, and releases it; requests queue FIFO when
+// all servers are busy. The resource integrates busy-time so utilization can
+// be reported.
+type Resource struct {
+	k       *Kernel
+	name    string
+	servers int64
+	sem     *Semaphore
+
+	busy         int64
+	lastChange   Time
+	busyIntegral Time // sum over time of (busy servers * dt)
+
+	ops         uint64
+	serviceTime Time
+	waitTime    Time
+	maxQueue    int
+}
+
+// NewResource creates a station with the given number of parallel servers
+// (must be >= 1).
+func NewResource(k *Kernel, name string, servers int64) *Resource {
+	if servers < 1 {
+		panic("sim: Resource needs at least one server: " + name)
+	}
+	return &Resource{
+		k:       k,
+		name:    name,
+		servers: servers,
+		sem:     NewSemaphore(k, name+".sem", servers),
+	}
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Servers returns the number of parallel servers.
+func (r *Resource) Servers() int64 { return r.servers }
+
+// QueueLen returns the number of requests waiting for a server.
+func (r *Resource) QueueLen() int { return r.sem.QueueLen() }
+
+// Ops returns the number of completed Use calls.
+func (r *Resource) Ops() uint64 { return r.ops }
+
+// WaitTime returns total time requests spent queued.
+func (r *Resource) WaitTime() Time { return r.waitTime }
+
+// ServiceTime returns total time requests spent in service.
+func (r *Resource) ServiceTime() Time { return r.serviceTime }
+
+func (r *Resource) account(delta int64) {
+	now := r.k.now
+	r.busyIntegral += Time(r.busy) * (now - r.lastChange)
+	r.lastChange = now
+	r.busy += delta
+}
+
+// Utilization returns mean busy fraction in [0,1] since the kernel started.
+func (r *Resource) Utilization() float64 {
+	total := Time(r.servers) * r.k.now
+	if total == 0 {
+		return 0
+	}
+	integral := r.busyIntegral + Time(r.busy)*(r.k.now-r.lastChange)
+	return float64(integral) / float64(total)
+}
+
+// Use occupies one server for service duration d, queueing first if all
+// servers are busy. It returns the time spent waiting in the queue.
+func (r *Resource) Use(p *Proc, d Time) (queued Time) {
+	if q := r.sem.QueueLen(); q > r.maxQueue {
+		r.maxQueue = q
+	}
+	t0 := p.k.now
+	r.sem.Acquire(p, 1)
+	queued = p.k.now - t0
+	r.waitTime += queued
+	r.account(+1)
+	p.Sleep(d)
+	r.account(-1)
+	r.serviceTime += d
+	r.ops++
+	r.sem.Release(1)
+	return queued
+}
+
+// Acquire grabs a server without a fixed service time; pair with Release.
+func (r *Resource) Acquire(p *Proc) {
+	t0 := p.k.now
+	r.sem.Acquire(p, 1)
+	r.waitTime += p.k.now - t0
+	r.account(+1)
+}
+
+// Release returns a server acquired with Acquire.
+func (r *Resource) Release() {
+	r.account(-1)
+	r.ops++
+	r.sem.Release(1)
+}
+
+// MaxQueue returns the high-water mark of the request queue.
+func (r *Resource) MaxQueue() int { return r.maxQueue }

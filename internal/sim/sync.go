@@ -1,0 +1,336 @@
+package sim
+
+// This file provides simulated synchronization primitives. Because the
+// kernel guarantees that only one process runs at a time, the primitives
+// need no real atomicity; their job is to model *contention* — queueing,
+// FIFO handoff and the virtual time processes spend waiting — and to record
+// statistics about it.
+
+// MutexStats summarizes contention observed on a Mutex.
+type MutexStats struct {
+	Acquires  uint64 // successful Lock calls
+	Contended uint64 // Lock calls that had to wait
+	WaitTime  Time   // total time spent waiting for the lock
+	HoldTime  Time   // total time the lock was held
+	MaxWait   Time   // longest single wait
+}
+
+// Mutex is a simulated mutual-exclusion lock with FIFO handoff.
+// Ownership transfers directly to the longest-waiting process on Unlock,
+// so the lock cannot be barged.
+type Mutex struct {
+	k        *Kernel
+	name     string
+	locked   bool
+	holder   *Proc
+	waiters  []*Proc
+	lockedAt Time
+	stats    MutexStats
+	// unlockHook runs whenever the mutex transitions to free (no waiter to
+	// hand off to). It must not block; schedulers use it to learn that
+	// deferred work for this lock can now make progress.
+	unlockHook func()
+}
+
+// SetUnlockHook installs a callback invoked each time the mutex becomes
+// free. The callback runs in the unlocking process's context and must not
+// block on simulation primitives.
+func (m *Mutex) SetUnlockHook(f func()) { m.unlockHook = f }
+
+// NewMutex creates a named mutex on kernel k.
+func NewMutex(k *Kernel, name string) *Mutex { return &Mutex{k: k, name: name} }
+
+// Name returns the mutex name.
+func (m *Mutex) Name() string { return m.name }
+
+// Stats returns a copy of the accumulated contention statistics.
+func (m *Mutex) Stats() MutexStats { return m.stats }
+
+// Locked reports whether the mutex is currently held.
+func (m *Mutex) Locked() bool { return m.locked }
+
+// Holder returns the current owner, or nil.
+func (m *Mutex) Holder() *Proc { return m.holder }
+
+// QueueLen returns the number of processes waiting for the lock.
+func (m *Mutex) QueueLen() int { return len(m.waiters) }
+
+// Lock acquires the mutex, blocking p until it is available.
+func (m *Mutex) Lock(p *Proc) {
+	m.stats.Acquires++
+	if !m.locked {
+		m.locked = true
+		m.holder = p
+		m.lockedAt = p.k.now
+		return
+	}
+	m.stats.Contended++
+	t0 := p.k.now
+	m.waiters = append(m.waiters, p)
+	p.park() // Unlock transfers ownership before waking us
+	w := p.k.now - t0
+	m.stats.WaitTime += w
+	if w > m.stats.MaxWait {
+		m.stats.MaxWait = w
+	}
+}
+
+// TryLock acquires the mutex if it is free and reports whether it did.
+func (m *Mutex) TryLock(p *Proc) bool {
+	if m.locked {
+		return false
+	}
+	m.stats.Acquires++
+	m.locked = true
+	m.holder = p
+	m.lockedAt = p.k.now
+	return true
+}
+
+// Unlock releases the mutex. If processes are waiting, ownership passes to
+// the head of the queue.
+func (m *Mutex) Unlock(p *Proc) {
+	if !m.locked {
+		panic("sim: Unlock of unlocked Mutex " + m.name)
+	}
+	if m.holder != p {
+		panic("sim: Unlock of Mutex " + m.name + " by non-holder")
+	}
+	m.stats.HoldTime += m.k.now - m.lockedAt
+	if len(m.waiters) > 0 {
+		next := m.waiters[0]
+		m.waiters = m.waiters[1:]
+		m.holder = next
+		m.lockedAt = m.k.now
+		next.resumeAt(m.k.now)
+		return
+	}
+	m.locked = false
+	m.holder = nil
+	if m.unlockHook != nil {
+		m.unlockHook()
+	}
+}
+
+// Cond is a condition variable associated with a Mutex.
+type Cond struct {
+	m       *Mutex
+	waiters []*Proc
+}
+
+// NewCond creates a condition variable using m.
+func NewCond(m *Mutex) *Cond { return &Cond{m: m} }
+
+// Wait atomically releases the mutex, suspends p until Signal/Broadcast,
+// then re-acquires the mutex before returning. As with sync.Cond, callers
+// must re-check their predicate in a loop.
+func (c *Cond) Wait(p *Proc) {
+	c.waiters = append(c.waiters, p)
+	c.m.Unlock(p)
+	p.park()
+	c.m.Lock(p)
+}
+
+// Signal wakes the longest-waiting process, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	w := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	w.resumeAt(c.m.k.now)
+}
+
+// Broadcast wakes all waiting processes.
+func (c *Cond) Broadcast() {
+	for _, w := range c.waiters {
+		w.resumeAt(c.m.k.now)
+	}
+	c.waiters = c.waiters[:0]
+}
+
+// semWaiter is a queued Acquire request.
+type semWaiter struct {
+	p *Proc
+	n int64
+}
+
+// Semaphore is a counting semaphore with FIFO granting; it models throttles
+// and finite resources (queue-depth caps, in-flight op limits).
+type Semaphore struct {
+	k        *Kernel
+	name     string
+	capacity int64
+	avail    int64
+	waiters  []*semWaiter
+	// stats
+	acquires  uint64
+	throttled uint64
+	waitTime  Time
+}
+
+// NewSemaphore creates a semaphore with the given capacity (initially all
+// available). Capacity <= 0 means unlimited: Acquire never blocks.
+func NewSemaphore(k *Kernel, name string, capacity int64) *Semaphore {
+	return &Semaphore{k: k, name: name, capacity: capacity, avail: capacity}
+}
+
+// Name returns the semaphore name.
+func (s *Semaphore) Name() string { return s.name }
+
+// Available returns the currently free units (meaningless when unlimited).
+func (s *Semaphore) Available() int64 { return s.avail }
+
+// Capacity returns the configured capacity (<=0 means unlimited).
+func (s *Semaphore) Capacity() int64 { return s.capacity }
+
+// QueueLen returns the number of blocked Acquire calls.
+func (s *Semaphore) QueueLen() int { return len(s.waiters) }
+
+// Throttled returns how many Acquire calls had to wait.
+func (s *Semaphore) Throttled() uint64 { return s.throttled }
+
+// WaitTime returns the total virtual time spent blocked in Acquire.
+func (s *Semaphore) WaitTime() Time { return s.waitTime }
+
+// Acquire obtains n units, blocking p until they are available. Grants are
+// strictly FIFO: a large request at the head blocks smaller ones behind it,
+// which matches the behaviour of Ceph's Throttle.
+func (s *Semaphore) Acquire(p *Proc, n int64) {
+	s.acquires++
+	if s.capacity <= 0 {
+		return
+	}
+	if len(s.waiters) == 0 && s.avail >= n {
+		s.avail -= n
+		return
+	}
+	s.throttled++
+	t0 := p.k.now
+	s.waiters = append(s.waiters, &semWaiter{p: p, n: n})
+	p.park() // Release grants our units before waking us
+	s.waitTime += p.k.now - t0
+}
+
+// TryAcquire obtains n units without blocking and reports success.
+func (s *Semaphore) TryAcquire(n int64) bool {
+	if s.capacity <= 0 {
+		return true
+	}
+	if len(s.waiters) == 0 && s.avail >= n {
+		s.avail -= n
+		s.acquires++
+		return true
+	}
+	return false
+}
+
+// Release returns n units and grants as many queued requests as now fit.
+func (s *Semaphore) Release(n int64) {
+	if s.capacity <= 0 {
+		return
+	}
+	s.avail += n
+	if s.avail > s.capacity {
+		s.avail = s.capacity
+	}
+	for len(s.waiters) > 0 && s.avail >= s.waiters[0].n {
+		w := s.waiters[0]
+		s.waiters = s.waiters[1:]
+		s.avail -= w.n
+		w.p.resumeAt(s.k.now)
+	}
+}
+
+// Resize changes the capacity, releasing waiters if it grew.
+func (s *Semaphore) Resize(capacity int64) {
+	delta := capacity - s.capacity
+	s.capacity = capacity
+	if capacity <= 0 {
+		// Became unlimited: release everyone.
+		for _, w := range s.waiters {
+			w.p.resumeAt(s.k.now)
+		}
+		s.waiters = nil
+		return
+	}
+	if delta > 0 {
+		s.Release(delta)
+	} else {
+		s.avail += delta // may go negative; drains as units return
+	}
+}
+
+// Event is a one-shot broadcast: processes wait until it fires. It is the
+// simulation analogue of a closed channel / completion future.
+type Event struct {
+	k       *Kernel
+	fired   bool
+	waiters []*Proc
+}
+
+// NewEvent creates an unfired event.
+func NewEvent(k *Kernel) *Event { return &Event{k: k} }
+
+// Fired reports whether Fire has been called.
+func (e *Event) Fired() bool { return e.fired }
+
+// Fire wakes all current and future waiters. Firing twice is a no-op.
+func (e *Event) Fire() {
+	if e.fired {
+		return
+	}
+	e.fired = true
+	for _, w := range e.waiters {
+		w.resumeAt(e.k.now)
+	}
+	e.waiters = nil
+}
+
+// Wait blocks p until the event fires (returns immediately if it already has).
+func (e *Event) Wait(p *Proc) {
+	if e.fired {
+		return
+	}
+	e.waiters = append(e.waiters, p)
+	p.park()
+}
+
+// WaitGroup counts outstanding work, like sync.WaitGroup.
+type WaitGroup struct {
+	k       *Kernel
+	n       int64
+	waiters []*Proc
+}
+
+// NewWaitGroup creates a WaitGroup with zero count.
+func NewWaitGroup(k *Kernel) *WaitGroup { return &WaitGroup{k: k} }
+
+// Add adds delta to the count. If the count reaches zero, waiters wake.
+func (w *WaitGroup) Add(delta int64) {
+	w.n += delta
+	if w.n < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if w.n == 0 {
+		for _, p := range w.waiters {
+			p.resumeAt(w.k.now)
+		}
+		w.waiters = nil
+	}
+}
+
+// Done decrements the count by one.
+func (w *WaitGroup) Done() { w.Add(-1) }
+
+// Count returns the current counter value.
+func (w *WaitGroup) Count() int64 { return w.n }
+
+// Wait blocks p until the count is zero.
+func (w *WaitGroup) Wait(p *Proc) {
+	if w.n == 0 {
+		return
+	}
+	w.waiters = append(w.waiters, p)
+	p.park()
+}

@@ -1,0 +1,388 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestMutexExclusion(t *testing.T) {
+	k := NewKernel()
+	m := NewMutex(k, "m")
+	inside := 0
+	maxInside := 0
+	for i := 0; i < 8; i++ {
+		k.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+			for j := 0; j < 10; j++ {
+				m.Lock(p)
+				inside++
+				if inside > maxInside {
+					maxInside = inside
+				}
+				p.Sleep(Time(100))
+				inside--
+				m.Unlock(p)
+			}
+		})
+	}
+	k.Run(Forever)
+	if maxInside != 1 {
+		t.Fatalf("max concurrent holders = %d, want 1", maxInside)
+	}
+	st := m.Stats()
+	if st.Acquires != 80 {
+		t.Fatalf("acquires = %d, want 80", st.Acquires)
+	}
+	if st.Contended == 0 {
+		t.Fatal("expected contention")
+	}
+	if st.HoldTime != 80*100 {
+		t.Fatalf("hold time = %v, want 8000ns", st.HoldTime)
+	}
+}
+
+func TestMutexFIFOHandoff(t *testing.T) {
+	k := NewKernel()
+	m := NewMutex(k, "m")
+	var order []int
+	k.Go("holder", func(p *Proc) {
+		m.Lock(p)
+		p.Sleep(10 * Microsecond)
+		m.Unlock(p)
+	})
+	for i := 0; i < 5; i++ {
+		i := i
+		k.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+			p.Sleep(Time(i + 1)) // arrive in order 0..4
+			m.Lock(p)
+			order = append(order, i)
+			m.Unlock(p)
+		})
+	}
+	k.Run(Forever)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("handoff order = %v, want FIFO", order)
+		}
+	}
+}
+
+func TestMutexTryLock(t *testing.T) {
+	k := NewKernel()
+	m := NewMutex(k, "m")
+	var got []bool
+	k.Go("a", func(p *Proc) {
+		if !m.TryLock(p) {
+			t.Error("first TryLock failed")
+		}
+		p.Sleep(Millisecond)
+		m.Unlock(p)
+	})
+	k.Go("b", func(p *Proc) {
+		p.Sleep(Microsecond)
+		got = append(got, m.TryLock(p)) // held by a -> false
+		p.Sleep(2 * Millisecond)
+		got = append(got, m.TryLock(p)) // free -> true
+		m.Unlock(p)
+	})
+	k.Run(Forever)
+	if len(got) != 2 || got[0] || !got[1] {
+		t.Fatalf("TryLock results = %v, want [false true]", got)
+	}
+}
+
+func TestMutexUnlockErrors(t *testing.T) {
+	k := NewKernel()
+	m := NewMutex(k, "m")
+	k.Go("a", func(p *Proc) {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("unlock of unlocked mutex did not panic")
+				}
+			}()
+			m.Unlock(p)
+		}()
+	})
+	k.Run(Forever)
+}
+
+func TestMutexWaitStats(t *testing.T) {
+	k := NewKernel()
+	m := NewMutex(k, "m")
+	k.Go("a", func(p *Proc) {
+		m.Lock(p)
+		p.Sleep(Millisecond)
+		m.Unlock(p)
+	})
+	k.Go("b", func(p *Proc) {
+		p.Sleep(Microsecond)
+		m.Lock(p) // waits ~999us
+		m.Unlock(p)
+	})
+	k.Run(Forever)
+	st := m.Stats()
+	if st.MaxWait != Millisecond-Microsecond {
+		t.Fatalf("MaxWait = %v, want 999us", st.MaxWait)
+	}
+	if st.WaitTime != st.MaxWait {
+		t.Fatalf("WaitTime = %v", st.WaitTime)
+	}
+}
+
+func TestCondSignalWakesOne(t *testing.T) {
+	k := NewKernel()
+	m := NewMutex(k, "m")
+	c := NewCond(m)
+	tokens := 0
+	served := 0
+	for i := 0; i < 3; i++ {
+		k.Go(fmt.Sprintf("waiter%d", i), func(p *Proc) {
+			m.Lock(p)
+			for tokens == 0 {
+				c.Wait(p)
+			}
+			tokens--
+			served++
+			m.Unlock(p)
+		})
+	}
+	k.Go("signaler", func(p *Proc) {
+		p.Sleep(Millisecond)
+		m.Lock(p)
+		tokens++
+		c.Signal()
+		m.Unlock(p)
+	})
+	k.Run(Forever)
+	if served != 1 {
+		t.Fatalf("served = %d, want exactly 1", served)
+	}
+	if k.Live() != 2 {
+		t.Fatalf("live = %d, want 2 still waiting", k.Live())
+	}
+}
+
+func TestCondBroadcastWakesAll(t *testing.T) {
+	k := NewKernel()
+	m := NewMutex(k, "m")
+	c := NewCond(m)
+	released := false
+	woke := 0
+	for i := 0; i < 4; i++ {
+		k.Go(fmt.Sprintf("waiter%d", i), func(p *Proc) {
+			m.Lock(p)
+			for !released {
+				c.Wait(p)
+			}
+			woke++
+			m.Unlock(p)
+		})
+	}
+	k.Go("signaler", func(p *Proc) {
+		p.Sleep(Millisecond)
+		m.Lock(p)
+		released = true
+		c.Broadcast()
+		m.Unlock(p)
+	})
+	k.Run(Forever)
+	if woke != 4 {
+		t.Fatalf("woke = %d, want 4", woke)
+	}
+	if k.Live() != 0 {
+		t.Fatalf("%d processes still blocked", k.Live())
+	}
+}
+
+func TestSemaphoreBasic(t *testing.T) {
+	k := NewKernel()
+	s := NewSemaphore(k, "s", 2)
+	inside := 0
+	maxInside := 0
+	for i := 0; i < 6; i++ {
+		k.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+			s.Acquire(p, 1)
+			inside++
+			if inside > maxInside {
+				maxInside = inside
+			}
+			p.Sleep(Millisecond)
+			inside--
+			s.Release(1)
+		})
+	}
+	k.Run(Forever)
+	if maxInside != 2 {
+		t.Fatalf("max concurrency = %d, want 2", maxInside)
+	}
+	if s.Throttled() != 4 {
+		t.Fatalf("throttled = %d, want 4", s.Throttled())
+	}
+}
+
+func TestSemaphoreUnlimited(t *testing.T) {
+	k := NewKernel()
+	s := NewSemaphore(k, "s", 0)
+	done := 0
+	for i := 0; i < 100; i++ {
+		k.Go("w", func(p *Proc) {
+			s.Acquire(p, 5)
+			done++
+			s.Release(5)
+		})
+	}
+	k.Run(Forever)
+	if done != 100 {
+		t.Fatalf("done = %d", done)
+	}
+	if s.Throttled() != 0 {
+		t.Fatal("unlimited semaphore throttled")
+	}
+}
+
+func TestSemaphoreFIFOHeadOfLineBlocking(t *testing.T) {
+	// A large request at the head must block later small ones (Ceph Throttle
+	// semantics).
+	k := NewKernel()
+	s := NewSemaphore(k, "s", 10)
+	var order []string
+	k.Go("big", func(p *Proc) {
+		s.Acquire(p, 8)
+		p.Sleep(Millisecond)
+		s.Release(8)
+	})
+	k.Go("huge", func(p *Proc) {
+		p.Sleep(Microsecond)
+		s.Acquire(p, 10) // must wait for big to release
+		order = append(order, "huge")
+		s.Release(10)
+	})
+	k.Go("small", func(p *Proc) {
+		p.Sleep(2 * Microsecond)
+		s.Acquire(p, 1) // 2 units free, but FIFO: blocked behind huge
+		order = append(order, "small")
+		s.Release(1)
+	})
+	k.Run(Forever)
+	if fmt.Sprint(order) != "[huge small]" {
+		t.Fatalf("order = %v, want [huge small]", order)
+	}
+}
+
+func TestSemaphoreTryAcquire(t *testing.T) {
+	k := NewKernel()
+	s := NewSemaphore(k, "s", 3)
+	if !s.TryAcquire(2) {
+		t.Fatal("TryAcquire(2) failed on fresh semaphore")
+	}
+	if s.TryAcquire(2) {
+		t.Fatal("TryAcquire(2) succeeded with 1 available")
+	}
+	s.Release(2)
+	if !s.TryAcquire(3) {
+		t.Fatal("TryAcquire(3) failed after release")
+	}
+}
+
+func TestSemaphoreResize(t *testing.T) {
+	k := NewKernel()
+	s := NewSemaphore(k, "s", 1)
+	var got []Time
+	for i := 0; i < 3; i++ {
+		k.Go("w", func(p *Proc) {
+			s.Acquire(p, 1)
+			got = append(got, p.Now())
+			p.Sleep(Millisecond)
+			s.Release(1)
+		})
+	}
+	k.Go("grow", func(p *Proc) {
+		p.Sleep(100 * Microsecond)
+		s.Resize(3)
+	})
+	k.Run(Forever)
+	// First acquires at t=0; after resize at 100us the two waiters enter
+	// immediately rather than at 1ms and 2ms.
+	if len(got) != 3 || got[1] != 100*Microsecond || got[2] != 100*Microsecond {
+		t.Fatalf("entry times = %v", got)
+	}
+}
+
+func TestEventBroadcast(t *testing.T) {
+	k := NewKernel()
+	e := NewEvent(k)
+	woke := 0
+	for i := 0; i < 5; i++ {
+		k.Go("w", func(p *Proc) {
+			e.Wait(p)
+			woke++
+		})
+	}
+	k.Go("late", func(p *Proc) {
+		p.Sleep(2 * Millisecond)
+		e.Wait(p) // already fired: returns immediately
+		woke++
+	})
+	k.Go("firer", func(p *Proc) {
+		p.Sleep(Millisecond)
+		e.Fire()
+		e.Fire() // idempotent
+	})
+	k.Run(Forever)
+	if woke != 6 {
+		t.Fatalf("woke = %d, want 6", woke)
+	}
+	if !e.Fired() {
+		t.Fatal("Fired() = false")
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	k := NewKernel()
+	wg := NewWaitGroup(k)
+	wg.Add(3)
+	var doneAt Time
+	k.Go("waiter", func(p *Proc) {
+		wg.Wait(p)
+		doneAt = p.Now()
+	})
+	for i := 1; i <= 3; i++ {
+		i := i
+		k.Go("worker", func(p *Proc) {
+			p.Sleep(Time(i) * Millisecond)
+			wg.Done()
+		})
+	}
+	k.Run(Forever)
+	if doneAt != 3*Millisecond {
+		t.Fatalf("waiter released at %v, want 3ms", doneAt)
+	}
+	if wg.Count() != 0 {
+		t.Fatalf("count = %d", wg.Count())
+	}
+}
+
+func TestWaitGroupNegativePanics(t *testing.T) {
+	k := NewKernel()
+	wg := NewWaitGroup(k)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative counter did not panic")
+		}
+	}()
+	wg.Done()
+}
+
+func TestWaitGroupZeroWaitReturnsImmediately(t *testing.T) {
+	k := NewKernel()
+	wg := NewWaitGroup(k)
+	ran := false
+	k.Go("w", func(p *Proc) {
+		wg.Wait(p)
+		ran = true
+	})
+	k.Run(Forever)
+	if !ran {
+		t.Fatal("Wait on zero WaitGroup blocked")
+	}
+}

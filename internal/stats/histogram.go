@@ -1,0 +1,265 @@
+// Package stats provides the measurement toolkit for the simulator:
+// log-linear latency histograms (HDR-style), counters, rate meters and
+// time-series samplers used to produce the paper's tables and figures.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Histogram records int64 values (typically nanoseconds) in log-linear
+// buckets: values are grouped by power-of-two magnitude, each magnitude
+// split into subBuckets linear buckets, giving a bounded relative error of
+// about 1/subBuckets while using O(64*subBuckets) memory.
+type Histogram struct {
+	subBuckets int
+	subShift   uint // log2(subBuckets)
+	counts     []uint64
+	total      uint64
+	sum        int64
+	min        int64
+	max        int64
+}
+
+const defaultSubBuckets = 32
+
+// NewHistogram creates a histogram with the default precision (~3%).
+func NewHistogram() *Histogram {
+	h := &Histogram{subBuckets: defaultSubBuckets, subShift: 5}
+	h.counts = make([]uint64, 64*h.subBuckets)
+	h.min = math.MaxInt64
+	return h
+}
+
+func (h *Histogram) bucketOf(v int64) int {
+	if v < 0 {
+		v = 0
+	}
+	if v < int64(h.subBuckets) {
+		return int(v)
+	}
+	// magnitude = index of highest set bit
+	mag := 63 - leadingZeros64(uint64(v))
+	// Within this magnitude, which linear sub-bucket?
+	sub := int((uint64(v) >> (uint(mag) - h.subShift)) & uint64(h.subBuckets-1))
+	return (mag-int(h.subShift))*h.subBuckets + h.subBuckets + sub
+}
+
+// bucketLow returns the lowest value mapping to bucket index i (inverse of
+// bucketOf, up to bucket granularity).
+func (h *Histogram) bucketLow(i int) int64 {
+	if i < h.subBuckets {
+		return int64(i)
+	}
+	i -= h.subBuckets
+	mag := i/h.subBuckets + int(h.subShift)
+	sub := i % h.subBuckets
+	return (1 << uint(mag)) | int64(sub)<<(uint(mag)-h.subShift)
+}
+
+func leadingZeros64(x uint64) int {
+	n := 0
+	if x == 0 {
+		return 64
+	}
+	for x&(1<<63) == 0 {
+		x <<= 1
+		n++
+	}
+	return n
+}
+
+// Record adds a value.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	h.counts[h.bucketOf(v)]++
+	h.total++
+	h.sum += v
+	if v < h.min {
+		h.min = v
+	}
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// Count returns how many values were recorded.
+func (h *Histogram) Count() uint64 { return h.total }
+
+// Sum returns the sum of recorded values.
+func (h *Histogram) Sum() int64 { return h.sum }
+
+// Mean returns the arithmetic mean, or 0 when empty.
+func (h *Histogram) Mean() float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.total)
+}
+
+// Min returns the smallest recorded value, or 0 when empty.
+func (h *Histogram) Min() int64 {
+	if h.total == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest recorded value, or 0 when empty.
+func (h *Histogram) Max() int64 { return h.max }
+
+// Quantile returns an estimate of the q-quantile (0 <= q <= 1). The estimate
+// is the lower bound of the bucket containing the quantile, which bounds
+// relative error by the bucket width (~3%).
+func (h *Histogram) Quantile(q float64) int64 {
+	if h.total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.Min()
+	}
+	if q >= 1 {
+		return h.max
+	}
+	rank := uint64(q * float64(h.total))
+	if rank >= h.total {
+		rank = h.total - 1
+	}
+	var seen uint64
+	for i, c := range h.counts {
+		seen += c
+		if seen > rank {
+			return h.bucketLow(i)
+		}
+	}
+	return h.max
+}
+
+// Merge adds all samples of other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	if other.subBuckets != h.subBuckets {
+		panic("stats: merging histograms with different precision")
+	}
+	for i, c := range other.counts {
+		h.counts[i] += c
+	}
+	h.total += other.total
+	h.sum += other.sum
+	if other.total > 0 {
+		if other.min < h.min {
+			h.min = other.min
+		}
+		if other.max > h.max {
+			h.max = other.max
+		}
+	}
+}
+
+// Reset clears all recorded values.
+func (h *Histogram) Reset() {
+	for i := range h.counts {
+		h.counts[i] = 0
+	}
+	h.total = 0
+	h.sum = 0
+	h.min = math.MaxInt64
+	h.max = 0
+}
+
+// Snapshot summarizes the histogram.
+type Snapshot struct {
+	Count                          uint64
+	Mean, P50, P90, P95, P99, P999 float64
+	Min, Max                       float64
+}
+
+// SnapshotMillis returns a snapshot with all values converted from
+// nanoseconds to milliseconds (the unit the paper reports).
+func (h *Histogram) SnapshotMillis() Snapshot {
+	ms := func(v int64) float64 { return float64(v) / 1e6 }
+	return Snapshot{
+		Count: h.total,
+		Mean:  h.Mean() / 1e6,
+		P50:   ms(h.Quantile(0.50)),
+		P90:   ms(h.Quantile(0.90)),
+		P95:   ms(h.Quantile(0.95)),
+		P99:   ms(h.Quantile(0.99)),
+		P999:  ms(h.Quantile(0.999)),
+		Min:   ms(h.Min()),
+		Max:   ms(h.Max()),
+	}
+}
+
+// String renders a compact latency summary in milliseconds.
+func (h *Histogram) String() string {
+	s := h.SnapshotMillis()
+	return fmt.Sprintf("n=%d mean=%.3fms p50=%.3fms p99=%.3fms max=%.3fms",
+		s.Count, s.Mean, s.P50, s.P99, s.Max)
+}
+
+// Distribution returns (lowerBound, count) pairs for non-empty buckets;
+// useful for plotting.
+func (h *Histogram) Distribution() ([]int64, []uint64) {
+	var bounds []int64
+	var counts []uint64
+	for i, c := range h.counts {
+		if c > 0 {
+			bounds = append(bounds, h.bucketLow(i))
+			counts = append(counts, c)
+		}
+	}
+	return bounds, counts
+}
+
+// ExactQuantile computes the exact q-quantile of a raw sample slice; used by
+// tests to validate the histogram approximation.
+func ExactQuantile(samples []int64, q float64) int64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(q * float64(len(s)))
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// FormatTable renders rows of labeled values as an aligned text table.
+func FormatTable(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, hcol := range header {
+		widths[i] = len(hcol)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			for pad := len(cell); pad < widths[i]; pad++ {
+				b.WriteByte(' ')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return b.String()
+}

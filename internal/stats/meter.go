@@ -1,0 +1,135 @@
+package stats
+
+import "math"
+
+// Counter is a monotonically increasing event counter.
+type Counter struct {
+	n uint64
+}
+
+// Add increments the counter by delta.
+func (c *Counter) Add(delta uint64) { c.n += delta }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.n++ }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Meter measures event throughput over a window of virtual time: record
+// events with Mark and compute the rate over [since, now].
+type Meter struct {
+	events      uint64
+	bytes       uint64
+	windowStart int64 // virtual ns
+}
+
+// StartWindow resets the measurement window to begin at now.
+func (m *Meter) StartWindow(now int64) {
+	m.events = 0
+	m.bytes = 0
+	m.windowStart = now
+}
+
+// Mark records one event carrying n bytes.
+func (m *Meter) Mark(n uint64) {
+	m.events++
+	m.bytes += n
+}
+
+// Events returns the number of events in the window.
+func (m *Meter) Events() uint64 { return m.events }
+
+// Bytes returns the byte total in the window.
+func (m *Meter) Bytes() uint64 { return m.bytes }
+
+// RatePerSec returns events/second over the window ending at now.
+func (m *Meter) RatePerSec(now int64) float64 {
+	dt := float64(now-m.windowStart) / 1e9
+	if dt <= 0 {
+		return 0
+	}
+	return float64(m.events) / dt
+}
+
+// BytesPerSec returns bytes/second over the window ending at now.
+func (m *Meter) BytesPerSec(now int64) float64 {
+	dt := float64(now-m.windowStart) / 1e9
+	if dt <= 0 {
+		return 0
+	}
+	return float64(m.bytes) / dt
+}
+
+// TimeSeries records (t, value) samples, e.g. IOPS per interval for the
+// paper's Figure 4 time plot.
+type TimeSeries struct {
+	Name string
+	T    []int64   // virtual ns
+	V    []float64 // sample values
+}
+
+// Append adds one sample.
+func (ts *TimeSeries) Append(t int64, v float64) {
+	ts.T = append(ts.T, t)
+	ts.V = append(ts.V, v)
+}
+
+// Len returns the number of samples.
+func (ts *TimeSeries) Len() int { return len(ts.T) }
+
+// Mean returns the mean of all sample values (0 when empty).
+func (ts *TimeSeries) Mean() float64 {
+	if len(ts.V) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range ts.V {
+		sum += v
+	}
+	return sum / float64(len(ts.V))
+}
+
+// MeanAfter returns the mean of samples with T >= t0; useful for skipping a
+// warm-up ramp.
+func (ts *TimeSeries) MeanAfter(t0 int64) float64 {
+	sum, n := 0.0, 0
+	for i, t := range ts.T {
+		if t >= t0 {
+			sum += ts.V[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// Stddev returns the population standard deviation of the sample values.
+func (ts *TimeSeries) Stddev() float64 {
+	n := len(ts.V)
+	if n == 0 {
+		return 0
+	}
+	mean := ts.Mean()
+	sum := 0.0
+	for _, v := range ts.V {
+		d := v - mean
+		sum += d * d
+	}
+	return math.Sqrt(sum / float64(n))
+}
+
+// CoefVariation returns stddev/mean, a unitless fluctuation measure used to
+// quantify Figure 4's oscillation claims.
+func (ts *TimeSeries) CoefVariation() float64 {
+	m := ts.Mean()
+	if m == 0 {
+		return 0
+	}
+	return ts.Stddev() / m
+}

@@ -1,0 +1,89 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+)
+
+// Sweep reproduces the paper's reporting methodology: "we summarize the
+// results and select the best results from FIO test which is executed
+// using increasing number of threads and iodepths" (§4.3). Each point runs
+// on a fresh cluster built by mkCluster so earlier points cannot warm
+// later ones.
+type Sweep struct {
+	// IODepths are the queue depths to try per VM.
+	IODepths []int
+	// MaxLatencyMs discards points whose mean latency exceeds it
+	// (0 = no bound). The paper's Figure 11 comparisons pick the best
+	// IOPS "considering IOPS and latency".
+	MaxLatencyMs float64
+}
+
+// DefaultSweep tries the queue depths the paper's FIO scripts stepped
+// through.
+func DefaultSweep() Sweep {
+	return Sweep{IODepths: []int{1, 2, 4, 8, 16, 32}}
+}
+
+// SweepPoint is one measured configuration.
+type SweepPoint struct {
+	IODepth int
+	Result  Result
+}
+
+// Best returns the best-IOPS point subject to the latency bound, plus all
+// measured points. mkCluster must build a fresh cluster per call; vms and
+// imageSize shape the fleet; spec's IODepth field is overridden.
+func (s Sweep) Best(mkCluster func() *cluster.Cluster, vms int, imageSize int64, spec Spec) (SweepPoint, []SweepPoint) {
+	if len(s.IODepths) == 0 {
+		panic("workload: empty sweep")
+	}
+	var points []SweepPoint
+	best := -1
+	for _, depth := range s.IODepths {
+		c := mkCluster()
+		sp := spec
+		sp.IODepth = depth
+		f := VMFleet(c, vms, imageSize, sp)
+		if !sp.Pattern.IsWrite() {
+			var bds []BlockDev
+			for _, j := range f.Jobs {
+				bds = append(bds, j.BD)
+			}
+			Prefill(c.K, bds, sp.BlockSize, cluster.ObjectSize)
+		}
+		res := f.Run(c.K)
+		points = append(points, SweepPoint{IODepth: depth, Result: res})
+		if s.MaxLatencyMs > 0 && res.Lat.Mean > s.MaxLatencyMs {
+			continue
+		}
+		if best < 0 || res.IOPS > points[best].Result.IOPS {
+			best = len(points) - 1
+		}
+	}
+	if best < 0 {
+		// Nothing met the bound: return the lowest-latency point.
+		best = 0
+		for i := range points {
+			if points[i].Result.Lat.Mean < points[best].Result.Lat.Mean {
+				best = i
+			}
+		}
+	}
+	return points[best], points
+}
+
+// FormatSweep renders the sweep as text, marking the selected point.
+func FormatSweep(best SweepPoint, points []SweepPoint) string {
+	out := fmt.Sprintf("%-8s %10s %10s %10s\n", "iodepth", "iops", "lat(ms)", "p99(ms)")
+	for _, p := range points {
+		mark := " "
+		if p.IODepth == best.IODepth {
+			mark = "*"
+		}
+		out += fmt.Sprintf("%s%-7d %10.0f %10.2f %10.2f\n",
+			mark, p.IODepth, p.Result.IOPS, p.Result.Lat.Mean, p.Result.Lat.P99)
+	}
+	return out
+}
