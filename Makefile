@@ -1,0 +1,23 @@
+# Tier-1 gate and common entry points. `make check` is what CI runs and
+# what a change must pass before it lands (see README "Testing").
+
+.PHONY: check build test race vet bench
+
+check:
+	./scripts/check.sh
+
+vet:
+	go vet ./...
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+race:
+	go test -race ./internal/sim/ ./internal/rng/ ./internal/stats/ \
+	    ./internal/crush/ ./internal/fault/ ./internal/netsim/
+
+bench:
+	go test -bench=. -benchmem ./...

@@ -92,8 +92,18 @@ type Config struct {
 	// TraceSample records a write-path stage trace for every Nth client
 	// write (0 disables; see TraceReport).
 	TraceSample int
-	Tuning      Tuning
-	Seed        uint64
+	// OpTimeoutMs, when positive, makes clients time out in-flight ops and
+	// resend with exponential backoff (required to ride through crashes,
+	// partitions and failovers mid-workload).
+	OpTimeoutMs float64
+	// HeartbeatMs, when positive, runs OSD peer heartbeats so crashed OSDs
+	// are detected and marked down automatically after HeartbeatGraceMs of
+	// silence (default 4x the interval). A cluster with heartbeats enabled
+	// must call StopHeartbeats before it can drain fully idle.
+	HeartbeatMs      float64
+	HeartbeatGraceMs float64
+	Tuning           Tuning
+	Seed             uint64
 }
 
 // DefaultConfig returns the paper's 4-node testbed with AFCeph tuning.
@@ -180,6 +190,9 @@ func New(cfg Config) *Cluster {
 	p.Sustained = cfg.Sustained
 	p.VerifyData = cfg.Verify
 	p.Seed = cfg.Seed
+	p.ClientOpTimeout = sim.Time(cfg.OpTimeoutMs * 1e6)
+	p.HeartbeatInterval = sim.Time(cfg.HeartbeatMs * 1e6)
+	p.HeartbeatGrace = sim.Time(cfg.HeartbeatGraceMs * 1e6)
 	p.ClientNoDelay = cfg.Tuning.NoDelay
 	if cfg.Tuning.Jemalloc {
 		p.Allocator = cpumodel.JEMalloc

@@ -1,6 +1,10 @@
 package afceph
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+)
 
 // RecoveryReport summarizes a RecoverOSD run.
 type RecoveryReport struct {
@@ -9,42 +13,112 @@ type RecoveryReport struct {
 	Backfills     int
 	ObjectsCopied int
 	BytesCopied   int64
-	DurationMs    float64
+	// JournalReplays counts journaled-but-unapplied entries replayed when
+	// the OSD restarted after a crash (0 for administrative downs).
+	JournalReplays int
+	// DegradedPGs is how many PGs served without this member during the
+	// outage.
+	DegradedPGs int
+	DurationMs  float64
 }
 
 // String renders a one-line summary.
 func (r RecoveryReport) String() string {
-	return fmt.Sprintf("recovered %d PGs (%d log-based, %d backfill): %d objects / %.1f MB in %.1f ms",
-		r.PGsRecovered, r.LogRecoveries, r.Backfills,
-		r.ObjectsCopied, float64(r.BytesCopied)/(1<<20), r.DurationMs)
+	return fmt.Sprintf("recovered %d PGs (%d log-based, %d backfill, %d degraded): %d objects / %.1f MB, %d journal replays, in %.1f ms",
+		r.PGsRecovered, r.LogRecoveries, r.Backfills, r.DegradedPGs,
+		r.ObjectsCopied, float64(r.BytesCopied)/(1<<20), r.JournalReplays, r.DurationMs)
 }
 
-// FailOSD marks an OSD down: clients route around it and primaries stop
-// replicating to it (degraded writes). The cluster must be quiescent when
-// failing an OSD — fail between workloads, not during one.
+func reportFromStats(st cluster.RecoveryStats) RecoveryReport {
+	return RecoveryReport{
+		PGsRecovered:   st.PGsRecovered,
+		LogRecoveries:  st.LogRecoveries,
+		Backfills:      st.Backfills,
+		ObjectsCopied:  st.ObjectsCopied,
+		BytesCopied:    st.BytesCopied,
+		JournalReplays: st.JournalReplays,
+		DegradedPGs:    st.DegradedPGs,
+		DurationMs:     float64(st.Duration) / 1e6,
+	}
+}
+
+// FailOSD administratively marks an OSD down: clients route around it (the
+// next up OSD in the CRUSH set acts as primary) and primaries stop
+// replicating to it (degraded writes). The daemon keeps running, so ops it
+// already accepted still complete. Safe mid-workload when the cluster was
+// built with Config.OpTimeoutMs > 0 (clients resend to the new acting
+// primary); without a timeout, fail between workloads, not during one,
+// since ops addressed to the down OSD would otherwise wait forever.
 func (c *Cluster) FailOSD(id int) { c.inner.FailOSD(id) }
+
+// CrashOSD kills an OSD daemon at the current instant and marks it down:
+// in-flight ops, queued work and un-journaled writes are lost; the NVRAM
+// journal and filestore survive. RestartOSD replays the journal so no
+// acked write is lost.
+func (c *Cluster) CrashOSD(id int) { c.inner.CrashOSD(id) }
+
+// RestartOSD reboots a crashed OSD, replaying its retained journal into
+// the filestore. The OSD stays down in the map until RecoverOSD. Returns
+// the number of journal entries replayed. Quiescent-cluster call — from
+// scripted I/O use Ctx.RestartOSD.
+func (c *Cluster) RestartOSD(id int) int { return c.inner.RestartOSD(id) }
 
 // OSDDown reports whether the OSD is failed out.
 func (c *Cluster) OSDDown(id int) bool { return c.inner.Down(id) }
 
 // RecoverOSD brings a failed OSD back and resynchronizes it from its
 // peers (PG-log replay where the retained logs cover the outage, backfill
-// otherwise). The data motion runs in simulated time.
+// otherwise). The data motion runs in simulated time. Quiescent-cluster
+// call — from scripted I/O use Ctx.RecoverOSD.
 func (c *Cluster) RecoverOSD(id int) RecoveryReport {
-	st := c.inner.RecoverOSD(id)
-	return RecoveryReport{
-		PGsRecovered:  st.PGsRecovered,
-		LogRecoveries: st.LogRecoveries,
-		Backfills:     st.Backfills,
-		ObjectsCopied: st.ObjectsCopied,
-		BytesCopied:   st.BytesCopied,
-		DurationMs:    float64(st.Duration) / 1e6,
-	}
+	return reportFromStats(c.inner.RecoverOSD(id))
 }
 
+// Repair heals everything Scrub finds (replica divergence, checksum
+// damage, stray copies), modelling `ceph pg repair`. Returns the number of
+// copies healed. Quiescent-cluster call — from scripted I/O use Ctx.Repair.
+func (c *Cluster) Repair() int { return c.inner.Repair() }
+
+// StopHeartbeats shuts down the failure detector so the simulation can
+// drain. Required at the end of any scripted run on a cluster built with
+// Config.HeartbeatMs > 0; safe to call when heartbeats are off.
+func (c *Cluster) StopHeartbeats() { c.inner.StopHeartbeats() }
+
+// DownsDetected reports how many OSD failures the heartbeat monitor
+// detected on its own (zero when heartbeats are disabled or every down was
+// administrative).
+func (c *Cluster) DownsDetected() uint64 { return c.inner.DownsDetected() }
+
+// CrashOSD is the scripted-I/O variant: crash an OSD mid-workload.
+func (ctx *Ctx) CrashOSD(id int) { ctx.c.inner.CrashOSD(id) }
+
+// FailOSD is the scripted-I/O variant of Cluster.FailOSD.
+func (ctx *Ctx) FailOSD(id int) { ctx.c.inner.FailOSD(id) }
+
+// RestartOSD reboots a crashed OSD from inside a scripted run; the journal
+// replay I/O advances this script's virtual clock.
+func (ctx *Ctx) RestartOSD(id int) int { return ctx.c.inner.RestartOSDIn(ctx.p, id) }
+
+// RecoverOSD resynchronizes a down OSD from inside a scripted run, e.g.
+// while the workload keeps going (writes proceed degraded and the
+// recovered PGs catch up from their peers).
+func (ctx *Ctx) RecoverOSD(id int) RecoveryReport {
+	return reportFromStats(ctx.c.inner.RecoverOSDIn(ctx.p, id))
+}
+
+// Repair is the scripted-I/O variant of Cluster.Repair.
+func (ctx *Ctx) Repair() int { return ctx.c.inner.RepairIn(ctx.p) }
+
+// OSDDown is the scripted-I/O variant of Cluster.OSDDown.
+func (ctx *Ctx) OSDDown(id int) bool { return ctx.c.inner.Down(id) }
+
+// StopHeartbeats is the scripted-I/O variant of Cluster.StopHeartbeats.
+func (ctx *Ctx) StopHeartbeats() { ctx.c.inner.StopHeartbeats() }
+
 // Scrub runs the cluster-wide consistency check and returns human-readable
-// findings: replication placement, replica version agreement, and PG-log
-// recovery invariants. Empty means healthy.
+// findings: replication placement, replica version agreement, deep-scrub
+// data comparison (Verify mode), and PG-log recovery invariants. Empty
+// means healthy.
 func (c *Cluster) Scrub() []string {
 	var out []string
 	for _, inc := range c.inner.ScrubAll() {

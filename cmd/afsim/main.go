@@ -7,6 +7,7 @@
 //	afsim -profile afceph -rw randwrite -bs 4096 -vms 20 -iodepth 8
 //	afsim -profile community -rw randread -bs 32768 -prefill
 //	afsim -profile afceph -no-light-tx    # ablation: AFCeph minus light tx
+//	afsim -fail-at 500 -recover-at 1500   # crash osd.0 mid-run, watch the dip
 package main
 
 import (
@@ -15,6 +16,8 @@ import (
 	"os"
 
 	"repro/afceph"
+	"repro/internal/cluster"
+	"repro/internal/sim"
 )
 
 // runSweep executes the iodepth sweep through the public API, building a
@@ -75,6 +78,10 @@ func main() {
 		sweep     = flag.Bool("sweep", false, "sweep iodepths and report the best point (the paper's methodology)")
 		maxLat    = flag.Float64("max-lat", 0, "with -sweep: discard points above this mean latency (ms)")
 
+		failAt    = flag.Float64("fail-at", 0, "crash an OSD this many ms into the run (0 = no fault injection)")
+		recoverAt = flag.Float64("recover-at", 0, "restart + recover the crashed OSD this many ms into the run")
+		failOSD   = flag.Int("fail-osd", 0, "OSD id to crash with -fail-at")
+
 		noPending  = flag.Bool("no-pending-queue", false, "ablate: disable pending queue")
 		noCompW    = flag.Bool("no-completion-worker", false, "ablate: disable completion worker")
 		noFastAck  = flag.Bool("no-fast-ack", false, "ablate: disable fast ack")
@@ -119,12 +126,47 @@ func main() {
 		cfg.Tuning.LightTx = false
 	}
 
+	chaos := *failAt > 0
+	if chaos {
+		total := (*ramp + *runtime) * 1000
+		if *sweep {
+			fmt.Fprintln(os.Stderr, "afsim: -fail-at cannot be combined with -sweep")
+			os.Exit(2)
+		}
+		if *recoverAt <= *failAt || *recoverAt >= total {
+			fmt.Fprintf(os.Stderr, "afsim: need fail-at < recover-at < %0.f (ramp+runtime in ms)\n", total)
+			os.Exit(2)
+		}
+		if *failOSD < 0 || *failOSD >= cfg.Nodes*cfg.OSDsPerNode {
+			fmt.Fprintf(os.Stderr, "afsim: -fail-osd %d out of range\n", *failOSD)
+			os.Exit(2)
+		}
+		// Fault injection needs the robustness layer: client op timeouts so
+		// the workload rides through the crash, heartbeats so the dead OSD
+		// is detected without an operator.
+		cfg.OpTimeoutMs = 50
+		cfg.HeartbeatMs = 25
+		cfg.HeartbeatGraceMs = 100
+	}
+
 	if *sweep {
 		runSweep(cfg, *rw, *bs, *vms, *imageGB<<30, *runtime, *ramp, *maxLat)
 		return
 	}
 
 	c := afceph.New(cfg)
+	var rec cluster.RecoveryStats
+	var replays int
+	if chaos {
+		inner := c.Internal()
+		inner.K.Go("fault", func(p *sim.Proc) {
+			p.Sleep(sim.Time(*failAt * 1e6))
+			inner.OSDs()[*failOSD].Crash() // silent: heartbeats must detect it
+			p.Sleep(sim.Time((*recoverAt - *failAt) * 1e6))
+			replays = inner.RestartOSDIn(p, *failOSD)
+			rec = inner.RecoverOSDIn(p, *failOSD)
+		})
+	}
 	res, err := c.RunFio(afceph.FioSpec{
 		Workload:   *rw,
 		BlockSize:  *bs,
@@ -155,4 +197,52 @@ func main() {
 	if *trace {
 		fmt.Print(c.TraceReport())
 	}
+	if chaos {
+		// Drain: let the recovery and outstanding applies finish past the
+		// measured window, then converge any divergence recovery left while
+		// racing the workload.
+		inner := c.Internal()
+		inner.K.Go("settle", func(p *sim.Proc) {
+			p.Sleep(2 * sim.Second)
+			inner.StopHeartbeats()
+		})
+		inner.K.Run(sim.Forever)
+		healed := inner.Repair()
+
+		fmt.Printf("\nfault injection: crashed osd.%d at %.0fms, recovered at %.0fms\n",
+			*failOSD, *failAt, *recoverAt)
+		fmt.Printf("  heartbeat downs detected: %d\n", c.DownsDetected())
+		fmt.Printf("  journal replays on restart: %d\n", replays)
+		fmt.Printf("  recovery: %d PGs (%d log-based, %d backfill, %d degraded), %d objects / %.1f MB in %.1fms\n",
+			rec.PGsRecovered, rec.LogRecoveries, rec.Backfills, rec.DegradedPGs,
+			rec.ObjectsCopied, float64(rec.BytesCopied)/(1<<20), float64(rec.Duration)/1e6)
+		pre := meanIOPS(res, *ramp*1000, *failAt) // samples during ramp count no ops
+		during := meanIOPS(res, *failAt, *recoverAt)
+		post := meanIOPS(res, *recoverAt, (*ramp+*runtime)*1000)
+		fmt.Printf("  iops: before=%.0f degraded=%.0f after=%.0f\n", pre, during, post)
+		if healed > 0 {
+			fmt.Printf("  repair healed %d copies diverged by recovery racing the workload\n", healed)
+		}
+		if f := c.Scrub(); len(f) != 0 {
+			fmt.Printf("  SCRUB DIRTY after repair (%d findings), first: %s\n", len(f), f[0])
+			os.Exit(1)
+		}
+		fmt.Println("  final scrub: clean (no acked write lost)")
+	}
+}
+
+// meanIOPS averages the run's IOPS samples falling inside [fromMs, toMs).
+func meanIOPS(res afceph.FioResult, fromMs, toMs float64) float64 {
+	sum, n := 0.0, 0
+	for i, ts := range res.SeriesT {
+		ms := ts * 1000
+		if ms >= fromMs && ms < toMs {
+			sum += res.SeriesIOPS[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
 }

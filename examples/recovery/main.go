@@ -45,6 +45,8 @@ func main() {
 	// Rejoin and resynchronize.
 	rep := c.RecoverOSD(1)
 	fmt.Println(rep)
+	fmt.Printf("journal replays: %d (administrative down: nothing was lost), degraded PGs: %d\n",
+		rep.JournalReplays, rep.DegradedPGs)
 
 	findings := c.Scrub()
 	if len(findings) != 0 {

@@ -2,28 +2,37 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cpumodel"
 	"repro/internal/crush"
 	"repro/internal/netsim"
 	"repro/internal/osd"
+	"repro/internal/rng"
 	"repro/internal/sim"
 )
 
 // Client is one block-storage consumer (a VM with a KRBD mount in the
 // paper's tests). It routes each object operation to the object's primary
-// OSD and correlates replies.
+// OSD and correlates replies. With Params.ClientOpTimeout set it also
+// retries: a timed-out or epoch-invalidated attempt is resent (fresh op,
+// fresh ID) to the current acting primary after an exponential backoff
+// with seeded jitter. Writes are idempotent — a duplicate apply stores the
+// same stamp at the same extent — so retry-after-unacked-success is safe.
 type Client struct {
 	c       *Cluster
 	ep      *netsim.Endpoint
 	node    *cpumodel.Node
 	pending map[uint64]*pendingOp
 	nextID  uint64
+	rnd     *rng.Rand
+	retries uint64
 }
 
 type pendingOp struct {
-	done  *sim.Event
-	reply *osd.Reply
+	done   *sim.Event
+	reply  *osd.Reply
+	target int // OSD the attempt was sent to, for epoch-change resend
 }
 
 // NewClient creates a client with its own (generously provisioned) CPU
@@ -35,24 +44,55 @@ func (c *Cluster) NewClient() *Client {
 		c:       c,
 		node:    node,
 		pending: make(map[uint64]*pendingOp),
+		// An independent stream (not forked from the cluster rng) keeps
+		// every existing seeded run bit-identical; it is drawn from only
+		// on retry backoff.
+		rnd: rng.New(c.Params.Seed ^ 0x9e3779b97f4a7c15*uint64(c.clients)),
 	}
 	cl.ep = c.Net.NewEndpoint(fmt.Sprintf("client%d", c.clients), node, c.Params.ClientNoDelay)
 	cl.ep.SetHandler(cl.handleReply)
+	c.clientList = append(c.clientList, cl)
 	return cl
 }
 
 // Endpoint returns the client's network identity.
 func (cl *Client) Endpoint() *netsim.Endpoint { return cl.ep }
 
+// Retries reports how many attempts were resent after a timeout or an
+// epoch change.
+func (cl *Client) Retries() uint64 { return cl.retries }
+
 func (cl *Client) handleReply(p *sim.Proc, m *netsim.Message) {
 	rep := m.Payload.(*osd.Reply)
 	pend, ok := cl.pending[rep.Op.ID]
 	if !ok {
+		if cl.c.Params.ClientOpTimeout > 0 {
+			return // late reply for an attempt that already timed out
+		}
 		panic("cluster: reply for unknown op")
 	}
 	delete(cl.pending, rep.Op.ID)
 	pend.reply = rep
 	pend.done.Fire()
+}
+
+// noteEpoch wakes attempts addressed to OSDs that are now down so doOp can
+// resend them immediately instead of waiting out the timeout. Called by
+// markOSDDown; ids are processed in sorted order for determinism.
+func (cl *Client) noteEpoch() {
+	if cl.c.Params.ClientOpTimeout <= 0 || len(cl.pending) == 0 {
+		return
+	}
+	var ids []uint64
+	for id, pend := range cl.pending {
+		if cl.c.down[pend.target] {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		cl.pending[id].done.Fire()
+	}
 }
 
 // WriteObject writes [off, off+size) of the named object, blocking until
@@ -71,33 +111,66 @@ func (cl *Client) ReadObject(p *sim.Proc, oid string, off, size int64) (stamp ui
 
 func (cl *Client) doOp(p *sim.Proc, kind osd.OpKind, oid string, off, size int64, stamp uint64) *osd.Reply {
 	pg := crush.ObjectToPG(oid, cl.c.Params.PGs)
-	acting := cl.c.actingSet(pg)
-	if len(acting) == 0 {
-		panic("cluster: no up OSD for pg")
+	timeout := cl.c.Params.ClientOpTimeout
+	for attempt := 0; ; attempt++ {
+		acting := cl.c.actingSet(pg)
+		if len(acting) == 0 {
+			if timeout <= 0 {
+				panic("cluster: no up OSD for pg")
+			}
+			// Whole acting set down: wait for recovery and try again.
+			cl.backoff(p, attempt)
+			continue
+		}
+		primary := cl.c.osds[acting[0]]
+		cl.nextID++
+		op := &osd.ClientOp{
+			Kind:   kind,
+			OID:    oid,
+			PG:     pg,
+			Off:    off,
+			Len:    size,
+			Stamp:  stamp,
+			Client: cl.ep,
+			ID:     cl.nextID,
+		}
+		pend := &pendingOp{done: sim.NewEvent(cl.c.K), target: acting[0]}
+		cl.pending[op.ID] = pend
+		msgKind := osd.MsgWrite
+		wire := size + 200 // request header
+		if kind == osd.OpRead {
+			msgKind = osd.MsgRead
+			wire = 200
+		}
+		cl.ep.Send(p, primary.Endpoint(), wire, msgKind, op)
+		if timeout > 0 {
+			ev := pend.done
+			cl.c.K.After(timeout, func() { ev.Fire() }) // Fire is idempotent
+		}
+		pend.done.Wait(p)
+		if pend.reply != nil {
+			return pend.reply
+		}
+		// Timed out, or the target was marked down. Drop the attempt (a
+		// late reply is tolerated by handleReply) and resend.
+		delete(cl.pending, op.ID)
+		cl.retries++
+		cl.backoff(p, attempt)
 	}
-	primary := cl.c.osds[acting[0]]
-	cl.nextID++
-	op := &osd.ClientOp{
-		Kind:   kind,
-		OID:    oid,
-		PG:     pg,
-		Off:    off,
-		Len:    size,
-		Stamp:  stamp,
-		Client: cl.ep,
-		ID:     cl.nextID,
+}
+
+// backoff sleeps an exponentially growing, jittered delay between attempts.
+func (cl *Client) backoff(p *sim.Proc, attempt int) {
+	base := cl.c.Params.ClientOpTimeout / 4
+	if base <= 0 {
+		base = sim.Millisecond
 	}
-	pend := &pendingOp{done: sim.NewEvent(cl.c.K)}
-	cl.pending[op.ID] = pend
-	msgKind := osd.MsgWrite
-	wire := size + 200 // request header
-	if kind == osd.OpRead {
-		msgKind = osd.MsgRead
-		wire = 200
+	if attempt > 5 {
+		attempt = 5
 	}
-	cl.ep.Send(p, primary.Endpoint(), wire, msgKind, op)
-	pend.done.Wait(p)
-	return pend.reply
+	d := base << uint(attempt)
+	d += sim.Time(cl.rnd.Int63n(int64(base)))
+	p.Sleep(d)
 }
 
 // Image is an RBD-style block image striped over 4 MB objects.

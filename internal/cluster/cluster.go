@@ -11,6 +11,7 @@ import (
 	"repro/internal/cpumodel"
 	"repro/internal/crush"
 	"repro/internal/device"
+	"repro/internal/fault"
 	"repro/internal/netsim"
 	"repro/internal/osd"
 	"repro/internal/rng"
@@ -49,6 +50,21 @@ type Params struct {
 	// can check read-your-write (memory-heavy; off for big benches).
 	VerifyData bool
 	Seed       uint64
+
+	// Robustness knobs — all zero by default, leaving existing runs
+	// bit-identical.
+	//
+	// ClientOpTimeout, when positive, makes clients time out in-flight ops
+	// and retry with exponential backoff against the current acting set
+	// (required to survive mid-workload crashes). Zero keeps the original
+	// wait-forever behaviour.
+	ClientOpTimeout sim.Time
+	// HeartbeatInterval, when positive, runs OSD peer heartbeats over the
+	// cluster network and a monitor that marks unresponsive OSDs down
+	// automatically. HeartbeatGrace is the silence threshold (defaults to
+	// 4x the interval).
+	HeartbeatInterval sim.Time
+	HeartbeatGrace    sim.Time
 }
 
 // DefaultParams returns the paper's testbed shape with community OSDs.
@@ -85,6 +101,14 @@ type Cluster struct {
 	clients int
 	down    map[int]bool
 	epoch   int
+
+	clientList  []*Client
+	dataDevs    []*device.RAID0
+	diskFaults  []*fault.DiskFaults
+	pubNICs     []*netsim.NIC
+	clusterNICs []*netsim.NIC
+	hb          *hbState
+	lastReplays map[int]int
 }
 
 // New builds and wires the cluster; the kernel is ready to Run.
@@ -106,6 +130,8 @@ func New(params Params) *Cluster {
 		nvram := device.NewNVRAM(k, fmt.Sprintf("node%d.nvram", n), device.DefaultNVRAMParams())
 		nicPub := c.Net.NewNIC(fmt.Sprintf("node%d.pub", n))
 		nicCluster := c.Net.NewNIC(fmt.Sprintf("node%d.cluster", n))
+		c.pubNICs = append(c.pubNICs, nicPub)
+		c.clusterNICs = append(c.clusterNICs, nicCluster)
 		host := crush.Host{Name: fmt.Sprintf("node%d", n)}
 		for d := 0; d < params.OSDsPerNode; d++ {
 			var members []device.Device
@@ -121,6 +147,7 @@ func New(params Params) *Cluster {
 				members = append(members, ssd)
 			}
 			data := device.NewRAID0(fmt.Sprintf("osd%d.raid", id), 64<<10, members...)
+			c.dataDevs = append(c.dataDevs, data)
 			cfg := params.OSDConfig(id)
 			cfg.ID = id
 			cfg.FStore.VerifyData = params.VerifyData
@@ -140,6 +167,13 @@ func New(params Params) *Cluster {
 		panic("cluster: " + err.Error())
 	}
 	c.cmap = m
+	c.diskFaults = make([]*fault.DiskFaults, len(c.osds))
+	// The chaos rng stream is created unconditionally but only consulted
+	// while message-drop chaos is active, so fault-free runs are unchanged.
+	c.Net.SeedFaults(params.Seed ^ 0x6e65746661756c74)
+	if params.HeartbeatInterval > 0 {
+		c.startHeartbeats()
+	}
 
 	// Placement: each OSD, asked about a PG it is primary for, returns the
 	// replica endpoints (the rest of the CRUSH set).
@@ -174,6 +208,20 @@ func (c *Cluster) Map() *crush.Map { return c.cmap }
 func (c *Cluster) PrimaryFor(oid string) *osd.OSD {
 	pg := crush.ObjectToPG(oid, c.Params.PGs)
 	return c.osds[c.cmap.Primary(pg, c.Params.Replicas)]
+}
+
+// DataDevice returns an OSD's RAID0 data array.
+func (c *Cluster) DataDevice(id int) *device.RAID0 { return c.dataDevs[id] }
+
+// DiskFaults returns the fault injector for an OSD's data array, installing
+// it on first use (a zero-rate injector adds no latency and draws no random
+// numbers, so installation alone never perturbs a run).
+func (c *Cluster) DiskFaults(id int) *fault.DiskFaults {
+	if c.diskFaults[id] == nil {
+		c.diskFaults[id] = fault.NewDiskFaults(c.Params.Seed ^ 0xd15cfa17 ^ uint64(id)<<32)
+		c.dataDevs[id].SetFaultHook(c.diskFaults[id])
+	}
+	return c.diskFaults[id]
 }
 
 // SetSustained flips the wear state of every SSD.

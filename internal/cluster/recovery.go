@@ -2,8 +2,10 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/crush"
+	"repro/internal/filestore"
 	"repro/internal/sim"
 )
 
@@ -11,17 +13,28 @@ import (
 // lock scheme because it is "the basis of the recovery system": the PG log
 // must be written sequentially so a rejoining OSD can tell what it missed.
 // This file implements that recovery so the claim is load-bearing in the
-// model too:
+// model too.
 //
-//   - FailOSD removes an OSD from service: clients route around it (the
-//     next up OSD in the CRUSH set acts as primary) and primaries stop
-//     replicating to it. Writes during the outage are degraded.
-//   - RecoverOSD brings it back and resynchronizes every PG it
-//     participates in. When a healthy peer's retained PG log covers the
-//     missed interval, only the logged objects are compared (log-based
-//     recovery); otherwise the whole PG is compared object-by-object
-//     (backfill). Either way the data motion is simulated I/O: a read on
-//     the peer, a network push, a write on the rejoining OSD.
+// Two ways out of service, with different guarantees:
+//
+//   - FailOSD is an administrative down: the daemon keeps running, it is
+//     only removed from placement. In-flight ops it accepted still
+//     complete. Safe mid-workload when clients run with ClientOpTimeout
+//     (they resend to the new acting primary); without a timeout the
+//     caller must be quiescent, since ops addressed to the down OSD would
+//     otherwise wait forever.
+//   - CrashOSD kills the daemon at the current instant: in-flight ops,
+//     queued work and un-journaled writes are lost. The NVRAM journal and
+//     the filestore survive; RestartOSD(In) replays the journal so that
+//     no *acked* write is lost, and the OSD is flagged dirty so recovery
+//     backfills it instead of trusting PG-log deltas.
+//
+// RecoverOSD brings a down OSD back and resynchronizes every PG it
+// participates in. When a healthy peer's retained PG log covers the missed
+// interval (and the OSD went down cleanly), only the logged objects are
+// compared (log-based recovery); otherwise the whole PG is compared
+// object-by-object (backfill). Either way the data motion is simulated
+// I/O: a read on the peer, a network push, a write on the rejoining OSD.
 //
 // After RecoverOSD completes, ScrubAll must come back clean — the
 // regression test that the optimizations kept recovery intact.
@@ -32,13 +45,60 @@ func (c *Cluster) Down(id int) bool { return c.down[id] }
 // Epoch returns the OSD-map epoch (bumped by failures and recoveries).
 func (c *Cluster) Epoch() int { return c.epoch }
 
-// FailOSD marks an OSD down. The cluster must be quiescent (no in-flight
-// ops) when failing an OSD: ops already addressed to it would never
-// complete — this model treats that as a harness error rather than
-// implementing client-side op resend.
-func (c *Cluster) FailOSD(id int) {
+// FailOSD administratively marks an OSD down: clients route around it (the
+// next up OSD in the CRUSH set acts as primary) and primaries stop
+// replicating to it. Writes during the outage are degraded.
+func (c *Cluster) FailOSD(id int) { c.markOSDDown(id) }
+
+// markOSDDown records an OSD as out of service (administrative, crash, or
+// heartbeat-detected), bumps the map epoch once, and wakes client attempts
+// addressed to it so they resend.
+func (c *Cluster) markOSDDown(id int) {
+	if c.down[id] {
+		return
+	}
 	c.down[id] = true
 	c.epoch++
+	c.notifyClients()
+}
+
+func (c *Cluster) notifyClients() {
+	for _, cl := range c.clientList {
+		cl.noteEpoch()
+	}
+}
+
+// CrashOSD kills an OSD daemon mid-workload (see osd.Crash) and marks it
+// down. Unlike FailOSD this models a real failure: everything in flight on
+// the daemon is lost and only journaled state survives.
+func (c *Cluster) CrashOSD(id int) {
+	c.osds[id].Crash()
+	c.markOSDDown(id)
+}
+
+// RestartOSDIn reboots a crashed OSD from process context, replaying its
+// retained journal into the filestore (simulated replay I/O passes on p).
+// The OSD stays down in the map until RecoverOSD. Returns the number of
+// journal entries replayed.
+func (c *Cluster) RestartOSDIn(p *sim.Proc, id int) int {
+	n := c.osds[id].Restart(p)
+	if c.lastReplays == nil {
+		c.lastReplays = make(map[int]int)
+	}
+	c.lastReplays[id] += n
+	return n
+}
+
+// RestartOSD is the quiescent-cluster wrapper around RestartOSDIn: it runs
+// the replay to completion on its own. Do not call while the kernel is
+// running or while heartbeats are live — use RestartOSDIn from a process.
+func (c *Cluster) RestartOSD(id int) int {
+	var n int
+	c.K.Go(fmt.Sprintf("restart.osd%d", id), func(p *sim.Proc) {
+		n = c.RestartOSDIn(p, id)
+	})
+	c.K.Run(sim.Forever)
+	return n
 }
 
 // actingSet returns the up members of a PG's CRUSH set in order; the first
@@ -61,41 +121,88 @@ type RecoveryStats struct {
 	Backfills     int // PGs healed by full object comparison
 	ObjectsCopied int
 	BytesCopied   int64
-	Duration      sim.Time
+	// JournalReplays is the number of journaled-but-unapplied entries the
+	// OSD replayed when it restarted after a crash (0 for administrative
+	// downs).
+	JournalReplays int
+	// DegradedPGs is how many PGs were serving without this member during
+	// the outage.
+	DegradedPGs int
+	Duration    sim.Time
 }
 
 // RecoverOSD marks the OSD up again and resynchronizes it from its peers
 // in simulated time, returning when every PG it participates in is
-// consistent.
+// consistent. Quiescent-cluster wrapper: do not call while the kernel is
+// running or while heartbeats are live — use RecoverOSDIn from a process.
 func (c *Cluster) RecoverOSD(id int) RecoveryStats {
+	var st RecoveryStats
+	c.K.Go(fmt.Sprintf("recover.osd%d", id), func(p *sim.Proc) {
+		st = c.RecoverOSDIn(p, id)
+	})
+	c.K.Run(sim.Forever)
+	return st
+}
+
+// RecoverOSDIn performs recovery from process context, e.g. while the
+// workload is still running (degraded writes proceed; recovered PGs catch
+// up from their peers).
+func (c *Cluster) RecoverOSDIn(p *sim.Proc, id int) RecoveryStats {
 	delete(c.down, id)
 	c.epoch++
-	start := c.K.Now()
+	c.hbNoteUp(id)
+	start := p.Now()
 	var st RecoveryStats
 
 	target := c.osds[id]
+	// A dirty target restarted from a crash: its PG logs were truncated to
+	// the durable horizon and may even run ahead of an acked history on
+	// phantom sequences, so peer logs cannot describe its delta. Backfill
+	// everything it hosts, taking the surviving peer as authoritative.
+	dirty := target.Dirty()
+	st.JournalReplays = c.lastReplays[id]
+	delete(c.lastReplays, id)
+
+	// Peering prologue. This stretch is synchronous (no simulated I/O, no
+	// yields), so it completes before any client op can reach the rejoining
+	// OSD: for every PG the member set agrees on a common log head — the
+	// maximum over all up members, covering both a peer that ran ahead
+	// degraded and a crashed target whose replayed journal holds sequences
+	// its peers never received — and every member fast-forwards to it, so
+	// primary-assigned sequences continue contiguously on all copies
+	// whichever member acts as primary next.
+	type pgPlan struct {
+		pg         uint32
+		peer       int
+		missed     map[string]bool
+		logCovered bool
+	}
+	var plans []pgPlan
 	for pg := uint32(0); pg < c.Params.PGs; pg++ {
 		set := c.cmap.PGToOSDs(pg, c.Params.Replicas)
 		inSet := false
 		peer := -1
+		var peers []int
 		for _, o := range set {
 			if o == id {
 				inSet = true
 			} else if !c.down[o] {
+				peers = append(peers, o)
 				peer = o
 			}
 		}
 		if !inSet || peer < 0 {
 			continue
 		}
+		st.DegradedPGs++
 		src := c.osds[peer]
-		// Peering: compare the target's applied horizon with the peer's
-		// retained log. If the log covers the gap, recover only the
-		// objects it names; otherwise backfill the whole PG.
+		// Compare the target's applied horizon with the peer's retained
+		// log (before adoption rewrites either). If the log covers the
+		// gap, recover only the objects it names; otherwise backfill.
 		targetHead := target.PGLogApplied(pg)
 		peerLog := src.PGLog(pg)
 		var missed map[string]bool
-		logCovered := len(peerLog) > 0 && peerLog[0].Seq <= targetHead+1
+		logCovered := !dirty && len(peerLog) > 0 && peerLog[0].Seq <= targetHead+1
 		if logCovered {
 			missed = make(map[string]bool)
 			for _, e := range peerLog {
@@ -104,29 +211,58 @@ func (c *Cluster) RecoverOSD(id int) RecoveryStats {
 				}
 			}
 		}
-		copied := c.recoverPG(pg, peer, id, missed, &st)
-		// Adopt the peer's log head so future sequencing continues from a
-		// common point whichever OSD acts as primary next.
-		if head := src.PGLogHead(pg); head > 0 {
-			target.AdoptPGState(pg, head)
+		head := target.PGLogHead(pg)
+		for _, pid := range peers {
+			if h := c.osds[pid].PGLogHead(pg); h > head {
+				head = h
+			}
 		}
+		if head > 0 {
+			target.AdoptPGState(pg, head)
+			for _, pid := range peers {
+				c.osds[pid].AdoptPGState(pg, head)
+			}
+		}
+		plans = append(plans, pgPlan{pg: pg, peer: peer, missed: missed, logCovered: logCovered})
+	}
+
+	// Data motion, in simulated time (the workload may keep running
+	// degraded against the now-complete member sets).
+	for _, pl := range plans {
+		copied := c.recoverPG(p, pl.pg, pl.peer, id, pl.missed, &st)
 		if copied == 0 {
 			continue
 		}
 		st.PGsRecovered++
-		if logCovered {
+		if pl.logCovered {
 			st.LogRecoveries++
 		} else {
 			st.Backfills++
 		}
 	}
-	st.Duration = c.K.Now() - start
+	if dirty {
+		target.ClearDirty()
+	}
+	st.Duration = p.Now() - start
 	return st
 }
 
 // recoverPG copies stale or missing objects of one PG from srcID to dstID.
-// A nil `missed` set means backfill (compare every object of the PG).
-func (c *Cluster) recoverPG(pg uint32, srcID, dstID int, missed map[string]bool, st *RecoveryStats) int {
+// A nil `missed` set means backfill: every object of the PG is compared and
+// any version difference triggers a push.
+//
+// The pushed state is the stamp-wise *union* of the two copies (max stamp
+// per extent), not a plain replacement. Replacement would lose data in two
+// ways: the source's export sees only applied state, so an acked write
+// still sitting in its journal queue would be erased from the
+// destination's good copy; and a crashed destination may hold acked
+// extents the source missed entirely. The union is safe because extent
+// stamps are client-monotonic per offset and every stamp present on any
+// replica was journaled from a client attempt that was (or, after retry,
+// will be) acked with that same data. Version counters may still disagree
+// after a push that raced ongoing writes; that is scrub-visible and
+// converged by Repair.
+func (c *Cluster) recoverPG(p *sim.Proc, pg uint32, srcID, dstID int, missed map[string]bool, st *RecoveryStats) int {
 	src := c.osds[srcID].FileStore()
 	dst := c.osds[dstID].FileStore()
 	var todo []string
@@ -137,19 +273,34 @@ func (c *Cluster) recoverPG(pg uint32, srcID, dstID int, missed map[string]bool,
 		if missed != nil && !missed[oid] {
 			continue
 		}
-		if dst.ObjectVersion(oid) < src.ObjectVersion(oid) {
+		if dst.ObjectVersion(oid) != src.ObjectVersion(oid) {
 			todo = append(todo, oid)
 		}
 	}
+	sort.Strings(todo)
 	if len(todo) == 0 {
 		return 0
 	}
 	done := sim.NewWaitGroup(c.K)
 	for _, oid := range todo {
 		oid := oid
-		state, ok := src.ExportObject(oid)
+		srcState, ok := src.ExportObject(oid)
 		if !ok {
 			continue
+		}
+		dstState, dstOK := dst.ExportObject(oid)
+		var state filestore.ObjectState
+		switch {
+		case dstOK && dstState.Damaged:
+			// The destination's copy failed its checksum; its scrambled
+			// stamps must not survive into the union.
+			state = srcState
+		case srcState.Damaged:
+			// A damaged source cannot be trusted to overwrite a clean copy;
+			// scrub will flag the source and Repair heals it later.
+			continue
+		default:
+			state = unionState(srcState, dstState)
 		}
 		size := state.Size
 		if size <= 0 {
@@ -158,17 +309,16 @@ func (c *Cluster) recoverPG(pg uint32, srcID, dstID int, missed map[string]bool,
 		st.ObjectsCopied++
 		st.BytesCopied += size
 		done.Add(1)
-		c.K.Go(fmt.Sprintf("recover.%s", oid), func(p *sim.Proc) {
+		c.K.Go(fmt.Sprintf("recover.%s", oid), func(pp *sim.Proc) {
 			defer done.Done()
 			// Read on the peer, push over the cluster network, install on
 			// the rejoining OSD.
-			src.Read(p, oid, 0, size)
-			p.Sleep(c.Params.NetParams.Propagation +
+			src.Read(pp, oid, 0, size)
+			pp.Sleep(c.Params.NetParams.Propagation +
 				sim.Time(size*int64(sim.Second)/c.Params.NetParams.BytesPerSec))
-			dst.IngestObject(p, oid, state)
+			dst.IngestObject(pp, oid, state)
 		})
 	}
-	c.K.Go("recover.wait", func(p *sim.Proc) { done.Wait(p) })
-	c.K.Run(sim.Forever)
+	done.Wait(p)
 	return len(todo)
 }

@@ -5,6 +5,8 @@ import (
 	"sort"
 
 	"repro/internal/crush"
+	"repro/internal/filestore"
+	"repro/internal/sim"
 )
 
 // Inconsistency is one scrub finding.
@@ -64,8 +66,174 @@ func (c *Cluster) ScrubAll() []Inconsistency {
 				break
 			}
 		}
+		// Deep scrub: with VerifyData on, the stored extent stamps are the
+		// data; replicas whose stamps diverge from the first up in-set
+		// member hold silently corrupted bits even when versions agree.
+		if c.Params.VerifyData {
+			ref, refID := filestore.ObjectState{}, -1
+			for _, id := range want {
+				if c.down[id] {
+					continue
+				}
+				st, ok := c.osds[id].FileStore().ExportObject(oid)
+				if !ok {
+					continue
+				}
+				if st.Damaged {
+					out = append(out, Inconsistency{OID: oid, PG: pg,
+						Detail: fmt.Sprintf("checksum mismatch on osd.%d", id)})
+				}
+				if refID < 0 {
+					ref, refID = st, id
+					continue
+				}
+				if !sameStamps(ref.Stamps, st.Stamps) {
+					out = append(out, Inconsistency{OID: oid, PG: pg,
+						Detail: fmt.Sprintf("data divergence between osd.%d and osd.%d", refID, id)})
+				}
+			}
+		}
 	}
 	return out
+}
+
+func sameStamps(a, b map[int64]uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for off, v := range a {
+		if b[off] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// unionState merges two copies of an object extent-wise: the higher stamp
+// wins per offset (stamps are client-monotonic per extent, and every stamp
+// present on any replica belongs to a client attempt that was — or after
+// retry will be — acked with the same data), and size/version take the
+// maximum. Used by recovery and repair to converge copies that drifted
+// through failover without ever discarding acked extents.
+func unionState(a, b filestore.ObjectState) filestore.ObjectState {
+	out := filestore.ObjectState{Size: a.Size, Version: a.Version}
+	if b.Size > out.Size {
+		out.Size = b.Size
+	}
+	if b.Version > out.Version {
+		out.Version = b.Version
+	}
+	if len(a.Stamps)+len(b.Stamps) > 0 {
+		out.Stamps = make(map[int64]uint64, len(a.Stamps)+len(b.Stamps))
+		for k, v := range a.Stamps {
+			out.Stamps[k] = v
+		}
+		for k, v := range b.Stamps {
+			if v > out.Stamps[k] {
+				out.Stamps[k] = v
+			}
+		}
+	}
+	return out
+}
+
+// Repair heals what ScrubAll finds, modelling Ceph's `pg repair`: for each
+// inconsistent object the healed state is the stamp-wise union of every
+// clean up in-set copy (checksum-damaged copies are excluded and rebuilt
+// from the clean ones), pushed over the network to every divergent member;
+// stray copies outside the CRUSH set are deleted. Quiescent-cluster
+// wrapper around RepairIn. Returns the number of copies healed.
+func (c *Cluster) Repair() int {
+	var n int
+	c.K.Go("scrub.repair", func(p *sim.Proc) { n = c.RepairIn(p) })
+	c.K.Run(sim.Forever)
+	return n
+}
+
+// RepairIn performs the repair from process context.
+func (c *Cluster) RepairIn(p *sim.Proc) int {
+	inc := c.ScrubAll()
+	if len(inc) == 0 {
+		return 0
+	}
+	seen := map[string]bool{}
+	var oids []string
+	for _, i := range inc {
+		if !seen[i.OID] {
+			seen[i.OID] = true
+			oids = append(oids, i.OID)
+		}
+	}
+	sort.Strings(oids)
+	healed := 0
+	for _, oid := range oids {
+		pg := crush.ObjectToPG(oid, c.Params.PGs)
+		want := c.cmap.PGToOSDs(pg, c.Params.Replicas)
+		inSet := map[int]bool{}
+		for _, id := range want {
+			inSet[id] = true
+		}
+		for id, o := range c.osds {
+			if !inSet[id] && o.FileStore().DeleteObject(oid) {
+				healed++
+			}
+		}
+		// The healed state is the stamp-wise union of every clean (not
+		// checksum-damaged) up in-set copy: copies that drifted apart
+		// through failover recovery each may hold acked extents the others
+		// miss, and the union discards none of them (stamps are
+		// client-monotonic per extent, so the max wins ties at the same
+		// offset). Damaged copies contribute nothing and are re-ingested
+		// wholesale — bit rot healed from the surviving clean replicas.
+		type memberState struct {
+			id int
+			st filestore.ObjectState
+			ok bool
+		}
+		var ms []memberState
+		auth := -1
+		var best uint64
+		var target filestore.ObjectState
+		clean := 0
+		for _, id := range want {
+			if c.down[id] {
+				continue
+			}
+			st, ok := c.osds[id].FileStore().ExportObject(oid)
+			ms = append(ms, memberState{id: id, st: st, ok: ok})
+			if !ok || st.Damaged {
+				continue
+			}
+			if clean == 0 {
+				target = st
+			} else {
+				target = unionState(target, st)
+			}
+			clean++
+			if st.Version > best {
+				best, auth = st.Version, id
+			}
+		}
+		if auth < 0 {
+			continue // no clean copy survives; nothing to heal from
+		}
+		size := target.Size
+		if size <= 0 {
+			size = 4096
+		}
+		for _, m := range ms {
+			if m.ok && !m.st.Damaged && m.st.Version == target.Version && sameStamps(m.st.Stamps, target.Stamps) {
+				continue
+			}
+			// Same data motion as recovery: peer read, network push, install.
+			c.osds[auth].FileStore().Read(p, oid, 0, size)
+			p.Sleep(c.Params.NetParams.Propagation +
+				sim.Time(size*int64(sim.Second)/c.Params.NetParams.BytesPerSec))
+			c.osds[m.id].FileStore().IngestObject(p, oid, target)
+			healed++
+		}
+	}
+	return healed
 }
 
 // ScrubPGLogs verifies the PG-log recovery invariants on every OSD: per-PG

@@ -48,6 +48,18 @@ type Device interface {
 	Stats() *Stats
 }
 
+// FaultHook injects extra latency into a device's I/O path (slow-disk
+// inflation, latent read errors). It is consulted after the fault-free
+// service time is known and returns additional latency to serve; a nil
+// hook (the default) leaves the device model untouched.
+type FaultHook interface {
+	// ReadDelay returns extra latency for a read whose fault-free service
+	// time was base.
+	ReadDelay(base sim.Time, size int64) sim.Time
+	// WriteDelay is the write-side analogue.
+	WriteDelay(base sim.Time, size int64) sim.Time
+}
+
 // RAID0 stripes requests across member devices, modelling the paper's
 // multi-SSD block devices. A request is routed whole to the stripe owning
 // its starting offset (fine for the <= 64 KiB requests the experiments use).
@@ -56,7 +68,13 @@ type RAID0 struct {
 	members    []Device
 	stripeSize int64
 	stats      *Stats
+	fault      FaultHook
 }
+
+// SetFaultHook installs (or, with nil, removes) a fault injector covering
+// the whole array — the granularity at which an OSD sees its data device
+// degrade.
+func (r *RAID0) SetFaultHook(h FaultHook) { r.fault = h }
 
 // NewRAID0 aggregates members with the given stripe size (bytes).
 func NewRAID0(name string, stripeSize int64, members ...Device) *RAID0 {
@@ -160,6 +178,12 @@ func (r *RAID0) parallel(p *sim.Proc, segs []segment, write bool) sim.Time {
 // Read stripes the request across members (parallel for multi-stripe ops).
 func (r *RAID0) Read(p *sim.Proc, off, size int64) sim.Time {
 	lat := r.parallel(p, r.segments(off, size), false)
+	if r.fault != nil {
+		if extra := r.fault.ReadDelay(lat, size); extra > 0 {
+			p.Sleep(extra)
+			lat += extra
+		}
+	}
 	r.stats.Reads.Inc()
 	r.stats.BytesRead.Add(uint64(size))
 	r.stats.ReadLat.Record(int64(lat))
@@ -169,6 +193,12 @@ func (r *RAID0) Read(p *sim.Proc, off, size int64) sim.Time {
 // Write stripes the request across members (parallel for multi-stripe ops).
 func (r *RAID0) Write(p *sim.Proc, off, size int64) sim.Time {
 	lat := r.parallel(p, r.segments(off, size), true)
+	if r.fault != nil {
+		if extra := r.fault.WriteDelay(lat, size); extra > 0 {
+			p.Sleep(extra)
+			lat += extra
+		}
+	}
 	r.stats.Writes.Inc()
 	r.stats.BytesWritten.Add(uint64(size))
 	r.stats.WriteLat.Record(int64(lat))

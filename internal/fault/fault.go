@@ -1,0 +1,161 @@
+// Package fault provides deterministic fault injection for the simulated
+// cluster: latent disk errors and slow-disk latency inflation (hooked into
+// internal/device), and seeded thrash schedules (crash/restart/partition
+// cycles) executed by the QA harness. Every fault draw comes from a forked
+// rng stream, so a fixed seed yields a bit-for-bit identical fault history;
+// when a fault class is disabled its rng is never consulted, so enabling
+// the hooks with zero rates perturbs nothing.
+package fault
+
+import (
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// DiskStats counts injected device faults.
+type DiskStats struct {
+	ReadErrors uint64 // latent read errors (retried after a penalty)
+	SlowReads  uint64 // reads inflated by the slow-disk factor
+	SlowWrites uint64 // writes inflated by the slow-disk factor
+}
+
+// DiskFaults implements device.FaultHook: it injects latent read errors
+// (a read succeeds only after an error-and-retry penalty) and slow-disk
+// latency inflation (a failing or worn device serving I/O at a fraction of
+// its rated speed). All state changes are instantaneous and deterministic.
+type DiskFaults struct {
+	rnd *rng.Rand
+
+	slowFactor   float64  // >1 inflates every I/O by (factor-1)*base
+	readErrProb  float64  // probability a read hits a latent error
+	readErrDelay sim.Time // penalty per latent error (error + retry)
+
+	stats DiskStats
+}
+
+// NewDiskFaults creates an inactive hook with its own seeded stream.
+func NewDiskFaults(seed uint64) *DiskFaults {
+	return &DiskFaults{rnd: rng.New(seed)}
+}
+
+// SetSlow inflates device latency by factor (e.g. 3.0 = 3x slower);
+// factor <= 1 clears the fault.
+func (d *DiskFaults) SetSlow(factor float64) { d.slowFactor = factor }
+
+// SetReadErrors injects latent read errors with probability prob, each
+// costing penalty extra latency (the device-internal retry). prob <= 0
+// clears the fault.
+func (d *DiskFaults) SetReadErrors(prob float64, penalty sim.Time) {
+	d.readErrProb = prob
+	d.readErrDelay = penalty
+}
+
+// Clear removes all active disk faults.
+func (d *DiskFaults) Clear() {
+	d.slowFactor = 0
+	d.readErrProb = 0
+}
+
+// Stats returns accumulated fault counts.
+func (d *DiskFaults) Stats() DiskStats { return d.stats }
+
+// ReadDelay returns extra latency for a read of `size` bytes whose fault-free
+// service time was `base`. The rng is only consulted while a probabilistic
+// fault is active, keeping fault-free runs bit-identical to hook-free ones.
+func (d *DiskFaults) ReadDelay(base sim.Time, size int64) sim.Time {
+	var extra sim.Time
+	if d.slowFactor > 1 {
+		extra += sim.Time(float64(base) * (d.slowFactor - 1))
+		d.stats.SlowReads++
+	}
+	if d.readErrProb > 0 && d.rnd.Float64() < d.readErrProb {
+		extra += d.readErrDelay
+		d.stats.ReadErrors++
+	}
+	return extra
+}
+
+// WriteDelay returns extra latency for a write (slow-disk inflation only;
+// latent errors are a read phenomenon).
+func (d *DiskFaults) WriteDelay(base sim.Time, size int64) sim.Time {
+	if d.slowFactor > 1 {
+		d.stats.SlowWrites++
+		return sim.Time(float64(base) * (d.slowFactor - 1))
+	}
+	return 0
+}
+
+// OpKind enumerates thrash-schedule operations.
+type OpKind int
+
+// Thrash operations. Crash/Restart/Recover target an OSD; PartitionClient/
+// HealClient isolate a client from the public network; SlowDisk/ReadErrors/
+// ClearDisk drive a DiskFaults hook.
+const (
+	Crash OpKind = iota
+	Restart
+	Recover
+	PartitionClient
+	HealClient
+	SlowDisk
+	ReadErrors
+	ClearDisk
+)
+
+// Op is one scheduled fault action. At is an absolute simulated time;
+// Target is an OSD id (Crash/Restart/Recover/SlowDisk/ReadErrors/ClearDisk)
+// or a client index (PartitionClient/HealClient). Factor parameterizes
+// SlowDisk (latency multiplier) and ReadErrors (probability).
+type Op struct {
+	At     sim.Time
+	Kind   OpKind
+	Target int
+	Factor float64
+}
+
+// Plan sizes a generated thrash schedule.
+type Plan struct {
+	OSDs        int      // OSDs available as crash victims
+	Clients     int      // clients available as partition victims
+	Start       sim.Time // first fault no earlier than this
+	CrashCycles int      // crash -> restart -> recover sequences
+	CycleGap    sim.Time // spacing between cycle phases
+	Partition   bool     // include one client partition window
+	DiskFaults  bool     // include one slow-disk and one read-error window
+}
+
+// Generate derives a deterministic fault schedule from the plan and seed.
+// Ops come out in non-decreasing time order; crash cycles never overlap, so
+// at most one OSD is down at a time (the QA cluster runs two replicas).
+func Generate(p Plan, seed uint64) []Op {
+	r := rng.New(seed)
+	var ops []Op
+	t := p.Start
+	for i := 0; i < p.CrashCycles; i++ {
+		victim := r.Intn(p.OSDs)
+		ops = append(ops,
+			Op{At: t, Kind: Crash, Target: victim},
+			Op{At: t + p.CycleGap, Kind: Restart, Target: victim},
+			Op{At: t + 2*p.CycleGap, Kind: Recover, Target: victim},
+		)
+		t += 3 * p.CycleGap
+	}
+	if p.Partition && p.Clients > 0 {
+		victim := r.Intn(p.Clients)
+		ops = append(ops,
+			Op{At: t, Kind: PartitionClient, Target: victim},
+			Op{At: t + p.CycleGap, Kind: HealClient, Target: victim},
+		)
+		t += 2 * p.CycleGap
+	}
+	if p.DiskFaults {
+		victim := r.Intn(p.OSDs)
+		ops = append(ops,
+			Op{At: t, Kind: SlowDisk, Target: victim, Factor: 2 + 2*r.Float64()},
+			Op{At: t + p.CycleGap, Kind: ClearDisk, Target: victim},
+			Op{At: t + p.CycleGap, Kind: ReadErrors, Target: victim, Factor: 0.05 + 0.1*r.Float64()},
+			Op{At: t + 2*p.CycleGap, Kind: ClearDisk, Target: victim},
+		)
+	}
+	return ops
+}

@@ -117,6 +117,10 @@ type object struct {
 	version uint64
 	base    int64 // device extent base assigned on first touch
 	stamps  map[int64]uint64
+	// damaged marks latent media corruption that a deep scrub's checksum
+	// comparison would identify on this copy (set by CorruptObject,
+	// cleared when clean data is ingested over it).
+	damaged bool
 }
 
 // extentSize is the device address space reserved per object (the RBD
@@ -367,11 +371,50 @@ func (f *FileStore) ObjectNames() []string {
 	return names
 }
 
+// DeleteObject removes an object (recovery rollback of a divergent copy
+// that no surviving peer has, or scrub-repair removal of a stray clone).
+// It reports whether the object existed.
+func (f *FileStore) DeleteObject(oid string) bool {
+	if _, ok := f.objects[oid]; !ok {
+		return false
+	}
+	delete(f.objects, oid)
+	return true
+}
+
+// CorruptObject deterministically damages an object's stored data by
+// scrambling its extent stamps and flagging the copy damaged, modelling
+// latent media corruption (bit rot): the metadata version is untouched, so
+// only a deep scrub catches it — the flag stands in for the checksum
+// mismatch a real deep scrub computes, identifying *which* copy is bad.
+// It reports whether the object existed.
+func (f *FileStore) CorruptObject(oid string) bool {
+	o, ok := f.objects[oid]
+	if !ok {
+		return false
+	}
+	for off := range o.stamps {
+		o.stamps[off] ^= 0xdeadbeef
+	}
+	o.damaged = true
+	return true
+}
+
+// ObjectDamaged reports whether the stored copy is flagged as corrupted.
+func (f *FileStore) ObjectDamaged(oid string) bool {
+	if o, ok := f.objects[oid]; ok {
+		return o.damaged
+	}
+	return false
+}
+
 // ObjectState is a recoverable snapshot of one object's metadata.
 type ObjectState struct {
 	Size    int64
 	Version uint64
 	Stamps  map[int64]uint64
+	// Damaged carries the copy's corruption flag (checksum-mismatch state).
+	Damaged bool
 }
 
 // ExportObject snapshots an object's state for recovery. It charges no
@@ -381,7 +424,7 @@ func (f *FileStore) ExportObject(oid string) (ObjectState, bool) {
 	if !ok {
 		return ObjectState{}, false
 	}
-	st := ObjectState{Size: o.size, Version: o.version}
+	st := ObjectState{Size: o.size, Version: o.version, Damaged: o.damaged}
 	if o.stamps != nil {
 		st.Stamps = make(map[int64]uint64, len(o.stamps))
 		for k, v := range o.stamps {
@@ -412,6 +455,7 @@ func (f *FileStore) IngestObject(p *sim.Proc, oid string, st ObjectState) {
 	f.stats.DataBytes.Add(uint64(size))
 	obj.size = st.Size
 	obj.version = st.Version
+	obj.damaged = st.Damaged
 	if f.cfg.VerifyData && st.Stamps != nil {
 		obj.stamps = make(map[int64]uint64, len(st.Stamps))
 		for k, v := range st.Stamps {

@@ -94,3 +94,15 @@ func (j *Journal) Submit(p *sim.Proc, bytes int64) int64 {
 func (j *Journal) Trim(padded int64) {
 	j.space.Release(padded)
 }
+
+// ReserveRecovered re-reserves ring space for an entry that is already on
+// the journal device — used when a crashed OSD reopens its retained journal
+// and must account for entries written before the crash but not yet applied
+// to the filestore. No device I/O is charged (the data is already there);
+// the caller Trims the same padded size once the entry is replayed.
+func (j *Journal) ReserveRecovered(padded int64) {
+	if !j.space.TryAcquire(padded) {
+		panic("journal: recovered entries exceed ring capacity")
+	}
+	j.head += padded
+}

@@ -10,6 +10,7 @@ package netsim
 
 import (
 	"repro/internal/cpumodel"
+	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -60,11 +61,58 @@ type Network struct {
 	BytesSent stats.Counter
 	// Msgs counts messages delivered.
 	Msgs stats.Counter
+	// Dropped counts messages lost to partitions, chaos drops, or dead
+	// (crashed) sender endpoints.
+	Dropped stats.Counter
+
+	// Fault-injection state. Partitions are symmetric per endpoint pair;
+	// dropProb/extraDelay apply to every message while set. The chaos rng
+	// is consulted only while dropProb > 0, so fault-free runs are
+	// bit-identical with or without a seeded stream.
+	partitions map[epPair]bool
+	dropProb   float64
+	extraDelay sim.Time
+	chaosRnd   *rng.Rand
 }
+
+type epPair struct{ a, b *Endpoint }
 
 // New creates a network on kernel k.
 func New(k *sim.Kernel, params Params) *Network {
-	return &Network{K: k, Params: params}
+	return &Network{K: k, Params: params, partitions: make(map[epPair]bool)}
+}
+
+// SeedFaults installs the rng stream used by probabilistic chaos (SetChaos
+// drop decisions). Without it, SetChaos with dropProb > 0 panics.
+func (n *Network) SeedFaults(seed uint64) { n.chaosRnd = rng.New(seed) }
+
+// Partition cuts the link between a and b in both directions: messages
+// between them are silently dropped until Heal.
+func (n *Network) Partition(a, b *Endpoint) {
+	n.partitions[epPair{a, b}] = true
+	n.partitions[epPair{b, a}] = true
+}
+
+// Heal restores the link between a and b.
+func (n *Network) Heal(a, b *Endpoint) {
+	delete(n.partitions, epPair{a, b})
+	delete(n.partitions, epPair{b, a})
+}
+
+// HealAll removes every partition.
+func (n *Network) HealAll() { n.partitions = make(map[epPair]bool) }
+
+// Partitioned reports whether the a->b link is cut.
+func (n *Network) Partitioned(a, b *Endpoint) bool { return n.partitions[epPair{a, b}] }
+
+// SetChaos drops each message with probability dropProb and delays every
+// delivery by extraDelay. Requires SeedFaults first when dropProb > 0.
+func (n *Network) SetChaos(dropProb float64, extraDelay sim.Time) {
+	if dropProb > 0 && n.chaosRnd == nil {
+		panic("netsim: SetChaos with dropProb needs SeedFaults")
+	}
+	n.dropProb = dropProb
+	n.extraDelay = extraDelay
 }
 
 // Message is one transfer on the fabric.
@@ -104,6 +152,7 @@ type Endpoint struct {
 	node    *cpumodel.Node
 	nic     *NIC
 	noDelay bool
+	dead    bool
 	handler Handler
 	rx      map[*Endpoint]*rxConn
 	tx      map[*Endpoint]*txConn
@@ -158,6 +207,15 @@ func (e *Endpoint) NoDelay() bool { return e.noDelay }
 // sends to this endpoint.
 func (e *Endpoint) SetHandler(h Handler) { e.handler = h }
 
+// SetDead marks the endpoint's process crashed: messages still queued in
+// its outbound connections are dropped instead of delivered (the host's
+// socket buffers died with it). Messages already on the wire — handed to
+// the delivery timer — still arrive. Revived endpoints resume sending.
+func (e *Endpoint) SetDead(v bool) { e.dead = v }
+
+// Dead reports whether the endpoint is crashed.
+func (e *Endpoint) Dead() bool { return e.dead }
+
 // Send queues size payload bytes toward dst and returns immediately: the
 // connection's sender process serializes the transfer onto the NIC
 // (SimpleMessenger semantics — I/O threads never block on the wire).
@@ -186,10 +244,24 @@ func (e *Endpoint) sendLoop(p *sim.Proc, c *txConn, dst *Endpoint) {
 		if !ok {
 			return
 		}
+		if e.dead {
+			// The sending process crashed with this message still in its
+			// socket buffer: it never reaches the wire.
+			e.net.Dropped.Inc()
+			continue
+		}
 		tx := sim.Time(m.Size * int64(sim.Second) / e.net.Params.BytesPerSec)
 		e.nic.egress.Use(p, tx)
 		e.net.BytesSent.Add(uint64(m.Size))
-		delay := e.net.Params.Propagation
+		if e.net.Partitioned(e, dst) {
+			e.net.Dropped.Inc()
+			continue
+		}
+		if e.net.dropProb > 0 && e.net.chaosRnd.Float64() < e.net.dropProb {
+			e.net.Dropped.Inc()
+			continue
+		}
+		delay := e.net.Params.Propagation + e.net.extraDelay
 		if !e.noDelay && m.Size < MSS {
 			delay += e.net.Params.NagleDelay
 		}

@@ -1,0 +1,126 @@
+package osd
+
+import (
+	"repro/internal/sim"
+)
+
+// Crash kills the OSD daemon at the current instant, as an injected fault
+// would: every in-flight op, queued work item and un-journaled write is
+// lost, and the daemon stops receiving messages. What survives is exactly
+// the durable state — the filestore contents, and the NVRAM journal's
+// retained (journaled-but-unapplied) entries, which Restart replays. PG
+// logs are truncated to the durable horizon: applied state plus retained
+// journal entries; sequences above it were never durable here.
+//
+// Crash is instantaneous (no sim time passes) and idempotent.
+func (o *OSD) Crash() {
+	if o.crashed {
+		return
+	}
+	o.crashed = true
+	o.dirty = true
+	o.gen++
+	o.metrics.Crashes.Inc()
+	// Messages still sitting in this daemon's socket buffers die with it.
+	o.ep.SetDead(true)
+	if o.cep != o.ep {
+		o.cep.SetDead(true)
+	}
+
+	// Durable horizon per PG: the highest sequence that is applied or
+	// journaled. Journal submission is per-PG FIFO, so every sequence at or
+	// below the horizon is durable and the kept log prefix stays contiguous.
+	durable := make(map[uint32]uint64)
+	for pg, l := range o.pglogs {
+		durable[pg] = l.appliedSeq
+	}
+	for _, e := range o.retained {
+		if !e.applied && e.seq > durable[e.pg] {
+			durable[e.pg] = e.seq
+		}
+	}
+	for pg, l := range o.pglogs {
+		h := durable[pg]
+		cut := len(l.entries)
+		for cut > 0 && l.entries[cut-1].Seq > h {
+			cut--
+		}
+		l.entries = l.entries[:cut]
+		head := l.trimmedTo
+		if n := len(l.entries); n > 0 {
+			head = l.entries[n-1].Seq
+		}
+		o.pgSeq[pg] = head
+	}
+	// Pending ordered-ack state referenced dead ops.
+	o.ackNext = make(map[uint32]uint64)
+	o.ackHeld = make(map[uint32]map[uint64]*ClientOp)
+}
+
+// Restart boots a fresh daemon instance after a Crash: it rebuilds the
+// engine (queues, throttles, an empty ring with the retained entries'
+// space re-reserved), replays every journaled-but-unapplied entry into the
+// filestore in journal order — this is what makes acked writes crash
+// consistent — and resumes receiving messages. It consumes simulated time
+// for the replay I/O and returns the number of entries replayed.
+//
+// The OSD stays marked down in the cluster map until recovery
+// (RecoverOSD) backfills it; the dirty flag tells recovery that this was a
+// crash, not an administrative down, so PG logs of peers cannot be
+// trusted to describe this OSD's delta.
+func (o *OSD) Restart(p *sim.Proc) int {
+	if !o.crashed {
+		panic("osd: Restart on a live OSD")
+	}
+	o.buildEngine()
+	var pending []*retainedEntry
+	for _, e := range o.retained {
+		if !e.applied {
+			pending = append(pending, e)
+		}
+	}
+	o.retained = nil
+	for _, e := range pending {
+		o.eng.jrnl.ReserveRecovered(e.padded)
+	}
+	replayed := 0
+	for _, e := range pending {
+		tx := o.makeTx(e.pg, e.oid, e.off, e.length, e.stamp)
+		o.fs.Apply(p, tx)
+		e.applied = true
+		o.markApplied(e.pg, e.seq)
+		o.eng.jrnl.Trim(e.padded)
+		replayed++
+	}
+	o.metrics.JournalReplays.Add(uint64(replayed))
+	o.crashed = false
+	o.ep.SetDead(false)
+	if o.cep != o.ep {
+		o.cep.SetDead(false)
+	}
+	o.spawnWorkers()
+	return replayed
+}
+
+// Crashed reports whether the daemon is currently down from a crash.
+func (o *OSD) Crashed() bool { return o.crashed }
+
+// Dirty reports whether the OSD restarted from a crash and has not yet
+// been through recovery (peers' PG logs cannot describe its delta).
+func (o *OSD) Dirty() bool { return o.dirty }
+
+// ClearDirty marks crash recovery complete; called by cluster recovery
+// after the backfill.
+func (o *OSD) ClearDirty() { o.dirty = false }
+
+// RetainedEntries reports how many journaled-but-unapplied entries the
+// NVRAM ring currently holds (diagnostic).
+func (o *OSD) RetainedEntries() int {
+	n := 0
+	for _, e := range o.retained {
+		if !e.applied {
+			n++
+		}
+	}
+	return n
+}

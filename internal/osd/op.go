@@ -41,8 +41,11 @@ type ClientOp struct {
 	localCommit bool
 	acked       bool
 	seq         uint64
-	received    sim.Time
-	tr          *Trace
+	// gen is the OSD process generation that accepted the op; completions
+	// carrying an op from before a crash are discarded.
+	gen      int
+	received sim.Time
+	tr       *Trace
 }
 
 // Reply is the payload of a MsgReply message.
@@ -87,4 +90,20 @@ type jEntry struct {
 	enq    sim.Time
 	cop    *ClientOp // set at the primary
 	rop    *repOp    // set at a replica
+	ret    *retainedEntry
+}
+
+// retainedEntry mirrors one journaled-but-not-yet-applied transaction. The
+// slice of these is the crash-survivable image of the NVRAM ring: on a crash
+// every unapplied entry is replayed into the filestore at Restart, which is
+// what makes an ack (given after journal submit) durable across the crash.
+type retainedEntry struct {
+	pg      uint32
+	seq     uint64
+	oid     string
+	off     int64
+	length  int64
+	stamp   uint64
+	padded  int64
+	applied bool
 }

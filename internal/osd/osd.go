@@ -48,19 +48,23 @@ type Metrics struct {
 	ReadOps  stats.Counter
 	RepOps   stats.Counter
 	AcksSent stats.Counter
+	// Crashes counts injected daemon crashes; JournalReplays counts
+	// journaled-but-unapplied transactions replayed into the filestore on
+	// restart.
+	Crashes        stats.Counter
+	JournalReplays stats.Counter
 }
 
-// OSD is one object storage daemon.
-type OSD struct {
-	k    *sim.Kernel
-	cfg  Config
-	node *cpumodel.Node
-	ep   *netsim.Endpoint // public network (clients)
-	cep  *netsim.Endpoint // cluster network (replication); may equal ep
+// engine is the per-process-generation half of an OSD: everything that dies
+// with the daemon on a crash and is rebuilt on restart. Durable state (the
+// filestore, the PG logs up to the durable horizon, the retained journal
+// image) lives on the OSD itself. Workers capture the engine they were
+// spawned with; a generation mismatch against the OSD tells a worker its
+// daemon instance is gone and it must stop touching shared state.
+type engine struct {
+	gen int
 
-	fs     *filestore.FileStore
-	jrnl   *journal.Journal
-	logger *oslog.Logger
+	jrnl *journal.Journal
 
 	locks *core.ShardLocks
 	disp  *core.Dispatcher[workItem]
@@ -73,6 +77,29 @@ type OSD struct {
 	fsQ       *sim.Queue[*jEntry]
 	finisherQ *sim.Queue[finEvent]
 	stageQ    *sim.Queue[stagedItem]
+}
+
+// OSD is one object storage daemon.
+type OSD struct {
+	k    *sim.Kernel
+	cfg  Config
+	node *cpumodel.Node
+	ep   *netsim.Endpoint // public network (clients)
+	cep  *netsim.Endpoint // cluster network (replication); may equal ep
+
+	fs         *filestore.FileStore
+	journalDev device.Device
+	logger     *oslog.Logger
+
+	// eng is the live daemon instance; gen counts restarts. crashed gates
+	// the message handlers while the daemon is down; dirty marks a restart
+	// after a crash (recovery must backfill rather than trust PG logs).
+	eng     *engine
+	gen     int
+	crashed bool
+	dirty   bool
+	// retained mirrors journaled-but-unapplied entries (see retainedEntry).
+	retained []*retainedEntry
 
 	placer func(pg uint32) []*netsim.Endpoint
 
@@ -112,6 +139,7 @@ func NewSplit(k *sim.Kernel, cfg Config, node *cpumodel.Node, ep, cep *netsim.En
 		node:          node,
 		ep:            ep,
 		cep:           cep,
+		journalDev:    journalDev,
 		pgSeq:         make(map[uint32]uint64),
 		pglogs:        make(map[uint32]*pgLog),
 		ackNext:       make(map[uint32]uint64),
@@ -121,42 +149,67 @@ func NewSplit(k *sim.Kernel, cfg Config, node *cpumodel.Node, ep, cep *netsim.En
 	}
 	db := kvstore.New(k, name+".kv", dataDev, node, kvstore.DefaultParams())
 	o.fs = filestore.New(k, name+".fs", dataDev, db, node, cfg.FStore, r)
-	o.jrnl = journal.New(k, name+".journal", journalDev, cfg.JournalSize)
 	o.logger = oslog.New(k, name, node, cfg.LogMode, cfg.LogParams)
-
-	o.locks = core.NewShardLocks(k, name)
-	o.disp = core.NewDispatcher[workItem](k, name+".opwq", o.locks, 0, cfg.OptPendingQueue)
-	o.msgCap = sim.NewSemaphore(k, name+".msgcap", cfg.Throttles.OSDClientMessageCap)
-	o.fsThrottle = sim.NewSemaphore(k, name+".fsq", cfg.Throttles.FilestoreQueueMaxOps)
-	o.journalQ = sim.NewQueue[*jEntry](k, name+".jq", cfg.JournalQueueCap)
-	o.fsQ = sim.NewQueue[*jEntry](k, name+".fsq", 0)
 
 	ep.SetHandler(o.handleMessage)
 	if cep != ep {
 		cep.SetHandler(o.handleMessage)
 	}
+	o.buildEngine()
+	o.spawnWorkers()
+	return o
+}
 
-	for i := 0; i < cfg.NumOpWorkers; i++ {
-		k.Go(fmt.Sprintf("%s.opwq%d", name, i), func(p *sim.Proc) {
-			o.disp.RunWorker(p, o.processItem)
-		})
-	}
-	k.Go(name+".journalw", o.journalWriter)
-	for i := 0; i < cfg.NumFilestoreWorkers; i++ {
-		k.Go(fmt.Sprintf("%s.fsw%d", name, i), o.filestoreWorker)
-	}
+// buildEngine creates a fresh daemon instance: queues, throttles, locks,
+// dispatcher and an empty journal ring. Called at construction and again at
+// Restart; the previous engine (if any) is simply abandoned — workers of the
+// old generation park on its queues forever without generating events.
+func (o *OSD) buildEngine() {
+	k, cfg := o.k, o.cfg
+	name := fmt.Sprintf("osd%d.g%d", cfg.ID, o.gen)
+	eng := &engine{gen: o.gen}
+	eng.jrnl = journal.New(k, name+".journal", o.journalDev, cfg.JournalSize)
+	eng.locks = core.NewShardLocks(k, name)
+	eng.disp = core.NewDispatcher[workItem](k, name+".opwq", eng.locks, 0, cfg.OptPendingQueue)
+	eng.msgCap = sim.NewSemaphore(k, name+".msgcap", cfg.Throttles.OSDClientMessageCap)
+	eng.fsThrottle = sim.NewSemaphore(k, name+".fsq", cfg.Throttles.FilestoreQueueMaxOps)
+	eng.journalQ = sim.NewQueue[*jEntry](k, name+".jq", cfg.JournalQueueCap)
+	eng.fsQ = sim.NewQueue[*jEntry](k, name+".fsq", 0)
 	if cfg.OptCompletionWorker {
-		o.compw = core.NewCompletionWorker(k, name+".comp", o.locks, 64)
-		k.Go(name+".comp", o.compw.Run)
+		eng.compw = core.NewCompletionWorker(k, name+".comp", eng.locks, 64)
 	} else {
-		o.finisherQ = sim.NewQueue[finEvent](k, name+".finq", 0)
-		k.Go(name+".finisher", o.finisher)
+		eng.finisherQ = sim.NewQueue[finEvent](k, name+".finq", 0)
 	}
 	if cfg.WakeupBatch > 1 {
-		o.stageQ = sim.NewQueue[stagedItem](k, name+".stage", 0)
-		k.Go(name+".batcher", o.batchFlusher)
+		eng.stageQ = sim.NewQueue[stagedItem](k, name+".stage", 0)
 	}
-	return o
+	o.eng = eng
+}
+
+// spawnWorkers starts the worker processes of the current engine.
+func (o *OSD) spawnWorkers() {
+	eng := o.eng
+	cfg := o.cfg
+	name := fmt.Sprintf("osd%d.g%d", cfg.ID, eng.gen)
+	for i := 0; i < cfg.NumOpWorkers; i++ {
+		o.k.Go(fmt.Sprintf("%s.opwq%d", name, i), func(p *sim.Proc) {
+			eng.disp.RunWorker(p, func(p *sim.Proc, shard int, it workItem) {
+				o.processItem(p, eng, shard, it)
+			})
+		})
+	}
+	o.k.Go(name+".journalw", func(p *sim.Proc) { o.journalWriter(p, eng) })
+	for i := 0; i < cfg.NumFilestoreWorkers; i++ {
+		o.k.Go(fmt.Sprintf("%s.fsw%d", name, i), func(p *sim.Proc) { o.filestoreWorker(p, eng) })
+	}
+	if cfg.OptCompletionWorker {
+		o.k.Go(name+".comp", eng.compw.Run)
+	} else {
+		o.k.Go(name+".finisher", func(p *sim.Proc) { o.finisher(p, eng) })
+	}
+	if cfg.WakeupBatch > 1 {
+		o.k.Go(name+".batcher", func(p *sim.Proc) { o.batchFlusher(p, eng) })
+	}
 }
 
 // SetPlacer installs the function mapping a PG to its replica endpoints
@@ -173,17 +226,17 @@ func (o *OSD) ClusterEndpoint() *netsim.Endpoint { return o.cep }
 // FileStore exposes the backend (for integration-test verification).
 func (o *OSD) FileStore() *filestore.FileStore { return o.fs }
 
-// Journal exposes the write-ahead journal.
-func (o *OSD) Journal() *journal.Journal { return o.jrnl }
+// Journal exposes the write-ahead journal (of the current generation).
+func (o *OSD) Journal() *journal.Journal { return o.eng.jrnl }
 
 // Logger exposes the debug-log subsystem.
 func (o *OSD) Logger() *oslog.Logger { return o.logger }
 
 // Locks exposes the PG lock table (contention stats).
-func (o *OSD) Locks() *core.ShardLocks { return o.locks }
+func (o *OSD) Locks() *core.ShardLocks { return o.eng.locks }
 
 // Dispatcher exposes the OP_WQ.
-func (o *OSD) Dispatcher() *core.Dispatcher[workItem] { return o.disp }
+func (o *OSD) Dispatcher() *core.Dispatcher[workItem] { return o.eng.disp }
 
 // Metrics returns operation counters.
 func (o *OSD) Metrics() *Metrics { return &o.metrics }
@@ -192,10 +245,10 @@ func (o *OSD) Metrics() *Metrics { return &o.metrics }
 func (o *OSD) Traces() *TraceCollector { return o.traces }
 
 // FsThrottle exposes the filestore throttle (for fluctuation analysis).
-func (o *OSD) FsThrottle() *sim.Semaphore { return o.fsThrottle }
+func (o *OSD) FsThrottle() *sim.Semaphore { return o.eng.fsThrottle }
 
 // MsgCap exposes the client-message throttle.
-func (o *OSD) MsgCap() *sim.Semaphore { return o.msgCap }
+func (o *OSD) MsgCap() *sim.Semaphore { return o.eng.msgCap }
 
 // Config returns the active configuration.
 func (o *OSD) Config() Config { return o.cfg }
@@ -203,6 +256,12 @@ func (o *OSD) Config() Config { return o.cfg }
 // handleMessage is the messenger dispatch: it runs on the per-connection
 // receiver process.
 func (o *OSD) handleMessage(p *sim.Proc, m *netsim.Message) {
+	if o.crashed {
+		// The daemon is down: the connection is effectively reset and the
+		// message vanishes. Clients recover via timeout and retry.
+		return
+	}
+	eng := o.eng
 	switch m.Kind {
 	case MsgWrite, MsgRead:
 		cop := m.Payload.(*ClientOp)
@@ -216,14 +275,20 @@ func (o *OSD) handleMessage(p *sim.Proc, m *netsim.Message) {
 		}
 		// osd_client_message_cap: blocks this connection when the OSD has
 		// too many client messages in flight.
-		o.msgCap.Acquire(p, 1)
-		o.enqueue(p, workItem{cop: cop})
+		eng.msgCap.Acquire(p, 1)
+		if o.gen != eng.gen {
+			return // crashed while throttled
+		}
+		o.enqueue(p, eng, workItem{cop: cop})
 	case MsgRepOp:
 		rop := m.Payload.(*repOp)
 		rop.parent.tr.stamp(StageRepReceived, p.Now())
-		o.enqueue(p, workItem{rop: rop})
+		o.enqueue(p, eng, workItem{rop: rop})
 	case MsgRepCommit:
 		rc := m.Payload.(*repCommit)
+		if rc.parent.gen != o.gen {
+			return // commit for an op accepted before a crash
+		}
 		if o.cfg.OptFastAck {
 			// §3.1: process the ack right away in messenger context
 			// instead of pushing it through the PG queue.
@@ -231,7 +296,7 @@ func (o *OSD) handleMessage(p *sim.Proc, m *netsim.Message) {
 			o.commitArrived(p, rc.parent, true)
 		} else {
 			// Community: acks share the data path and its PG locking.
-			o.enqueue(p, workItem{rc: rc})
+			o.enqueue(p, eng, workItem{rc: rc})
 		}
 	default:
 		panic("osd: unknown message kind")
@@ -240,12 +305,12 @@ func (o *OSD) handleMessage(p *sim.Proc, m *netsim.Message) {
 
 // enqueue routes an item into the OP_WQ, via the batching stage when the
 // community wakeup-batch behaviour is configured.
-func (o *OSD) enqueue(p *sim.Proc, it workItem) {
-	if o.stageQ != nil {
-		o.stageQ.Push(p, stagedItem{it: it, at: p.Now()})
+func (o *OSD) enqueue(p *sim.Proc, eng *engine, it workItem) {
+	if eng.stageQ != nil {
+		eng.stageQ.Push(p, stagedItem{it: it, at: p.Now()})
 		return
 	}
-	o.disp.Submit(p, int(o.itemPG(it)), it)
+	eng.disp.Submit(p, int(o.itemPG(it)), it)
 }
 
 func (o *OSD) itemPG(it workItem) uint32 {
@@ -262,17 +327,17 @@ func (o *OSD) itemPG(it workItem) uint32 {
 
 // batchFlusher implements the HDD-era batching wakeup: ops wait until
 // WakeupBatch peers have queued or the oldest has waited WakeupTimeout.
-func (o *OSD) batchFlusher(p *sim.Proc) {
+func (o *OSD) batchFlusher(p *sim.Proc, eng *engine) {
 	const poll = 200 * sim.Microsecond
 	for {
-		first, ok := o.stageQ.Pop(p)
-		if !ok {
+		first, ok := eng.stageQ.Pop(p)
+		if !ok || o.gen != eng.gen {
 			return
 		}
 		batch := []stagedItem{first}
 		deadline := first.at + o.cfg.WakeupTimeout
 		for len(batch) < o.cfg.WakeupBatch {
-			if v, ok := o.stageQ.TryPop(); ok {
+			if v, ok := eng.stageQ.TryPop(); ok {
 				batch = append(batch, v)
 				continue
 			}
@@ -285,22 +350,31 @@ func (o *OSD) batchFlusher(p *sim.Proc) {
 			}
 			p.Sleep(d)
 		}
+		if o.gen != eng.gen {
+			return
+		}
 		for _, s := range batch {
-			o.disp.Submit(p, int(o.itemPG(s.it)), s.it)
+			eng.disp.Submit(p, int(o.itemPG(s.it)), s.it)
 		}
 	}
 }
 
 // processItem runs in an OP_WQ worker with the PG lock held.
-func (o *OSD) processItem(p *sim.Proc, shard int, it workItem) {
+func (o *OSD) processItem(p *sim.Proc, eng *engine, shard int, it workItem) {
+	if o.gen != eng.gen {
+		return // this daemon instance crashed; drop queued work
+	}
 	switch {
 	case it.cop != nil && it.cop.Kind == OpWrite:
-		o.processWrite(p, it.cop)
+		o.processWrite(p, eng, it.cop)
 	case it.cop != nil:
-		o.processRead(p, it.cop)
+		o.processRead(p, eng, it.cop)
 	case it.rop != nil:
-		o.processRepOp(p, it.rop)
+		o.processRepOp(p, eng, it.rop)
 	case it.rc != nil:
+		if it.rc.parent.gen != o.gen {
+			return
+		}
 		// Community ack processing: full completion cost under the PG lock.
 		o.node.UseWithAllocs(p, o.cfg.Costs.CommitCPU, o.cfg.Costs.CommitAllocs)
 		o.logger.Log(p, siteCommit, o.cfg.LogPerStage)
@@ -309,13 +383,17 @@ func (o *OSD) processItem(p *sim.Proc, shard int, it workItem) {
 }
 
 // processWrite is the primary write path, steps (1)-(3) of Figure 2(b).
-func (o *OSD) processWrite(p *sim.Proc, op *ClientOp) {
+func (o *OSD) processWrite(p *sim.Proc, eng *engine, op *ClientOp) {
 	op.tr.stamp(StageDequeued, p.Now())
 	o.metrics.WriteOps.Inc()
 	o.logger.Log(p, siteOpEnter, o.cfg.LogPerStage)
 	c := &o.cfg.Costs
 	o.node.UseWithAllocs(p, c.OpSetupCPU, c.OpSetupAllocs)
 	o.node.UseWithAllocs(p, c.PGLogBuildCPU, c.PGLogBuildAllocs)
+	if o.gen != eng.gen {
+		return // crashed during op setup: nothing assigned yet
+	}
+	op.gen = eng.gen
 	o.pgSeq[op.PG]++
 	op.seq = o.pgSeq[op.PG]
 	o.appendPGLog(op.PG, PGLogEntry{Seq: op.seq, OID: op.OID, Stamp: op.Stamp})
@@ -336,53 +414,80 @@ func (o *OSD) processWrite(p *sim.Proc, op *ClientOp) {
 	// until the filestore has applied the transaction. With the HDD-sized
 	// default this acquire blocks *while the PG lock is held* — the §2.4
 	// backup the paper observed.
-	o.fsThrottle.Acquire(p, 1)
+	eng.fsThrottle.Acquire(p, 1)
+	if o.gen != eng.gen {
+		return // crashed before the journal saw it: never acked, never durable
+	}
 	op.tr.stamp(StageSubmitted, p.Now())
-	o.journalQ.Push(p, &jEntry{pg: op.PG, seq: op.seq, bytes: op.Len + c.JournalHeaderBytes, enq: p.Now(), cop: op})
+	eng.journalQ.Push(p, &jEntry{pg: op.PG, seq: op.seq, bytes: op.Len + c.JournalHeaderBytes, enq: p.Now(), cop: op})
 }
 
 // processRead services a read on the primary under the PG lock.
-func (o *OSD) processRead(p *sim.Proc, op *ClientOp) {
+func (o *OSD) processRead(p *sim.Proc, eng *engine, op *ClientOp) {
 	o.metrics.ReadOps.Inc()
 	c := &o.cfg.Costs
 	o.logger.Log(p, siteRead, o.cfg.LogPerStage)
 	o.node.UseWithAllocs(p, c.OpSetupCPU, c.OpSetupAllocs)
 	o.node.Use(p, c.ReadCPU)
 	st, exists := o.fs.Read(p, op.OID, op.Off, op.Len)
+	if o.gen != eng.gen {
+		return // crashed mid-read: no reply, client retries elsewhere
+	}
 	o.logger.Log(p, siteAck, o.cfg.LogPerStage)
 	o.ep.Send(p, op.Client, op.Len+c.ReadReplyOverhead, MsgReply,
 		&Reply{Op: op, Stamp: st, Exists: exists})
-	o.msgCap.Release(1)
+	eng.msgCap.Release(1)
 }
 
 // processRepOp is the replica write path.
-func (o *OSD) processRepOp(p *sim.Proc, rop *repOp) {
+func (o *OSD) processRepOp(p *sim.Proc, eng *engine, rop *repOp) {
 	o.metrics.RepOps.Inc()
 	c := &o.cfg.Costs
 	o.logger.Log(p, siteOpEnter, o.cfg.LogPerStage)
 	o.node.UseWithAllocs(p, c.OpSetupCPU, c.OpSetupAllocs)
 	o.node.UseWithAllocs(p, c.PGLogBuildCPU, c.PGLogBuildAllocs)
+	if o.gen != eng.gen {
+		return
+	}
 	// Track the primary-assigned sequence so this OSD can continue the
 	// numbering seamlessly if it ever becomes the acting primary.
 	if rop.seq > o.pgSeq[rop.pg] {
 		o.pgSeq[rop.pg] = rop.seq
 	}
 	o.appendPGLog(rop.pg, PGLogEntry{Seq: rop.seq, OID: rop.oid, Stamp: rop.stamp})
-	o.fsThrottle.Acquire(p, 1)
-	o.journalQ.Push(p, &jEntry{pg: rop.pg, seq: rop.seq, bytes: rop.length + c.JournalHeaderBytes, enq: p.Now(), rop: rop})
+	eng.fsThrottle.Acquire(p, 1)
+	if o.gen != eng.gen {
+		return
+	}
+	eng.journalQ.Push(p, &jEntry{pg: rop.pg, seq: rop.seq, bytes: rop.length + c.JournalHeaderBytes, enq: p.Now(), rop: rop})
 }
 
 // journalWriter drains the journal queue onto the journal device and
 // dispatches commit completions.
-func (o *OSD) journalWriter(p *sim.Proc) {
+func (o *OSD) journalWriter(p *sim.Proc, eng *engine) {
 	c := &o.cfg.Costs
 	for {
-		e, ok := o.journalQ.Pop(p)
-		if !ok {
+		e, ok := eng.journalQ.Pop(p)
+		if !ok || o.gen != eng.gen {
 			return
 		}
 		o.JournalQDelay.Record(int64(p.Now() - e.enq))
-		e.padded = o.jrnl.Submit(p, e.bytes) // blocks while the ring is full
+		e.padded = eng.jrnl.Submit(p, e.bytes) // blocks while the ring is full
+		if o.gen != eng.gen {
+			// Torn journal write: the crash hit mid-I/O, so the entry is
+			// not durable. It was never acked; the client retries.
+			return
+		}
+		// The entry is durable in NVRAM: retain its image for crash replay
+		// until the filestore apply lands.
+		ret := &retainedEntry{pg: e.pg, seq: e.seq, padded: e.padded}
+		if e.cop != nil {
+			ret.oid, ret.off, ret.length, ret.stamp = e.cop.OID, e.cop.Off, e.cop.Len, e.cop.Stamp
+		} else {
+			ret.oid, ret.off, ret.length, ret.stamp = e.rop.oid, e.rop.off, e.rop.length, e.rop.stamp
+		}
+		e.ret = ret
+		o.retained = append(o.retained, ret)
 		if e.cop != nil {
 			e.cop.tr.stamp(StageJournalWritten, p.Now())
 		}
@@ -400,28 +505,28 @@ func (o *OSD) journalWriter(p *sim.Proc) {
 				o.sendRepCommit(p, e.rop)
 			}
 			pg := e.pg
-			o.compw.Defer(p, core.Completion{Shard: int(pg), Fn: func(pp *sim.Proc) {
+			eng.compw.Defer(p, core.Completion{Shard: int(pg), Fn: func(pp *sim.Proc) {
 				o.node.Use(pp, c.DeferredCPU)
 				o.logger.Log(pp, siteCommit, o.cfg.LogPerStage)
 			}})
 		} else {
-			o.finisherQ.Push(p, finEvent{kind: finCommit, e: e})
+			eng.finisherQ.Push(p, finEvent{kind: finCommit, e: e})
 		}
 		// Write-ahead order: filestore apply follows the journal write.
-		o.fsQ.Push(p, e)
+		eng.fsQ.Push(p, e)
 	}
 }
 
 // finisher is the community single completion thread: every journal commit
 // and filestore-applied event takes the PG lock here, one at a time.
-func (o *OSD) finisher(p *sim.Proc) {
+func (o *OSD) finisher(p *sim.Proc, eng *engine) {
 	c := &o.cfg.Costs
 	for {
-		ev, ok := o.finisherQ.Pop(p)
-		if !ok {
+		ev, ok := eng.finisherQ.Pop(p)
+		if !ok || o.gen != eng.gen {
 			return
 		}
-		lock := o.locks.Get(int(ev.e.pg))
+		lock := eng.locks.Get(int(ev.e.pg))
 		lock.Lock(p)
 		o.node.UseWithAllocs(p, c.CommitCPU, c.CommitAllocs)
 		switch ev.kind {
@@ -446,47 +551,60 @@ func (o *OSD) sendRepCommit(p *sim.Proc, rop *repOp) {
 
 // filestoreWorker applies journaled transactions to the backend, trims the
 // journal and returns the throttle token.
-func (o *OSD) filestoreWorker(p *sim.Proc) {
+func (o *OSD) filestoreWorker(p *sim.Proc, eng *engine) {
 	c := &o.cfg.Costs
 	for {
-		e, ok := o.fsQ.Pop(p)
-		if !ok {
+		e, ok := eng.fsQ.Pop(p)
+		if !ok || o.gen != eng.gen {
 			return
 		}
 		tx := o.buildTx(e)
 		o.fs.Apply(p, tx)
+		if e.ret != nil {
+			// The apply landed even if the daemon died mid-I/O; a possible
+			// duplicate replay is healed by the dirty-restart backfill.
+			e.ret.applied = true
+		}
+		if o.gen != eng.gen {
+			return
+		}
 		o.markApplied(e.pg, e.seq)
-		o.jrnl.Trim(e.padded)
-		o.fsThrottle.Release(1)
+		eng.jrnl.Trim(e.padded)
+		eng.fsThrottle.Release(1)
+		o.compactRetained()
 		if o.cfg.OptCompletionWorker {
 			pg := e.pg
-			o.compw.Defer(p, core.Completion{Shard: int(pg), Fn: func(pp *sim.Proc) {
+			eng.compw.Defer(p, core.Completion{Shard: int(pg), Fn: func(pp *sim.Proc) {
 				o.node.Use(pp, c.DeferredCPU)
 				o.logger.Log(pp, siteApplied, o.cfg.LogPerStage)
 			}})
 		} else {
-			o.finisherQ.Push(p, finEvent{kind: finApplied, e: e})
+			eng.finisherQ.Push(p, finEvent{kind: finApplied, e: e})
 		}
 	}
 }
 
-// buildTx converts a journal entry into a filestore transaction.
-func (o *OSD) buildTx(e *jEntry) *filestore.Transaction {
+// compactRetained drops the applied prefix of the retained-journal mirror,
+// matching the ring's trim order (journal submit order == retained order).
+func (o *OSD) compactRetained() {
+	i := 0
+	for i < len(o.retained) && o.retained[i].applied {
+		i++
+	}
+	if i > 0 {
+		o.retained = o.retained[i:]
+	}
+}
+
+// makeTx builds a filestore transaction for one logical write.
+func (o *OSD) makeTx(pg uint32, oid string, off, length int64, stamp uint64) *filestore.Transaction {
 	c := &o.cfg.Costs
 	o.logSeq++
-	var oid string
-	var off, length int64
-	var stamp uint64
-	if e.cop != nil {
-		oid, off, length, stamp = e.cop.OID, e.cop.Off, e.cop.Len, e.cop.Stamp
-	} else {
-		oid, off, length, stamp = e.rop.oid, e.rop.off, e.rop.length, e.rop.stamp
-	}
 	return &filestore.Transaction{
 		OID:        oid,
 		Off:        off,
 		Len:        length,
-		PGLogKey:   fmt.Sprintf("pglog.%d.%d", e.pg, o.logSeq),
+		PGLogKey:   fmt.Sprintf("pglog.%d.%d", pg, o.logSeq),
 		PGLogValue: make([]byte, c.PGLogValueBytes),
 		OmapOps: []kvstore.Op{
 			{Key: fmt.Sprintf("omap.%s.info", oid), Value: make([]byte, c.OmapBytes)},
@@ -496,11 +614,22 @@ func (o *OSD) buildTx(e *jEntry) *filestore.Transaction {
 	}
 }
 
+// buildTx converts a journal entry into a filestore transaction.
+func (o *OSD) buildTx(e *jEntry) *filestore.Transaction {
+	if e.cop != nil {
+		return o.makeTx(e.pg, e.cop.OID, e.cop.Off, e.cop.Len, e.cop.Stamp)
+	}
+	return o.makeTx(e.pg, e.rop.oid, e.rop.off, e.rop.length, e.rop.stamp)
+}
+
 // commitArrived records a local or replica journal commit for op and sends
 // the client ack when the commit set is complete. It is called with
 // whatever locking discipline the active profile uses (PG lock in
 // community mode; messenger/journal context in fast-ack mode).
 func (o *OSD) commitArrived(p *sim.Proc, op *ClientOp, fromReplica bool) {
+	if op.gen != o.gen {
+		return // completion for an op accepted before a crash
+	}
 	if fromReplica {
 		op.waitCommits--
 		if op.waitCommits == 0 {
@@ -522,16 +651,23 @@ func (o *OSD) readyAck(p *sim.Proc, op *ClientOp) {
 		o.sendAck(p, op)
 		return
 	}
+	next := o.ackNext[op.PG]
+	if next == 0 {
+		next = 1
+	}
+	if op.seq < next {
+		// The PG's log head was adopted past this op while it was in
+		// flight (failover recovery). Ordering restarts at the adopted
+		// head; acking immediately keeps the op from being held forever.
+		o.sendAck(p, op)
+		return
+	}
 	held := o.ackHeld[op.PG]
 	if held == nil {
 		held = make(map[uint64]*ClientOp)
 		o.ackHeld[op.PG] = held
 	}
 	held[op.seq] = op
-	next := o.ackNext[op.PG]
-	if next == 0 {
-		next = 1
-	}
 	for {
 		ready, ok := held[next]
 		if !ok {
@@ -553,7 +689,9 @@ func (o *OSD) sendAck(p *sim.Proc, op *ClientOp) {
 	o.node.Use(p, c.AckCPU)
 	o.logger.Log(p, siteAck, o.cfg.LogPerStage)
 	o.ep.Send(p, op.Client, c.AckBytes, MsgReply, &Reply{Op: op})
-	o.msgCap.Release(1)
+	// Release on the op's own generation is exact; after a crash the
+	// current semaphore's clamped Release makes a mismatch harmless.
+	o.eng.msgCap.Release(1)
 	op.tr.stamp(StageAcked, p.Now())
 	if op.tr != nil {
 		o.traces.Add(op.tr)

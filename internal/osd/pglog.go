@@ -83,12 +83,17 @@ func (o *OSD) PGLogApplied(pg uint32) uint64 {
 	return 0
 }
 
-// AdoptPGState fast-forwards the PG's log to a peer's head after recovery:
+// AdoptPGState fast-forwards the PG's log to the agreed post-recovery head:
 // the local (stale) entries are discarded, the trim horizon moves to the
-// adopted sequence, and future entries continue from there.
+// adopted sequence, and future entries continue from there. The ordered-ack
+// cursor follows the head so that sequences skipped by the adoption (e.g. a
+// crashed primary's journaled-but-unreplicated tail) can never wedge it.
 func (o *OSD) AdoptPGState(pg uint32, seq uint64) {
 	if seq == 0 {
 		return
+	}
+	if next := seq + 1; next > o.ackNext[pg] {
+		o.ackNext[pg] = next
 	}
 	l := o.pglog(pg)
 	if seq <= l.appliedSeq {

@@ -1,0 +1,369 @@
+// Chaos testing: the thrasher. Where RunStress validates the data path
+// under load and RunStressWithOutage validates quiescent fail/recover,
+// RunChaos drives a randomized workload while a seeded fault schedule
+// crashes OSD daemons mid-flight, partitions a client off the public
+// network, and degrades disks — then proves the hard invariant: every
+// acked write is readable afterwards, and the cluster converges to a clean
+// scrub. Crashes are silent (the cluster map is not told); the heartbeat
+// detector must notice and fail the OSD on its own, and clients must ride
+// through on timeout/retry. The whole run is deterministic per seed:
+// Fingerprint is bit-for-bit reproducible.
+package qa
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cluster"
+	"repro/internal/fault"
+	"repro/internal/osd"
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// ChaosConfig sizes a chaos run.
+type ChaosConfig struct {
+	Profile      func(int) osd.Config
+	Clients      int
+	OpsPerClient int
+	// Pacing spaces client ops out so the workload spans the fault
+	// schedule instead of finishing before the first crash.
+	Pacing       sim.Time
+	ImageSize    int64
+	BlockSizes   []int64
+	ReadFraction float64
+	Nodes        int
+	OSDsPerNode  int
+	// CrashCycles is the number of crash->restart->recover sequences;
+	// Partition adds a client partition window; DiskFaults adds slow-disk
+	// and latent-read-error windows.
+	CrashCycles int
+	Partition   bool
+	DiskFaults  bool
+	Seed        uint64
+}
+
+// DefaultChaos returns the standard thrasher shape: a small AFCeph-profile
+// cluster with two replicas, clients slow enough that the fault schedule
+// lands mid-workload.
+func DefaultChaos() ChaosConfig {
+	return ChaosConfig{
+		Profile:      osd.AFCephConfig,
+		Clients:      4,
+		OpsPerClient: 120,
+		Pacing:       20 * sim.Millisecond,
+		ImageSize:    64 << 20,
+		BlockSizes:   []int64{4096, 8192, 32768},
+		ReadFraction: 0.3,
+		Nodes:        2,
+		OSDsPerNode:  2,
+		CrashCycles:  3,
+		Partition:    true,
+		DiskFaults:   true,
+		Seed:         1,
+	}
+}
+
+// ChaosResult summarizes a chaos run.
+type ChaosResult struct {
+	Writes, Reads  int
+	ReadVerified   int // acked writes verified by the final readback
+	ObjectsWritten int
+	Retries        uint64 // client attempts resent after timeout/epoch change
+	Crashes        int
+	JournalReplays int
+	DownsDetected  uint64 // failures noticed by the heartbeat monitor
+	DegradedPGs    int
+	Recovered      int // objects copied by recovery
+	Repaired       int // objects healed by the final repair pass
+	NetDropped     uint64
+	SimulatedTime  sim.Time
+	Violations     []string
+	// Fingerprint digests the run's observable history; identical seeds
+	// must produce identical fingerprints.
+	Fingerprint uint64
+}
+
+// Failed reports whether any invariant was violated.
+func (r *ChaosResult) Failed() bool { return len(r.Violations) > 0 }
+
+func (r *ChaosResult) violate(format string, args ...interface{}) {
+	if len(r.Violations) < 20 {
+		r.Violations = append(r.Violations, fmt.Sprintf(format, args...))
+	}
+}
+
+type chaosClient struct {
+	cl    *cluster.Client
+	bd    *cluster.BlockDevice
+	model map[int64]uint64 // block offset -> stamp of last acked write
+}
+
+// RunChaos executes the thrasher and checks every invariant.
+func RunChaos(cfg ChaosConfig) *ChaosResult {
+	p := cluster.DefaultParams()
+	p.OSDConfig = cfg.Profile
+	p.OSDNodes = cfg.Nodes
+	p.OSDsPerNode = cfg.OSDsPerNode
+	p.SSDsPerOSD = 2
+	p.PGs = 128
+	p.Replicas = 2
+	p.VerifyData = true
+	p.Sustained = false
+	p.Seed = cfg.Seed
+	// The robustness layer: clients retry, heartbeats detect.
+	p.ClientOpTimeout = 50 * sim.Millisecond
+	p.HeartbeatInterval = 25 * sim.Millisecond
+	p.HeartbeatGrace = 100 * sim.Millisecond
+	c := cluster.New(p)
+	res := &ChaosResult{}
+	touched := make(map[string]bool)
+
+	// Client load. During the chaos phase reads are not verified against
+	// the model: an ack guarantees durability (journaled on the acting
+	// set), not filestore visibility, and a failed-over or slow-disk read
+	// can legitimately observe the pre-apply state. The authoritative
+	// check is the post-recovery readback below.
+	clients := make([]*chaosClient, cfg.Clients)
+	workers := sim.NewWaitGroup(c.K)
+	for ci := 0; ci < cfg.Clients; ci++ {
+		ci := ci
+		img := fmt.Sprintf("chaos%d", ci)
+		cl := c.NewClient()
+		cc := &chaosClient{cl: cl, bd: cl.OpenDevice(img, cfg.ImageSize), model: make(map[int64]uint64)}
+		clients[ci] = cc
+		r := rng.New(cfg.Seed*1000003 + uint64(ci)*7907 + 11)
+		workers.Add(1)
+		c.K.Go("chaos."+img, func(pp *sim.Proc) {
+			defer workers.Done()
+			var written []int64
+			stamp := uint64(ci)<<32 + 1
+			for op := 0; op < cfg.OpsPerClient; op++ {
+				bs := cfg.BlockSizes[r.Intn(len(cfg.BlockSizes))]
+				blocks := cfg.ImageSize / bs
+				off := r.Int63n(blocks) * bs
+				if r.Float64() < cfg.ReadFraction {
+					if len(written) > 0 && r.Float64() < 0.8 {
+						off = written[r.Intn(len(written))]
+						if off+bs > cfg.ImageSize {
+							off = cfg.ImageSize - bs
+						}
+					}
+					cc.bd.ReadAt(pp, off, bs)
+					res.Reads++
+				} else {
+					stamp++
+					cc.bd.WriteAt(pp, off, bs, stamp)
+					if _, seen := cc.model[off]; !seen {
+						written = append(written, off)
+					}
+					cc.model[off] = stamp
+					res.Writes++
+					for b := off; b < off+bs; b += cluster.ObjectSize {
+						touched[fmt.Sprintf("rbd.%s.%d", img, b/cluster.ObjectSize)] = true
+					}
+					if off/cluster.ObjectSize != (off+bs-1)/cluster.ObjectSize {
+						touched[fmt.Sprintf("rbd.%s.%d", img, (off+bs-1)/cluster.ObjectSize)] = true
+					}
+				}
+				if cfg.Pacing > 0 {
+					pp.Sleep(cfg.Pacing)
+				}
+			}
+		})
+	}
+
+	// The fault driver executes the seeded schedule. CycleGap leaves room
+	// for heartbeat detection (grace + interval) before each restart.
+	plan := fault.Plan{
+		OSDs:        cfg.Nodes * cfg.OSDsPerNode,
+		Clients:     cfg.Clients,
+		Start:       20 * sim.Millisecond,
+		CrashCycles: cfg.CrashCycles,
+		CycleGap:    200 * sim.Millisecond,
+		Partition:   cfg.Partition,
+		DiskFaults:  cfg.DiskFaults,
+	}
+	sched := fault.Generate(plan, cfg.Seed^0x5eedfa51)
+	driver := sim.NewWaitGroup(c.K)
+	driver.Add(1)
+	c.K.Go("chaos.driver", func(pp *sim.Proc) {
+		defer driver.Done()
+		for _, op := range sched {
+			if op.At > pp.Now() {
+				pp.Sleep(op.At - pp.Now())
+			}
+			switch op.Kind {
+			case fault.Crash:
+				// Silent: only the daemon dies. The map learns from the
+				// heartbeat monitor.
+				c.OSDs()[op.Target].Crash()
+				res.Crashes++
+			case fault.Restart:
+				if c.OSDs()[op.Target].Crashed() {
+					c.RestartOSDIn(pp, op.Target)
+				}
+			case fault.Recover:
+				if !c.Down(op.Target) {
+					res.violate("heartbeats never marked crashed osd.%d down", op.Target)
+					continue
+				}
+				st := c.RecoverOSDIn(pp, op.Target)
+				res.Recovered += st.ObjectsCopied
+				res.JournalReplays += st.JournalReplays
+				res.DegradedPGs += st.DegradedPGs
+			case fault.PartitionClient:
+				ep := clients[op.Target].cl.Endpoint()
+				for _, o := range c.OSDs() {
+					c.Net.Partition(ep, o.Endpoint())
+				}
+			case fault.HealClient:
+				ep := clients[op.Target].cl.Endpoint()
+				for _, o := range c.OSDs() {
+					c.Net.Heal(ep, o.Endpoint())
+				}
+			case fault.SlowDisk:
+				c.DiskFaults(op.Target).SetSlow(op.Factor)
+			case fault.ReadErrors:
+				c.DiskFaults(op.Target).SetReadErrors(op.Factor, 5*sim.Millisecond)
+			case fault.ClearDisk:
+				c.DiskFaults(op.Target).Clear()
+			}
+		}
+	})
+
+	// The controller closes the run: wait for load and schedule, heal any
+	// leftover faults, reconcile divergence left by recoveries that raced
+	// ongoing writes (a quiescent repair pass), settle, stop heartbeats.
+	c.K.Go("chaos.controller", func(pp *sim.Proc) {
+		workers.Wait(pp)
+		driver.Wait(pp)
+		c.Net.HealAll()
+		for id := range c.OSDs() {
+			if c.OSDs()[id].Crashed() {
+				c.RestartOSDIn(pp, id)
+			}
+		}
+		for id := range c.OSDs() {
+			if c.Down(id) {
+				st := c.RecoverOSDIn(pp, id)
+				res.Recovered += st.ObjectsCopied
+				res.JournalReplays += st.JournalReplays
+				res.DegradedPGs += st.DegradedPGs
+			}
+		}
+		pp.Sleep(2 * sim.Second) // drain in-flight applies
+		res.Repaired = c.RepairIn(pp)
+		c.StopHeartbeats()
+	})
+	c.K.Run(sim.Forever)
+
+	res.SimulatedTime = c.K.Now()
+	res.ObjectsWritten = len(touched)
+	res.DownsDetected = c.DownsDetected()
+	res.NetDropped = c.Net.Dropped.Value()
+	for _, cc := range clients {
+		res.Retries += cc.cl.Retries()
+	}
+
+	// Drain and consistency invariants.
+	for oid := range touched {
+		holders := 0
+		for _, o := range c.OSDs() {
+			if o.FileStore().ObjectVersion(oid) > 0 {
+				holders++
+			}
+		}
+		if holders != c.Params.Replicas {
+			res.violate("object %s on %d OSDs, want %d", oid, holders, c.Params.Replicas)
+		}
+	}
+	for id, o := range c.OSDs() {
+		if free, size := o.Journal().Free(), o.Journal().Size(); free != size {
+			res.violate("osd.%d journal not trimmed: %d/%d free", id, free, size)
+		}
+		if n := o.Dispatcher().QueueLen() + o.Dispatcher().PendingLen(); n != 0 {
+			res.violate("osd.%d op queue not drained: %d items", id, n)
+		}
+	}
+	for _, s := range c.ScrubPGLogs() {
+		res.violate("pg log: %s", s)
+	}
+	for _, inc := range c.ScrubAll() {
+		res.violate("scrub: %s %s", inc.OID, inc.Detail)
+	}
+
+	// The authoritative invariant: every acked write reads back with the
+	// stamp the client last wrote, after all faults are healed.
+	c.K.Go("chaos.readback", func(pp *sim.Proc) {
+		for ci, cc := range clients {
+			offs := make([]int64, 0, len(cc.model))
+			for off := range cc.model {
+				offs = append(offs, off)
+			}
+			sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+			for _, off := range offs {
+				got, exists := cc.bd.ReadAt(pp, off, 4096)
+				if !exists || got != cc.model[off] {
+					res.violate("client %d lost acked write at off=%d: stamp %d, want %d (exists=%v)",
+						ci, off, got, cc.model[off], exists)
+					continue
+				}
+				res.ReadVerified++
+			}
+		}
+	})
+	c.K.Run(sim.Forever)
+
+	res.Fingerprint = res.fingerprint(c, touched)
+	return res
+}
+
+// fingerprint digests the observable run history for bit-for-bit
+// reproducibility checks.
+func (r *ChaosResult) fingerprint(c *cluster.Cluster, touched map[string]bool) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	mixs := func(s string) {
+		for i := 0; i < len(s); i++ {
+			mix(uint64(s[i]))
+		}
+	}
+	mix(uint64(r.SimulatedTime))
+	mix(uint64(r.Writes))
+	mix(uint64(r.Reads))
+	mix(uint64(r.ReadVerified))
+	mix(r.Retries)
+	mix(uint64(r.Crashes))
+	mix(uint64(r.JournalReplays))
+	mix(r.DownsDetected)
+	mix(uint64(r.DegradedPGs))
+	mix(uint64(r.Recovered))
+	mix(uint64(r.Repaired))
+	mix(r.NetDropped)
+	mix(uint64(len(r.Violations)))
+	for _, o := range c.OSDs() {
+		m := o.Metrics()
+		mix(m.WriteOps.Value())
+		mix(m.ReadOps.Value())
+		mix(m.RepOps.Value())
+		mix(m.AcksSent.Value())
+		mix(m.Crashes.Value())
+		mix(m.JournalReplays.Value())
+	}
+	oids := make([]string, 0, len(touched))
+	for oid := range touched {
+		oids = append(oids, oid)
+	}
+	sort.Strings(oids)
+	for _, oid := range oids {
+		mixs(oid)
+		for _, o := range c.OSDs() {
+			mix(o.FileStore().ObjectVersion(oid))
+		}
+	}
+	return h
+}

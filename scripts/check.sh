@@ -1,0 +1,26 @@
+#!/bin/sh
+# Tier-1 gate: everything a change must pass before it lands.
+#
+#   vet        static checks
+#   build      every package compiles
+#   test       full suite — unit, integration, recovery/chaos, determinism
+#   race       data-race detector on the light infrastructure packages
+#              (the full-cluster suites are single-goroutine-deterministic
+#               by construction but too slow under -race to gate on)
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test ./..."
+go test ./...
+
+echo "== go test -race (light packages)"
+go test -race ./internal/sim/ ./internal/rng/ ./internal/stats/ \
+    ./internal/crush/ ./internal/fault/ ./internal/netsim/
+
+echo "tier-1 gate: OK"
