@@ -1,7 +1,7 @@
 # Tier-1 gate and common entry points. `make check` is what CI runs and
 # what a change must pass before it lands (see README "Testing").
 
-.PHONY: check build test race vet bench
+.PHONY: check build test race vet bench bench-smoke bench-gate
 
 check:
 	./scripts/check.sh
@@ -18,6 +18,16 @@ test:
 race:
 	go test -race ./internal/sim/ ./internal/rng/ ./internal/stats/ \
 	    ./internal/crush/ ./internal/fault/ ./internal/netsim/
+	go test -race -short ./internal/osd/ ./internal/core/ \
+	    ./internal/cluster/ ./internal/qa/
 
 bench:
 	go test -bench=. -benchmem ./...
+
+# One iteration of every benchmark: cheap proof they still run.
+bench-smoke:
+	go test -run '^$$' -bench=. -benchtime=1x ./...
+
+# Figure benchmarks -> BENCH_results.json, gated vs BENCH_baseline.json.
+bench-gate:
+	./scripts/bench.sh

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strconv"
 	"testing"
+	"time"
 
 	"repro/internal/cpumodel"
 	"repro/internal/crush"
@@ -24,6 +25,22 @@ import (
 // benchOptions returns sizing small enough for `go test -bench=.`.
 func benchOptions() figures.Options {
 	return figures.Options{Scale: 0.08, RuntimeSec: 2.0, RampSec: 0.6, JournalMB: 64, Seed: 1}
+}
+
+// simWallStart resets the figures package's simulated-time accumulator and
+// returns the wall-clock start for reportSimWall.
+func simWallStart() time.Time {
+	figures.TakeSimNanos()
+	return time.Now()
+}
+
+// reportSimWall reports how many simulated nanoseconds the benchmark
+// produced per wall nanosecond (the simulator's time-compression ratio).
+func reportSimWall(b *testing.B, start time.Time) {
+	wall := time.Since(start).Nanoseconds()
+	if sn := figures.TakeSimNanos(); wall > 0 && sn > 0 {
+		b.ReportMetric(float64(sn)/float64(wall), "sim-wall-x")
+	}
 }
 
 // cell parses a numeric table cell.
@@ -46,6 +63,7 @@ func cellByRowName(rep figures.Report, name string, col int) float64 {
 }
 
 func BenchmarkFig1_ThreadSweep(b *testing.B) {
+	start := simWallStart()
 	for i := 0; i < b.N; i++ {
 		rep := figures.Fig1(benchOptions())
 		last := len(rep.Rows) - 1
@@ -55,9 +73,11 @@ func BenchmarkFig1_ThreadSweep(b *testing.B) {
 			b.Log("\n" + rep.String())
 		}
 	}
+	reportSimWall(b, start)
 }
 
 func BenchmarkFig3_StageBreakdown(b *testing.B) {
+	start := simWallStart()
 	for i := 0; i < b.N; i++ {
 		rep := figures.Fig3(benchOptions())
 		b.ReportMetric(cellByRowName(rep, "acked", 1), "total-ms")
@@ -66,9 +86,11 @@ func BenchmarkFig3_StageBreakdown(b *testing.B) {
 			b.Log("\n" + rep.String())
 		}
 	}
+	reportSimWall(b, start)
 }
 
 func BenchmarkFig4_LogVsNoLog(b *testing.B) {
+	start := simWallStart()
 	for i := 0; i < b.N; i++ {
 		rep := figures.Fig4(benchOptions())
 		b.ReportMetric(cell(rep, 0, 2), "log-late-iops")
@@ -78,9 +100,11 @@ func BenchmarkFig4_LogVsNoLog(b *testing.B) {
 			b.Log("\n" + rep.String())
 		}
 	}
+	reportSimWall(b, start)
 }
 
 func BenchmarkFig9_Stepwise(b *testing.B) {
+	start := simWallStart()
 	for i := 0; i < b.N; i++ {
 		rep := figures.Fig9(benchOptions())
 		last := len(rep.Rows) - 1
@@ -91,6 +115,7 @@ func BenchmarkFig9_Stepwise(b *testing.B) {
 			b.Log("\n" + rep.String())
 		}
 	}
+	reportSimWall(b, start)
 }
 
 // Fig10 panels run as sub-benchmarks so individual panels can be selected:
@@ -100,6 +125,7 @@ func BenchmarkFig10_VMFleet(b *testing.B) {
 	for _, panel := range panels {
 		panel := panel
 		b.Run(panel, func(b *testing.B) {
+			start := simWallStart()
 			for i := 0; i < b.N; i++ {
 				rep := figures.Fig10(benchOptions(), []int{40}, []string{panel})
 				b.ReportMetric(cell(rep, 0, 2), "community-iops")
@@ -109,11 +135,13 @@ func BenchmarkFig10_VMFleet(b *testing.B) {
 					b.Log("\n" + rep.String())
 				}
 			}
+			reportSimWall(b, start)
 		})
 	}
 }
 
 func BenchmarkFig11_SolidFireComparison(b *testing.B) {
+	start := simWallStart()
 	for i := 0; i < b.N; i++ {
 		rep := figures.Fig11(benchOptions())
 		b.ReportMetric(cell(rep, 0, 1), "sf-4k-randwrite-iops")
@@ -124,9 +152,11 @@ func BenchmarkFig11_SolidFireComparison(b *testing.B) {
 			b.Log("\n" + rep.String())
 		}
 	}
+	reportSimWall(b, start)
 }
 
 func BenchmarkFig12_ScaleOut(b *testing.B) {
+	start := simWallStart()
 	for i := 0; i < b.N; i++ {
 		rep := figures.Fig12(benchOptions(), []int{4, 8})
 		// rows: per workload x node-count; row1 is 8-node 4K-randwrite.
@@ -136,6 +166,7 @@ func BenchmarkFig12_ScaleOut(b *testing.B) {
 			b.Log("\n" + rep.String())
 		}
 	}
+	reportSimWall(b, start)
 }
 
 // Ablation benchmarks: each single optimization applied alone to the
@@ -189,6 +220,7 @@ func BenchmarkAblation_SingleOptimizations(b *testing.B) {
 // BenchmarkDropInReplacement quantifies the paper's motivation (§1):
 // HDD -> SSD swap vs software optimization.
 func BenchmarkDropInReplacement(b *testing.B) {
+	start := simWallStart()
 	for i := 0; i < b.N; i++ {
 		rep := figures.DropIn(benchOptions())
 		b.ReportMetric(cell(rep, 0, 1), "community-hdd-iops")
@@ -198,11 +230,13 @@ func BenchmarkDropInReplacement(b *testing.B) {
 			b.Log("\n" + rep.String())
 		}
 	}
+	reportSimWall(b, start)
 }
 
 // BenchmarkMixedRW quantifies the §3.4 mixed read/write claim: AFCeph's
 // advantage under a 70/30 random mix.
 func BenchmarkMixedRW(b *testing.B) {
+	start := simWallStart()
 	for i := 0; i < b.N; i++ {
 		rep := figures.MixedRW(benchOptions(), []int{70})
 		b.ReportMetric(cell(rep, 0, 1), "community-iops")
@@ -211,6 +245,7 @@ func BenchmarkMixedRW(b *testing.B) {
 			b.Log("\n" + rep.String())
 		}
 	}
+	reportSimWall(b, start)
 }
 
 // ---------------------------------------------------------------------------

@@ -21,6 +21,7 @@ import (
 	"repro/internal/cpumodel"
 	"repro/internal/figures"
 	"repro/internal/osd"
+	"repro/internal/prof"
 )
 
 func main() {
@@ -36,8 +37,11 @@ func main() {
 		vms       = flag.String("vms", "", "override Fig10 VM counts, e.g. 10,40,80")
 		panels    = flag.String("panels", "", "restrict Fig10 panels, e.g. 4K-randwrite,seq-write")
 		nodes     = flag.String("nodes", "", "override Fig12 node counts, e.g. 4,8,16")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	defer prof.Start(*cpuProf, *memProf)()
 
 	if *scale <= 0 || *scale > 1 {
 		fmt.Fprintln(os.Stderr, "afbench: -scale must be in (0,1]")

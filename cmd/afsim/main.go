@@ -17,6 +17,7 @@ import (
 
 	"repro/afceph"
 	"repro/internal/cluster"
+	"repro/internal/prof"
 	"repro/internal/sim"
 )
 
@@ -88,8 +89,13 @@ func main() {
 		noThrottle = flag.Bool("no-throttle-tuning", false, "ablate: keep HDD throttles")
 		noAsyncLog = flag.Bool("no-async-log", false, "ablate: keep sync logging")
 		noLightTx  = flag.Bool("no-light-tx", false, "ablate: keep heavy transactions")
+
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+	stopProf := prof.Start(*cpuProf, *memProf)
+	defer stopProf()
 
 	cfg := afceph.DefaultConfig()
 	cfg.Nodes = *nodes

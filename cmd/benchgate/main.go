@@ -1,0 +1,252 @@
+// Command benchgate turns `go test -bench` output into a machine-readable
+// result file and gates it against a committed baseline.
+//
+// Pipeline (scripts/bench.sh):
+//
+//	go test -run '^$' -bench 'Fig' -benchtime 1x -count 3 -benchmem . \
+//	    | go run ./cmd/benchgate -out BENCH_results.json -baseline BENCH_baseline.json
+//
+// Parsing: every "BenchmarkName N value unit [value unit]..." line becomes
+// one entry; repeated -count runs collapse to the minimum ns/op and
+// allocs/op (best-of is the stable estimator on noisy machines) while
+// custom metrics keep the last value (the simulation is deterministic, so
+// repeats agree anyway).
+//
+// Gate, per benchmark present in both files:
+//
+//   - allocs/op: tight (default +10%). Allocation counts are near
+//     deterministic, so growth is a real regression.
+//   - ns/op: loose (default +100%). Wall time on shared hardware is noisy;
+//     only a gross slowdown fails.
+//   - custom metrics except sim-wall-x: exact (1e-6 relative). They are
+//     simulator outputs — IOPS, latencies — and must not move at all for a
+//     fixed seed and scale; a drift here is a determinism bug, not noise.
+//   - sim-wall-x (simulated/wall time ratio) and B/op: recorded but not
+//     gated; the ratio is hardware-bound, bytes track allocs closely.
+//
+// -update rewrites the baseline from the parsed results instead of
+// comparing (see EXPERIMENTS.md for when that is legitimate).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Bench is one benchmark's collapsed result.
+type Bench struct {
+	NsOp     float64            `json:"ns_op"`
+	AllocsOp float64            `json:"allocs_op,omitempty"`
+	BytesOp  float64            `json:"bytes_op,omitempty"`
+	Metrics  map[string]float64 `json:"metrics,omitempty"`
+	runs     int
+}
+
+// File is the BENCH_results.json / BENCH_baseline.json schema.
+type File struct {
+	// Note documents how the numbers were produced.
+	Note       string            `json:"note,omitempty"`
+	Benchmarks map[string]*Bench `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		in        = flag.String("in", "", "bench output file (default stdin)")
+		out       = flag.String("out", "BENCH_results.json", "result file to write ('' = none)")
+		baseline  = flag.String("baseline", "BENCH_baseline.json", "baseline to gate against ('' = skip gate)")
+		update    = flag.Bool("update", false, "rewrite the baseline from this run instead of gating")
+		nsTol     = flag.Float64("ns-tol", 1.0, "allowed relative ns/op growth")
+		allocsTol = flag.Float64("allocs-tol", 0.10, "allowed relative allocs/op growth")
+	)
+	flag.Parse()
+
+	r := os.Stdin
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	res, err := parse(r)
+	if err != nil {
+		fatal(err)
+	}
+	if len(res.Benchmarks) == 0 {
+		fatal(fmt.Errorf("no benchmark lines found in input"))
+	}
+
+	if *out != "" {
+		if err := writeJSON(*out, res); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: wrote %s (%d benchmarks)\n", *out, len(res.Benchmarks))
+	}
+	if *update {
+		res.Note = "benchmark baseline; update only via scripts/bench.sh -update (see EXPERIMENTS.md)"
+		if err := writeJSON(*baseline, res); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "benchgate: baseline %s updated\n", *baseline)
+		return
+	}
+	if *baseline == "" {
+		return
+	}
+	base, err := readJSON(*baseline)
+	if err != nil {
+		fatal(fmt.Errorf("%v (run scripts/bench.sh -update to create the baseline)", err))
+	}
+	fails := gate(base, res, *nsTol, *allocsTol)
+	for _, f := range fails {
+		fmt.Fprintln(os.Stderr, "FAIL", f)
+	}
+	if len(fails) > 0 {
+		fmt.Fprintf(os.Stderr, "benchgate: %d regression(s) vs %s\n", len(fails), *baseline)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchgate: ok vs %s\n", *baseline)
+}
+
+// parse collapses bench output lines into per-benchmark results.
+func parse(r *os.File) (*File, error) {
+	out := &File{Benchmarks: map[string]*Bench{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iteration count, then (value, unit) pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		name := normalizeName(fields[0])
+		b := out.Benchmarks[name]
+		if b == nil {
+			b = &Bench{Metrics: map[string]float64{}}
+			out.Benchmarks[name] = b
+		}
+		b.runs++
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in %q", fields[i], line)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				if b.runs == 1 || v < b.NsOp {
+					b.NsOp = v
+				}
+			case "allocs/op":
+				if b.AllocsOp == 0 || v < b.AllocsOp {
+					b.AllocsOp = v
+				}
+			case "B/op":
+				if b.BytesOp == 0 || v < b.BytesOp {
+					b.BytesOp = v
+				}
+			default:
+				b.Metrics[unit] = v
+			}
+		}
+	}
+	return out, sc.Err()
+}
+
+// normalizeName strips the -GOMAXPROCS suffix so results compare across
+// machines with different core counts.
+func normalizeName(s string) string {
+	s = strings.TrimPrefix(s, "Benchmark")
+	if i := strings.LastIndexByte(s, '-'); i > 0 {
+		if _, err := strconv.Atoi(s[i+1:]); err == nil {
+			s = s[:i]
+		}
+	}
+	return s
+}
+
+// gate compares results to the baseline and returns failure descriptions.
+func gate(base, res *File, nsTol, allocsTol float64) []string {
+	var fails []string
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		b, r := base.Benchmarks[name], res.Benchmarks[name]
+		if r == nil {
+			continue // subset run: gate only what was measured
+		}
+		if lim := b.NsOp * (1 + nsTol); b.NsOp > 0 && r.NsOp > lim {
+			fails = append(fails, fmt.Sprintf("%s: ns/op %.0f > %.0f (baseline %.0f +%.0f%%)",
+				name, r.NsOp, lim, b.NsOp, nsTol*100))
+		}
+		if lim := b.AllocsOp * (1 + allocsTol); b.AllocsOp > 0 && r.AllocsOp > lim {
+			fails = append(fails, fmt.Sprintf("%s: allocs/op %.0f > %.0f (baseline %.0f +%.0f%%)",
+				name, r.AllocsOp, lim, b.AllocsOp, allocsTol*100))
+		}
+		mnames := make([]string, 0, len(b.Metrics))
+		for m := range b.Metrics {
+			mnames = append(mnames, m)
+		}
+		sort.Strings(mnames)
+		for _, m := range mnames {
+			if m == "sim-wall-x" {
+				continue // hardware-bound, informational
+			}
+			want := b.Metrics[m]
+			got, ok := r.Metrics[m]
+			if !ok {
+				fails = append(fails, fmt.Sprintf("%s: metric %q missing", name, m))
+				continue
+			}
+			if !closeEnough(want, got) {
+				fails = append(fails, fmt.Sprintf("%s: metric %q = %v, baseline %v (simulator outputs are deterministic; a drift is a correctness bug or an unrefreshed baseline)",
+					name, m, got, want))
+			}
+		}
+	}
+	return fails
+}
+
+// closeEnough is exact equality modulo float formatting noise.
+func closeEnough(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-6*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func writeJSON(path string, f *File) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+func readJSON(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	f := &File{}
+	if err := json.Unmarshal(data, f); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return f, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchgate:", err)
+	os.Exit(1)
+}

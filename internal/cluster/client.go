@@ -27,6 +27,12 @@ type Client struct {
 	nextID  uint64
 	rnd     *rng.Rand
 	retries uint64
+
+	// Free lists for op and pending records. Recycling is safe only without
+	// the retry timeout: a timeout timer retains the done event past the
+	// op's completion, and late replies may reference a dropped attempt.
+	opFree   []*osd.ClientOp
+	pendFree []*pendingOp
 }
 
 type pendingOp struct {
@@ -105,13 +111,13 @@ func (cl *Client) WriteObject(p *sim.Proc, oid string, off, size int64, stamp ui
 // ReadObject reads [off, off+size) of the named object, returning the
 // stamp of the extent (when VerifyData is on) and object existence.
 func (cl *Client) ReadObject(p *sim.Proc, oid string, off, size int64) (stamp uint64, exists bool) {
-	rep := cl.doOp(p, osd.OpRead, oid, off, size, 0)
-	return rep.Stamp, rep.Exists
+	return cl.doOp(p, osd.OpRead, oid, off, size, 0)
 }
 
-func (cl *Client) doOp(p *sim.Proc, kind osd.OpKind, oid string, off, size int64, stamp uint64) *osd.Reply {
+func (cl *Client) doOp(p *sim.Proc, kind osd.OpKind, oid string, off, size int64, stamp uint64) (uint64, bool) {
 	pg := crush.ObjectToPG(oid, cl.c.Params.PGs)
 	timeout := cl.c.Params.ClientOpTimeout
+	pool := timeout <= 0
 	for attempt := 0; ; attempt++ {
 		acting := cl.c.actingSet(pg)
 		if len(acting) == 0 {
@@ -124,17 +130,11 @@ func (cl *Client) doOp(p *sim.Proc, kind osd.OpKind, oid string, off, size int64
 		}
 		primary := cl.c.osds[acting[0]]
 		cl.nextID++
-		op := &osd.ClientOp{
-			Kind:   kind,
-			OID:    oid,
-			PG:     pg,
-			Off:    off,
-			Len:    size,
-			Stamp:  stamp,
-			Client: cl.ep,
-			ID:     cl.nextID,
-		}
-		pend := &pendingOp{done: sim.NewEvent(cl.c.K), target: acting[0]}
+		op := cl.getOp(pool)
+		op.Kind, op.OID, op.PG, op.Off, op.Len = kind, oid, pg, off, size
+		op.Stamp, op.Client, op.ID = stamp, cl.ep, cl.nextID
+		pend := cl.getPend(pool)
+		pend.target = acting[0]
 		cl.pending[op.ID] = pend
 		msgKind := osd.MsgWrite
 		wire := size + 200 // request header
@@ -148,8 +148,20 @@ func (cl *Client) doOp(p *sim.Proc, kind osd.OpKind, oid string, off, size int64
 			cl.c.K.After(timeout, func() { ev.Fire() }) // Fire is idempotent
 		}
 		pend.done.Wait(p)
-		if pend.reply != nil {
-			return pend.reply
+		if rep := pend.reply; rep != nil {
+			st, ex := rep.Stamp, rep.Exists
+			if pool {
+				// The op is fully quiescent once the primary acked it (all
+				// replica commits precede the ack), so the whole attempt —
+				// op, pending record, completion event, reply — recycles.
+				cl.c.replies.Put(rep)
+				pend.reply = nil
+				pend.done.Reset()
+				cl.pendFree = append(cl.pendFree, pend)
+				*op = osd.ClientOp{}
+				cl.opFree = append(cl.opFree, op)
+			}
+			return st, ex
 		}
 		// Timed out, or the target was marked down. Drop the attempt (a
 		// late reply is tolerated by handleReply) and resend.
@@ -157,6 +169,24 @@ func (cl *Client) doOp(p *sim.Proc, kind osd.OpKind, oid string, off, size int64
 		cl.retries++
 		cl.backoff(p, attempt)
 	}
+}
+
+func (cl *Client) getOp(pool bool) *osd.ClientOp {
+	if n := len(cl.opFree); pool && n > 0 {
+		op := cl.opFree[n-1]
+		cl.opFree = cl.opFree[:n-1]
+		return op
+	}
+	return &osd.ClientOp{}
+}
+
+func (cl *Client) getPend(pool bool) *pendingOp {
+	if n := len(cl.pendFree); pool && n > 0 {
+		pend := cl.pendFree[n-1]
+		cl.pendFree = cl.pendFree[:n-1]
+		return pend
+	}
+	return &pendingOp{done: sim.NewEvent(cl.c.K)}
 }
 
 // backoff sleeps an exponentially growing, jittered delay between attempts.
@@ -177,12 +207,18 @@ func (cl *Client) backoff(p *sim.Proc, attempt int) {
 type Image struct {
 	Name string
 	Size int64
+	// names caches each stripe's object id; object names are immutable, so
+	// repeated block ops on a stripe reuse one string.
+	names []string
 }
 
 // locate maps a block offset to its object and intra-object offset.
 func (img *Image) locate(off int64) (oid string, objOff int64) {
 	idx := off / ObjectSize
-	return fmt.Sprintf("rbd.%s.%d", img.Name, idx), off % ObjectSize
+	for int64(len(img.names)) <= idx {
+		img.names = append(img.names, fmt.Sprintf("rbd.%s.%d", img.Name, int64(len(img.names))))
+	}
+	return img.names[idx], off % ObjectSize
 }
 
 // Objects returns the object count backing the image.

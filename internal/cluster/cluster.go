@@ -109,17 +109,26 @@ type Cluster struct {
 	clusterNICs []*netsim.NIC
 	hb          *hbState
 	lastReplays map[int]int
+
+	// replies recycles ack/read replies between the OSDs and clients.
+	replies *osd.ReplyPool
+	// actCache memoizes actingSet per PG for the current map epoch; CRUSH
+	// placement is pure, so entries only invalidate when the epoch moves.
+	actCache map[uint32][]int
+	actEpoch int
 }
 
 // New builds and wires the cluster; the kernel is ready to Run.
 func New(params Params) *Cluster {
 	k := sim.NewKernel()
 	c := &Cluster{
-		K:      k,
-		Net:    netsim.New(k, params.NetParams),
-		Params: params,
-		rnd:    rng.New(params.Seed),
-		down:   make(map[int]bool),
+		K:        k,
+		Net:      netsim.New(k, params.NetParams),
+		Params:   params,
+		rnd:      rng.New(params.Seed),
+		down:     make(map[int]bool),
+		replies:  osd.NewReplyPool(),
+		actCache: make(map[uint32][]int),
 	}
 
 	var hosts []crush.Host
@@ -156,6 +165,7 @@ func New(params Params) *Cluster {
 			ep := c.Net.NewEndpointNIC(fmt.Sprintf("osd%d", id), node, nicPub, true)
 			cep := c.Net.NewEndpointNIC(fmt.Sprintf("osd%d.c", id), node, nicCluster, true)
 			o := osd.NewSplit(k, cfg, node, ep, cep, data, nvram, c.rnd)
+			o.SetReplyPool(c.replies)
 			c.osds = append(c.osds, o)
 			host.OSDs = append(host.OSDs, crush.OSDInfo{ID: id, Weight: 1})
 			id++
@@ -176,16 +186,28 @@ func New(params Params) *Cluster {
 	}
 
 	// Placement: each OSD, asked about a PG it is primary for, returns the
-	// replica endpoints (the rest of the CRUSH set).
+	// replica endpoints (the rest of the CRUSH set). Results are memoized
+	// per OSD until the map epoch moves; callers treat the slice as
+	// read-only.
 	for i := range c.osds {
 		o := c.osds[i]
+		cache := make(map[uint32][]*netsim.Endpoint)
+		cacheEpoch := 0
 		o.SetPlacer(func(pg uint32) []*netsim.Endpoint {
+			if cacheEpoch != c.epoch {
+				clear(cache)
+				cacheEpoch = c.epoch
+			}
+			if eps, ok := cache[pg]; ok {
+				return eps
+			}
 			var eps []*netsim.Endpoint
 			for _, osdID := range c.actingSet(pg) {
 				if c.osds[osdID] != o {
 					eps = append(eps, c.osds[osdID].ClusterEndpoint())
 				}
 			}
+			cache[pg] = eps
 			return eps
 		})
 	}

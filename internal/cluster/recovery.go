@@ -102,8 +102,16 @@ func (c *Cluster) RestartOSD(id int) int {
 }
 
 // actingSet returns the up members of a PG's CRUSH set in order; the first
-// entry acts as primary while any preferred member is down.
+// entry acts as primary while any preferred member is down. The result is
+// memoized for the current map epoch and must be treated as read-only.
 func (c *Cluster) actingSet(pg uint32) []int {
+	if c.actEpoch != c.epoch {
+		clear(c.actCache)
+		c.actEpoch = c.epoch
+	}
+	if up, ok := c.actCache[pg]; ok {
+		return up
+	}
 	set := c.cmap.PGToOSDs(pg, c.Params.Replicas)
 	up := make([]int, 0, len(set))
 	for _, id := range set {
@@ -111,6 +119,7 @@ func (c *Cluster) actingSet(pg uint32) []int {
 			up = append(up, id)
 		}
 	}
+	c.actCache[pg] = up
 	return up
 }
 

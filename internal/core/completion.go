@@ -30,6 +30,12 @@ type CompletionWorker struct {
 	q        *sim.Queue[Completion]
 	batchMax int
 	stats    CompletionWorkerStats
+
+	// Per-batch scratch, reused across iterations so a steady stream of
+	// completions is processed without allocating.
+	batch  []Completion
+	order  []int
+	groups map[int][]Completion
 }
 
 // NewCompletionWorker creates the worker state; call Run in one or more
@@ -44,6 +50,7 @@ func NewCompletionWorker(k *sim.Kernel, name string, locks *ShardLocks, batchMax
 		locks:    locks,
 		q:        sim.NewQueue[Completion](k, name+".compq", 0),
 		batchMax: batchMax,
+		groups:   make(map[int][]Completion, 4),
 	}
 }
 
@@ -69,7 +76,7 @@ func (w *CompletionWorker) Run(p *sim.Proc) {
 		if !ok {
 			return
 		}
-		batch := []Completion{first}
+		batch := append(w.batch[:0], first)
 		for len(batch) < w.batchMax {
 			c, ok := w.q.TryPop()
 			if !ok {
@@ -77,26 +84,30 @@ func (w *CompletionWorker) Run(p *sim.Proc) {
 			}
 			batch = append(batch, c)
 		}
+		w.batch = batch
 		w.stats.Batches.Inc()
 		w.stats.Completions.Add(uint64(len(batch)))
 
 		// Group by shard, preserving first-seen order for determinism and
-		// per-shard completion order.
-		order := make([]int, 0, 4)
-		groups := make(map[int][]Completion, 4)
+		// per-shard completion order. The group lists stay in the map
+		// between batches, truncated, so grouping reuses their storage.
+		order := w.order[:0]
 		for _, c := range batch {
-			if _, seen := groups[c.Shard]; !seen {
+			g, seen := w.groups[c.Shard]
+			if !seen || len(g) == 0 {
 				order = append(order, c.Shard)
 			}
-			groups[c.Shard] = append(groups[c.Shard], c)
+			w.groups[c.Shard] = append(g, c)
 		}
+		w.order = order
 		for _, shard := range order {
 			lock := w.locks.Get(shard)
 			lock.Lock(p)
 			w.stats.LockAcquires.Inc()
-			for _, c := range groups[shard] {
+			for _, c := range w.groups[shard] {
 				c.Fn(p)
 			}
+			w.groups[shard] = w.groups[shard][:0]
 			lock.Unlock(p)
 		}
 	}

@@ -152,12 +152,19 @@ func (d *Dispatcher[T]) RunWorker(p *sim.Proc, process func(p *sim.Proc, shard i
 }
 
 // drainPending processes the shard's deferred ops; the caller holds the
-// shard lock.
+// shard lock. It walks the queue by index and truncates it afterwards so
+// the backing array is reused, instead of reslicing the head away and
+// reallocating on every refill. process may park, during which other
+// workers append to the same queue; re-reading the slice each iteration
+// picks those up in order, exactly as the old head-popping loop did.
 func (d *Dispatcher[T]) drainPending(p *sim.Proc, shard int, process func(p *sim.Proc, shard int, v T)) {
-	for len(d.pending[shard]) > 0 {
-		v := d.pending[shard][0]
-		d.pending[shard] = d.pending[shard][1:]
+	for i := 0; i < len(d.pending[shard]); i++ {
+		q := d.pending[shard]
+		v := q[i]
+		var zero T
+		q[i] = zero
 		process(p, shard, v)
 		d.stats.Processed.Inc()
 	}
+	d.pending[shard] = d.pending[shard][:0]
 }

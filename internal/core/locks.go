@@ -19,8 +19,6 @@
 package core
 
 import (
-	"fmt"
-
 	"repro/internal/sim"
 )
 
@@ -29,6 +27,10 @@ type ShardLocks struct {
 	k     *sim.Kernel
 	name  string
 	locks map[int]*sim.Mutex
+	// block is the current allocation chunk: shard mutexes live for the
+	// table's whole lifetime, so they are carved from arrays instead of
+	// allocated one-by-one (a cluster instantiates OSDs*PGs of them).
+	block []sim.Mutex
 }
 
 // NewShardLocks creates the lock table.
@@ -36,11 +38,18 @@ func NewShardLocks(k *sim.Kernel, name string) *ShardLocks {
 	return &ShardLocks{k: k, name: name, locks: make(map[int]*sim.Mutex)}
 }
 
-// Get returns the lock for a shard, creating it on first use.
+// Get returns the lock for a shard, creating it on first use. All shards
+// share the table's name (per-shard names cost a Sprintf per lock and are
+// only ever read back in debugging).
 func (s *ShardLocks) Get(shard int) *sim.Mutex {
 	m, ok := s.locks[shard]
 	if !ok {
-		m = sim.NewMutex(s.k, fmt.Sprintf("%s.pg%d", s.name, shard))
+		if len(s.block) == 0 {
+			s.block = make([]sim.Mutex, 32)
+		}
+		m = &s.block[0]
+		s.block = s.block[1:]
+		*m = sim.MakeMutex(s.k, s.name)
 		s.locks[shard] = m
 	}
 	return m

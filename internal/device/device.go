@@ -175,9 +175,26 @@ func (r *RAID0) parallel(p *sim.Proc, segs []segment, write bool) sim.Time {
 	return p.Now() - start
 }
 
+// stripe services a request on its members: directly on the owning member
+// for the single-stripe requests that dominate the experiments (no segment
+// list built), via segments+parallel for multi-stripe ones.
+func (r *RAID0) stripe(p *sim.Proc, off, size int64, write bool) sim.Time {
+	if size <= r.stripeSize {
+		start := p.Now()
+		d, moff := r.route(off)
+		if write {
+			d.Write(p, moff, size)
+		} else {
+			d.Read(p, moff, size)
+		}
+		return p.Now() - start
+	}
+	return r.parallel(p, r.segments(off, size), write)
+}
+
 // Read stripes the request across members (parallel for multi-stripe ops).
 func (r *RAID0) Read(p *sim.Proc, off, size int64) sim.Time {
-	lat := r.parallel(p, r.segments(off, size), false)
+	lat := r.stripe(p, off, size, false)
 	if r.fault != nil {
 		if extra := r.fault.ReadDelay(lat, size); extra > 0 {
 			p.Sleep(extra)
@@ -192,7 +209,7 @@ func (r *RAID0) Read(p *sim.Proc, off, size int64) sim.Time {
 
 // Write stripes the request across members (parallel for multi-stripe ops).
 func (r *RAID0) Write(p *sim.Proc, off, size int64) sim.Time {
-	lat := r.parallel(p, r.segments(off, size), true)
+	lat := r.stripe(p, off, size, true)
 	if r.fault != nil {
 		if extra := r.fault.WriteDelay(lat, size); extra > 0 {
 			p.Sleep(extra)

@@ -1,0 +1,80 @@
+package figures
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"math"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// reportHash collapses everything a figure emits — title, header, every
+// cell, every note — into one digest, so "bit-identical figure output"
+// is a single string comparison.
+func reportHash(rep Report) string {
+	h := sha256.New()
+	h.Write([]byte(rep.Title))
+	h.Write([]byte{0})
+	h.Write([]byte(rep.CSV()))
+	h.Write([]byte{0})
+	h.Write([]byte(strings.Join(rep.Notes, "\n")))
+	writeU64 := func(u uint64) {
+		var buf [8]byte
+		for i := range buf {
+			buf[i] = byte(u >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, s := range rep.Series {
+		h.Write([]byte(s.Name))
+		for _, ts := range s.T {
+			writeU64(uint64(ts))
+		}
+		for _, v := range s.V {
+			writeU64(math.Float64bits(v))
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// goldenFigures is every figure config the determinism gate covers, at a
+// scale small enough to run each three times.
+var goldenFigures = []struct {
+	name string
+	run  func(Options) Report
+}{
+	{"fig1", Fig1},
+	{"fig3", Fig3},
+	{"fig4", Fig4},
+	{"fig9", Fig9},
+	{"fig10", func(o Options) Report { return Fig10(o, []int{10}, []string{"4K-randwrite"}) }},
+	{"fig11", Fig11},
+	{"fig12", func(o Options) Report { return Fig12(o, []int{2, 4}) }},
+}
+
+// TestFigureDeterminism is the golden gate behind every benchmark
+// comparison and EXPERIMENTS.md claim: a figure rendered twice from the
+// same options hashes identically, and rendering with GOMAXPROCS=1 hashes
+// identically too — the simulation must not observe host parallelism.
+func TestFigureDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders every figure three times")
+	}
+	opt := Options{Scale: 0.04, RuntimeSec: 0.6, RampSec: 0.2, JournalMB: 32, Seed: 1}
+	for _, fig := range goldenFigures {
+		fig := fig
+		t.Run(fig.name, func(t *testing.T) {
+			first := reportHash(fig.run(opt))
+			if again := reportHash(fig.run(opt)); again != first {
+				t.Fatalf("same options diverged: %s then %s", first, again)
+			}
+			prev := runtime.GOMAXPROCS(1)
+			serial := reportHash(fig.run(opt))
+			runtime.GOMAXPROCS(prev)
+			if serial != first {
+				t.Fatalf("GOMAXPROCS=1 diverged: %s vs %s", serial, first)
+			}
+		})
+	}
+}

@@ -146,7 +146,9 @@ func runPoint(p cluster.Params, vms int, imageSize int64, spec workload.Spec, pr
 		}
 		workload.Prefill(c.K, bds, spec.BlockSize, cluster.ObjectSize)
 	}
-	return f.Run(c.K)
+	res := f.Run(c.K)
+	noteSim(c.K)
+	return res
 }
 
 func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
@@ -213,6 +215,7 @@ func Fig3(opt Options) Report {
 		Seed:      opt.Seed,
 	})
 	res := f.Run(c.K)
+	noteSim(c.K)
 	rep := Report{
 		Title:  "Figure 3: community write-path latency breakdown (cumulative ms from receive)",
 		Header: []string{"stage", "cum(ms)", "delta(ms)"},

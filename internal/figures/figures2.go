@@ -121,7 +121,9 @@ func solidfirePoint(opt Options, pat workload.Pattern, bs int64, vms, depth int,
 		}
 		workload.Prefill(sf.K, bds, bs, bs*64)
 	}
-	return f.Run(sf.K)
+	res := f.Run(sf.K)
+	noteSim(sf.K)
+	return res
 }
 
 // Fig11 reproduces Figure 11: SolidFire vs AFCeph vs community at matched

@@ -1,0 +1,21 @@
+package figures
+
+import (
+	"sync/atomic"
+
+	"repro/internal/sim"
+)
+
+// simNanos accumulates the virtual nanoseconds simulated by every figure
+// point since the last TakeSimNanos. The benchmarks divide it by wall time
+// to report the simulator's time-compression ratio (sim-wall-x), which the
+// regression gate tracks alongside ns/op: a ratio drop means the kernel
+// got slower per simulated second even if the figure shrank.
+var simNanos atomic.Int64
+
+// noteSim credits a finished point's kernel clock to the accumulator.
+func noteSim(k *sim.Kernel) { simNanos.Add(int64(k.Now())) }
+
+// TakeSimNanos returns the accumulated simulated nanoseconds and resets
+// the accumulator.
+func TakeSimNanos() int64 { return simNanos.Swap(0) }

@@ -109,6 +109,11 @@ type Transaction struct {
 	XattrBytes int64
 	// Stamp verifies read-your-write when Config.VerifyData is on.
 	Stamp uint64
+	// kvScratch is Apply's combined-op buffer; it rides on the transaction
+	// because a pooled tx is exclusively owned for the duration of its
+	// apply, while a FileStore-level scratch would be shared by every
+	// worker parked inside Apply.
+	kvScratch []kvstore.Op
 }
 
 // object is the authoritative per-object record.
@@ -254,11 +259,12 @@ func (f *FileStore) Apply(p *sim.Proc, tx *Transaction) {
 	}
 
 	// KV mutations: PG log entry + omap ops.
-	ops := make([]kvstore.Op, 0, len(tx.OmapOps)+1)
+	ops := tx.kvScratch[:0]
 	if tx.PGLogKey != "" {
 		ops = append(ops, kvstore.Op{Key: tx.PGLogKey, Value: tx.PGLogValue})
 	}
 	ops = append(ops, tx.OmapOps...)
+	tx.kvScratch = ops
 	if f.cfg.BatchKVOps {
 		f.db.Apply(p, ops)
 	} else {

@@ -73,6 +73,11 @@ type Network struct {
 	dropProb   float64
 	extraDelay sim.Time
 	chaosRnd   *rng.Rand
+
+	// msgFree pools Message records: a message is recycled once its handler
+	// returns (handlers take payloads, never the wrapper) or when it is
+	// dropped before reaching the wire.
+	msgFree []*Message
 }
 
 type epPair struct{ a, b *Endpoint }
@@ -115,13 +120,31 @@ func (n *Network) SetChaos(dropProb float64, extraDelay sim.Time) {
 	n.extraDelay = extraDelay
 }
 
-// Message is one transfer on the fabric.
+// Message is one transfer on the fabric. Message records are pooled by the
+// Network: handlers must not retain one past their return (the payload may
+// be retained freely).
 type Message struct {
 	From    *Endpoint
 	Size    int64
 	Kind    int
 	Payload interface{}
 	SentAt  sim.Time
+	to      *Endpoint // delivery destination, set when handed to the wire
+}
+
+func (n *Network) getMsg() *Message {
+	if l := len(n.msgFree); l > 0 {
+		m := n.msgFree[l-1]
+		n.msgFree[l-1] = nil
+		n.msgFree = n.msgFree[:l-1]
+		return m
+	}
+	return &Message{}
+}
+
+func (n *Network) putMsg(m *Message) {
+	*m = Message{}
+	n.msgFree = append(n.msgFree, m)
 }
 
 // Handler consumes delivered messages. It runs on the receiving
@@ -233,7 +256,8 @@ func (e *Endpoint) Send(p *sim.Proc, dst *Endpoint, size int64, kind int, payloa
 			e.sendLoop(sp, c, dst)
 		})
 	}
-	m := &Message{From: e, Size: size, Kind: kind, Payload: payload, SentAt: p.Now()}
+	m := e.net.getMsg()
+	m.From, m.Size, m.Kind, m.Payload, m.SentAt = e, size, kind, payload, p.Now()
 	c.q.Push(p, m) // unbounded: never blocks the caller
 }
 
@@ -248,6 +272,7 @@ func (e *Endpoint) sendLoop(p *sim.Proc, c *txConn, dst *Endpoint) {
 			// The sending process crashed with this message still in its
 			// socket buffer: it never reaches the wire.
 			e.net.Dropped.Inc()
+			e.net.putMsg(m)
 			continue
 		}
 		tx := sim.Time(m.Size * int64(sim.Second) / e.net.Params.BytesPerSec)
@@ -255,19 +280,28 @@ func (e *Endpoint) sendLoop(p *sim.Proc, c *txConn, dst *Endpoint) {
 		e.net.BytesSent.Add(uint64(m.Size))
 		if e.net.Partitioned(e, dst) {
 			e.net.Dropped.Inc()
+			e.net.putMsg(m)
 			continue
 		}
 		if e.net.dropProb > 0 && e.net.chaosRnd.Float64() < e.net.dropProb {
 			e.net.Dropped.Inc()
+			e.net.putMsg(m)
 			continue
 		}
 		delay := e.net.Params.Propagation + e.net.extraDelay
 		if !e.noDelay && m.Size < MSS {
 			delay += e.net.Params.NagleDelay
 		}
-		mm := m
-		e.net.K.After(delay, func() { dst.enqueue(e, mm) })
+		m.to = dst
+		e.net.K.AfterCall(delay, deliverMsg, m)
 	}
+}
+
+// deliverMsg is the shared arrival callback: one pooled event record per
+// in-flight message instead of one capturing closure each.
+func deliverMsg(a any) {
+	m := a.(*Message)
+	m.to.enqueue(m.From, m)
 }
 
 // enqueue runs in kernel context: append to the per-connection receive
@@ -307,6 +341,7 @@ func (e *Endpoint) receiveLoop(p *sim.Proc, c *rxConn) {
 		e.RxMsgs.Inc()
 		e.net.Msgs.Inc()
 		e.handler(p, m)
+		e.net.putMsg(m)
 	}
 }
 

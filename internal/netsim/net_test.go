@@ -19,17 +19,21 @@ func TestSendDeliversPayload(t *testing.T) {
 	k, net, na, nb := testWorld()
 	src := net.NewEndpoint("src", na, true)
 	dst := net.NewEndpoint("dst", nb, true)
-	var got *Message
+	// Message records are pooled: copy the wrapper in the handler instead
+	// of retaining the pointer past its return.
+	var got Message
+	var delivered bool
 	var at sim.Time
 	dst.SetHandler(func(p *sim.Proc, m *Message) {
-		got = m
+		got = *m
+		delivered = true
 		at = p.Now()
 	})
 	k.Go("send", func(p *sim.Proc) {
 		src.Send(p, dst, 4096, 7, "hello")
 	})
 	k.Run(sim.Forever)
-	if got == nil || got.Kind != 7 || got.Payload.(string) != "hello" || got.From != src {
+	if !delivered || got.Kind != 7 || got.Payload.(string) != "hello" || got.From != src {
 		t.Fatalf("message mangled: %+v", got)
 	}
 	if at < net.Params.Propagation {

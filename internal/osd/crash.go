@@ -87,6 +87,10 @@ func (o *OSD) Restart(p *sim.Proc) int {
 	for _, e := range pending {
 		tx := o.makeTx(e.pg, e.oid, e.off, e.length, e.stamp)
 		o.fs.Apply(p, tx)
+		o.putTx(tx)
+		// The retained entries themselves are NOT recycled here: a worker of
+		// the crashed generation may still be parked inside a filestore
+		// apply for one of them and will mark it applied when it resumes.
 		e.applied = true
 		o.markApplied(e.pg, e.seq)
 		o.eng.jrnl.Trim(e.padded)

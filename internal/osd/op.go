@@ -81,14 +81,21 @@ type workItem struct {
 }
 
 // jEntry is a journal-submission record carrying the transaction that must
-// subsequently be applied to the filestore.
+// subsequently be applied to the filestore. It copies the write's payload
+// fields out of the originating op: the filestore apply runs after the
+// client ack (write-ahead order), by which time a pooled ClientOp may
+// already be recycled, so the entry must not dereference cop past the ack.
 type jEntry struct {
 	pg     uint32
 	seq    uint64
+	oid    string
+	off    int64
+	length int64
+	stamp  uint64
 	bytes  int64
 	padded int64
 	enq    sim.Time
-	cop    *ClientOp // set at the primary
+	cop    *ClientOp // set at the primary; valid only until the ack
 	rop    *repOp    // set at a replica
 	ret    *retainedEntry
 }

@@ -2,6 +2,7 @@ package osd
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/cpumodel"
@@ -77,6 +78,11 @@ type engine struct {
 	fsQ       *sim.Queue[*jEntry]
 	finisherQ *sim.Queue[finEvent]
 	stageQ    *sim.Queue[stagedItem]
+
+	// Deferred completion bookkeeping (commit/applied), built once instead
+	// of closed over on every journal write and filestore apply.
+	commitFn func(p *sim.Proc)
+	applyFn  func(p *sim.Proc)
 }
 
 // OSD is one object storage daemon.
@@ -115,6 +121,21 @@ type OSD struct {
 	// JournalQDelay records time entries wait between journal submission
 	// and the journal writer picking them up.
 	JournalQDelay *stats.Histogram
+
+	// Free lists for hot-path records (see pool.go) and transaction-key
+	// scratch. The kvstore retains key strings, so keys are built fresh per
+	// transaction; the per-oid omap key is immutable and therefore cached.
+	jeFree   []*jEntry
+	ropFree  []*repOp
+	rcFree   []*repCommit
+	trFree   []*Trace
+	retFree  []*retainedEntry
+	txFree   []*filestore.Transaction
+	replies  *ReplyPool
+	keyBuf   []byte
+	pglogVal []byte
+	omapVal  []byte
+	omapKeys map[string]string
 }
 
 // New builds an OSD on the given node/endpoint with its data device and
@@ -146,6 +167,7 @@ func NewSplit(k *sim.Kernel, cfg Config, node *cpumodel.Node, ep, cep *netsim.En
 		ackHeld:       make(map[uint32]map[uint64]*ClientOp),
 		traces:        NewTraceCollector(),
 		JournalQDelay: stats.NewHistogram(),
+		omapKeys:      make(map[string]string),
 	}
 	db := kvstore.New(k, name+".kv", dataDev, node, kvstore.DefaultParams())
 	o.fs = filestore.New(k, name+".fs", dataDev, db, node, cfg.FStore, r)
@@ -177,6 +199,14 @@ func (o *OSD) buildEngine() {
 	eng.fsQ = sim.NewQueue[*jEntry](k, name+".fsq", 0)
 	if cfg.OptCompletionWorker {
 		eng.compw = core.NewCompletionWorker(k, name+".comp", eng.locks, 64)
+		eng.commitFn = func(pp *sim.Proc) {
+			o.node.Use(pp, o.cfg.Costs.DeferredCPU)
+			o.logger.Log(pp, siteCommit, o.cfg.LogPerStage)
+		}
+		eng.applyFn = func(pp *sim.Proc) {
+			o.node.Use(pp, o.cfg.Costs.DeferredCPU)
+			o.logger.Log(pp, siteApplied, o.cfg.LogPerStage)
+		}
 	} else {
 		eng.finisherQ = sim.NewQueue[finEvent](k, name+".finq", 0)
 	}
@@ -269,7 +299,7 @@ func (o *OSD) handleMessage(p *sim.Proc, m *netsim.Message) {
 		if o.cfg.TraceSample > 0 && cop.Kind == OpWrite {
 			o.opCount++
 			if o.opCount%uint64(o.cfg.TraceSample) == 0 {
-				cop.tr = &Trace{}
+				cop.tr = o.getTrace()
 				cop.tr.stamp(StageReceived, p.Now())
 			}
 		}
@@ -294,6 +324,7 @@ func (o *OSD) handleMessage(p *sim.Proc, m *netsim.Message) {
 			// instead of pushing it through the PG queue.
 			o.node.Use(p, o.cfg.Costs.CommitFastCPU)
 			o.commitArrived(p, rc.parent, true)
+			o.putRepCommit(rc)
 		} else {
 			// Community: acks share the data path and its PG locking.
 			o.enqueue(p, eng, workItem{rc: rc})
@@ -329,12 +360,13 @@ func (o *OSD) itemPG(it workItem) uint32 {
 // WakeupBatch peers have queued or the oldest has waited WakeupTimeout.
 func (o *OSD) batchFlusher(p *sim.Proc, eng *engine) {
 	const poll = 200 * sim.Microsecond
+	var scratch []stagedItem // one flusher per engine: reuse across batches
 	for {
 		first, ok := eng.stageQ.Pop(p)
 		if !ok || o.gen != eng.gen {
 			return
 		}
-		batch := []stagedItem{first}
+		batch := append(scratch[:0], first)
 		deadline := first.at + o.cfg.WakeupTimeout
 		for len(batch) < o.cfg.WakeupBatch {
 			if v, ok := eng.stageQ.TryPop(); ok {
@@ -356,6 +388,7 @@ func (o *OSD) batchFlusher(p *sim.Proc, eng *engine) {
 		for _, s := range batch {
 			eng.disp.Submit(p, int(o.itemPG(s.it)), s.it)
 		}
+		scratch = batch
 	}
 }
 
@@ -379,6 +412,7 @@ func (o *OSD) processItem(p *sim.Proc, eng *engine, shard int, it workItem) {
 		o.node.UseWithAllocs(p, o.cfg.Costs.CommitCPU, o.cfg.Costs.CommitAllocs)
 		o.logger.Log(p, siteCommit, o.cfg.LogPerStage)
 		o.commitArrived(p, it.rc.parent, true)
+		o.putRepCommit(it.rc)
 	}
 }
 
@@ -403,10 +437,10 @@ func (o *OSD) processWrite(p *sim.Proc, eng *engine, op *ClientOp) {
 	op.waitCommits = len(reps)
 	for _, r := range reps {
 		o.node.Use(p, c.RepSendCPU)
-		o.cep.Send(p, r, op.Len+c.RepMsgOverhead, MsgRepOp, &repOp{
-			oid: op.OID, pg: op.PG, off: op.Off, length: op.Len,
-			stamp: op.Stamp, seq: op.seq, parent: op, primary: o.cep,
-		})
+		rop := o.getRepOp()
+		rop.oid, rop.pg, rop.off, rop.length = op.OID, op.PG, op.Off, op.Len
+		rop.stamp, rop.seq, rop.parent, rop.primary = op.Stamp, op.seq, op, o.cep
+		o.cep.Send(p, r, op.Len+c.RepMsgOverhead, MsgRepOp, rop)
 	}
 	o.logger.Log(p, siteSubmit, o.cfg.LogPerStage)
 
@@ -419,7 +453,10 @@ func (o *OSD) processWrite(p *sim.Proc, eng *engine, op *ClientOp) {
 		return // crashed before the journal saw it: never acked, never durable
 	}
 	op.tr.stamp(StageSubmitted, p.Now())
-	eng.journalQ.Push(p, &jEntry{pg: op.PG, seq: op.seq, bytes: op.Len + c.JournalHeaderBytes, enq: p.Now(), cop: op})
+	e := o.getJEntry()
+	e.pg, e.seq, e.bytes, e.enq, e.cop = op.PG, op.seq, op.Len+c.JournalHeaderBytes, p.Now(), op
+	e.oid, e.off, e.length, e.stamp = op.OID, op.Off, op.Len, op.Stamp
+	eng.journalQ.Push(p, e)
 }
 
 // processRead services a read on the primary under the PG lock.
@@ -434,8 +471,9 @@ func (o *OSD) processRead(p *sim.Proc, eng *engine, op *ClientOp) {
 		return // crashed mid-read: no reply, client retries elsewhere
 	}
 	o.logger.Log(p, siteAck, o.cfg.LogPerStage)
-	o.ep.Send(p, op.Client, op.Len+c.ReadReplyOverhead, MsgReply,
-		&Reply{Op: op, Stamp: st, Exists: exists})
+	rep := o.newReply()
+	rep.Op, rep.Stamp, rep.Exists = op, st, exists
+	o.ep.Send(p, op.Client, op.Len+c.ReadReplyOverhead, MsgReply, rep)
 	eng.msgCap.Release(1)
 }
 
@@ -459,7 +497,10 @@ func (o *OSD) processRepOp(p *sim.Proc, eng *engine, rop *repOp) {
 	if o.gen != eng.gen {
 		return
 	}
-	eng.journalQ.Push(p, &jEntry{pg: rop.pg, seq: rop.seq, bytes: rop.length + c.JournalHeaderBytes, enq: p.Now(), rop: rop})
+	e := o.getJEntry()
+	e.pg, e.seq, e.bytes, e.enq, e.rop = rop.pg, rop.seq, rop.length+c.JournalHeaderBytes, p.Now(), rop
+	e.oid, e.off, e.length, e.stamp = rop.oid, rop.off, rop.length, rop.stamp
+	eng.journalQ.Push(p, e)
 }
 
 // journalWriter drains the journal queue onto the journal device and
@@ -480,12 +521,9 @@ func (o *OSD) journalWriter(p *sim.Proc, eng *engine) {
 		}
 		// The entry is durable in NVRAM: retain its image for crash replay
 		// until the filestore apply lands.
-		ret := &retainedEntry{pg: e.pg, seq: e.seq, padded: e.padded}
-		if e.cop != nil {
-			ret.oid, ret.off, ret.length, ret.stamp = e.cop.OID, e.cop.Off, e.cop.Len, e.cop.Stamp
-		} else {
-			ret.oid, ret.off, ret.length, ret.stamp = e.rop.oid, e.rop.off, e.rop.length, e.rop.stamp
-		}
+		ret := o.getRetained()
+		ret.pg, ret.seq, ret.padded = e.pg, e.seq, e.padded
+		ret.oid, ret.off, ret.length, ret.stamp = e.oid, e.off, e.length, e.stamp
 		e.ret = ret
 		o.retained = append(o.retained, ret)
 		if e.cop != nil {
@@ -504,11 +542,7 @@ func (o *OSD) journalWriter(p *sim.Proc, eng *engine) {
 			if e.rop != nil {
 				o.sendRepCommit(p, e.rop)
 			}
-			pg := e.pg
-			eng.compw.Defer(p, core.Completion{Shard: int(pg), Fn: func(pp *sim.Proc) {
-				o.node.Use(pp, c.DeferredCPU)
-				o.logger.Log(pp, siteCommit, o.cfg.LogPerStage)
-			}})
+			eng.compw.Defer(p, core.Completion{Shard: int(e.pg), Fn: eng.commitFn})
 		} else {
 			eng.finisherQ.Push(p, finEvent{kind: finCommit, e: e})
 		}
@@ -540,19 +574,24 @@ func (o *OSD) finisher(p *sim.Proc, eng *engine) {
 			}
 		case finApplied:
 			o.logger.Log(p, siteApplied, o.cfg.LogPerStage)
+			// Both finisher events for this entry have run (the queue is
+			// FIFO, so finCommit preceded this); nothing references the
+			// entry or its replica sub-op any longer.
+			o.putJEntry(ev.e)
 		}
 		lock.Unlock(p)
 	}
 }
 
 func (o *OSD) sendRepCommit(p *sim.Proc, rop *repOp) {
-	o.cep.Send(p, rop.primary, 150, MsgRepCommit, &repCommit{parent: rop.parent})
+	rc := o.getRepCommit()
+	rc.parent = rop.parent
+	o.cep.Send(p, rop.primary, 150, MsgRepCommit, rc)
 }
 
 // filestoreWorker applies journaled transactions to the backend, trims the
 // journal and returns the throttle token.
 func (o *OSD) filestoreWorker(p *sim.Proc, eng *engine) {
-	c := &o.cfg.Costs
 	for {
 		e, ok := eng.fsQ.Pop(p)
 		if !ok || o.gen != eng.gen {
@@ -568,16 +607,17 @@ func (o *OSD) filestoreWorker(p *sim.Proc, eng *engine) {
 		if o.gen != eng.gen {
 			return
 		}
+		o.putTx(tx)
 		o.markApplied(e.pg, e.seq)
 		eng.jrnl.Trim(e.padded)
 		eng.fsThrottle.Release(1)
 		o.compactRetained()
 		if o.cfg.OptCompletionWorker {
-			pg := e.pg
-			eng.compw.Defer(p, core.Completion{Shard: int(pg), Fn: func(pp *sim.Proc) {
-				o.node.Use(pp, c.DeferredCPU)
-				o.logger.Log(pp, siteApplied, o.cfg.LogPerStage)
-			}})
+			eng.compw.Defer(p, core.Completion{Shard: int(e.pg), Fn: eng.applyFn})
+			// The entry has cleared journal, filestore and completion
+			// dispatch; the commit notification was sent back in the journal
+			// writer. Recycle it and its replica sub-op.
+			o.putJEntry(e)
 		} else {
 			eng.finisherQ.Push(p, finEvent{kind: finApplied, e: e})
 		}
@@ -589,6 +629,10 @@ func (o *OSD) filestoreWorker(p *sim.Proc, eng *engine) {
 func (o *OSD) compactRetained() {
 	i := 0
 	for i < len(o.retained) && o.retained[i].applied {
+		// Applied entries have exactly one writer (the filestore worker that
+		// applied them), which has finished; safe to recycle.
+		o.putRetained(o.retained[i])
+		o.retained[i] = nil
 		i++
 	}
 	if i > 0 {
@@ -596,30 +640,42 @@ func (o *OSD) compactRetained() {
 	}
 }
 
-// makeTx builds a filestore transaction for one logical write.
+// makeTx builds a filestore transaction for one logical write. Transactions
+// and their value buffers are recycled (the kvstore copies values); key
+// strings are freshly allocated because the kvstore retains them, except the
+// per-oid omap key, which is immutable and cached.
 func (o *OSD) makeTx(pg uint32, oid string, off, length int64, stamp uint64) *filestore.Transaction {
 	c := &o.cfg.Costs
 	o.logSeq++
-	return &filestore.Transaction{
-		OID:        oid,
-		Off:        off,
-		Len:        length,
-		PGLogKey:   fmt.Sprintf("pglog.%d.%d", pg, o.logSeq),
-		PGLogValue: make([]byte, c.PGLogValueBytes),
-		OmapOps: []kvstore.Op{
-			{Key: fmt.Sprintf("omap.%s.info", oid), Value: make([]byte, c.OmapBytes)},
-		},
-		XattrBytes: 250,
-		Stamp:      stamp,
+	if o.pglogVal == nil {
+		o.pglogVal = make([]byte, c.PGLogValueBytes)
+		o.omapVal = make([]byte, c.OmapBytes)
 	}
+	b := append(o.keyBuf[:0], "pglog."...)
+	b = strconv.AppendUint(b, uint64(pg), 10)
+	b = append(b, '.')
+	b = strconv.AppendUint(b, o.logSeq, 10)
+	o.keyBuf = b
+	okey, ok := o.omapKeys[oid]
+	if !ok {
+		okey = "omap." + oid + ".info"
+		o.omapKeys[oid] = okey
+	}
+	tx := o.getTx()
+	tx.OID, tx.Off, tx.Len = oid, off, length
+	tx.PGLogKey = string(b)
+	tx.PGLogValue = o.pglogVal
+	tx.OmapOps = append(tx.OmapOps[:0], kvstore.Op{Key: okey, Value: o.omapVal})
+	tx.XattrBytes = 250
+	tx.Stamp = stamp
+	return tx
 }
 
-// buildTx converts a journal entry into a filestore transaction.
+// buildTx converts a journal entry into a filestore transaction. It reads
+// only the entry's own payload copy: at the primary the originating op may
+// already be acked (and recycled) by apply time.
 func (o *OSD) buildTx(e *jEntry) *filestore.Transaction {
-	if e.cop != nil {
-		return o.makeTx(e.pg, e.cop.OID, e.cop.Off, e.cop.Len, e.cop.Stamp)
-	}
-	return o.makeTx(e.pg, e.rop.oid, e.rop.off, e.rop.length, e.rop.stamp)
+	return o.makeTx(e.pg, e.oid, e.off, e.length, e.stamp)
 }
 
 // commitArrived records a local or replica journal commit for op and sends
@@ -688,13 +744,19 @@ func (o *OSD) sendAck(p *sim.Proc, op *ClientOp) {
 	c := &o.cfg.Costs
 	o.node.Use(p, c.AckCPU)
 	o.logger.Log(p, siteAck, o.cfg.LogPerStage)
-	o.ep.Send(p, op.Client, c.AckBytes, MsgReply, &Reply{Op: op})
+	rep := o.newReply()
+	rep.Op = op
+	o.ep.Send(p, op.Client, c.AckBytes, MsgReply, rep)
 	// Release on the op's own generation is exact; after a crash the
 	// current semaphore's clamped Release makes a mismatch harmless.
 	o.eng.msgCap.Release(1)
 	op.tr.stamp(StageAcked, p.Now())
 	if op.tr != nil {
+		// Every stage has stamped by ack time (all replica commits precede
+		// the ack), so the trace is quiescent once collected.
 		o.traces.Add(op.tr)
+		o.putTrace(op.tr)
+		op.tr = nil
 	}
 	o.metrics.AcksSent.Inc()
 }

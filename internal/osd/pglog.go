@@ -53,7 +53,9 @@ func (o *OSD) markApplied(pg uint32, seq uint64) {
 	}
 	if cut > 0 {
 		l.trimmedTo = l.entries[cut-1].Seq
-		l.entries = append([]PGLogEntry(nil), l.entries[cut:]...)
+		// Shift in place: the backing array never escapes (PGLog returns a
+		// copy), so the trim need not reallocate per applied entry.
+		l.entries = l.entries[:copy(l.entries, l.entries[cut:])]
 	}
 }
 

@@ -115,6 +115,9 @@ type Logger struct {
 	q      *sim.Queue[batch]
 	cache  map[int]bool
 	stats  Stats
+	// evFree recycles Sync-mode completion events: once Wait returns the
+	// event has fired and nothing else references it.
+	evFree []*sim.Event
 }
 
 // New creates a logger charging CPU to node.
@@ -165,11 +168,13 @@ func (l *Logger) Log(p *sim.Proc, site, count int) {
 	l.node.Use(p, l.params.SubmitCPU)
 	switch l.mode {
 	case Sync:
-		done := sim.NewEvent(l.k)
+		done := l.getEvent()
 		t0 := p.Now()
 		l.q.Push(p, batch{site: site, count: count, done: done})
 		done.Wait(p)
 		l.stats.BlockTime.Add(uint64(p.Now() - t0))
+		done.Reset()
+		l.evFree = append(l.evFree, done)
 	case Async:
 		if l.params.MemoryLimit > 0 && l.q.Len() >= l.params.MemoryLimit {
 			l.stats.Dropped.Add(uint64(count))
@@ -177,6 +182,15 @@ func (l *Logger) Log(p *sim.Proc, site, count int) {
 		}
 		l.q.Push(p, batch{site: site, count: count})
 	}
+}
+
+func (l *Logger) getEvent() *sim.Event {
+	if n := len(l.evFree); n > 0 {
+		ev := l.evFree[n-1]
+		l.evFree = l.evFree[:n-1]
+		return ev
+	}
+	return sim.NewEvent(l.k)
 }
 
 // loop is one logger thread.

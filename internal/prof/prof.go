@@ -1,0 +1,58 @@
+// Package prof wires the standard pprof profilers into command-line tools:
+// one call in main starts the CPU profile and returns a stop function that
+// also snapshots the heap. Both commands (afbench, afsim) expose the same
+// -cpuprofile/-memprofile flags through it, so `go tool pprof` works on
+// full-size figure reproductions, not just the test binary.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling to cpuPath (empty = none) and returns a stop
+// function that finishes the CPU profile and writes a heap profile to
+// memPath (empty = none). Call the stop function exactly once, after the
+// measured work; it exits the process on I/O errors, which is the right
+// failure mode for a diagnostics flag.
+func Start(cpuPath, memPath string) func() {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		cpuFile = f
+	}
+	return func() {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC() // materialize the final live set
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "prof:", err)
+	os.Exit(1)
+}

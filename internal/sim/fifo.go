@@ -1,0 +1,47 @@
+package sim
+
+// fifo is an allocation-friendly FIFO ring deque used for waiter queues and
+// item buffers. The zero value is ready to use. The backing array grows to
+// a power of two and is reused in place, so steady-state push/pop never
+// allocates and never shifts elements — unlike the append + reslice pattern
+// it replaces, which leaked the popped prefix until the next realloc.
+type fifo[T any] struct {
+	buf  []T // power-of-two sized
+	head int
+	n    int
+}
+
+func (f *fifo[T]) len() int { return f.n }
+
+func (f *fifo[T]) push(v T) {
+	if f.n == len(f.buf) {
+		f.grow()
+	}
+	f.buf[(f.head+f.n)&(len(f.buf)-1)] = v
+	f.n++
+}
+
+func (f *fifo[T]) pop() T {
+	v := f.buf[f.head]
+	var zero T
+	f.buf[f.head] = zero
+	f.head = (f.head + 1) & (len(f.buf) - 1)
+	f.n--
+	return v
+}
+
+// peek returns the head element without removing it.
+func (f *fifo[T]) peek() T { return f.buf[f.head] }
+
+func (f *fifo[T]) grow() {
+	n := len(f.buf) * 2
+	if n == 0 {
+		n = 8
+	}
+	buf := make([]T, n)
+	for i := 0; i < f.n; i++ {
+		buf[i] = f.buf[(f.head+i)&(len(f.buf)-1)]
+	}
+	f.buf = buf
+	f.head = 0
+}

@@ -1,21 +1,25 @@
 // Package sim implements a deterministic discrete-event simulation (DES)
-// kernel with goroutine-backed processes.
+// kernel with goroutine-backed processes and a zero-handoff callback fast
+// path.
 //
 // The kernel maintains virtual time at nanosecond resolution. Exactly one
-// process (or event callback) executes at any instant; control is handed
-// between the kernel's dispatch loop and process goroutines through a pair
-// of channels, so simulated code is written in ordinary blocking style
-// (Sleep, Lock, Push/Pop on queues) without data races and without real
-// wall-clock delays.
+// process (or event callback) executes at any instant. Control is passed
+// baton-style: the goroutine that finishes an event dispatches the next one
+// itself, so callback events (timers, completions scheduled with At/After/
+// AfterCall) run inline with no goroutine handoff at all, and resuming a
+// process costs a single buffered-channel send instead of a round trip
+// through a central dispatch loop. Run only seeds the chain and waits for
+// it to end. Event records are pooled on a per-kernel free list, events
+// scheduled for the current instant go through a FIFO ready ring that
+// bypasses the time-ordered heap, and simulated code is still written in
+// ordinary blocking style (Sleep, Lock, Push/Pop on queues) without data
+// races and without real wall-clock delays.
 //
 // Events scheduled for the same virtual time fire in schedule order, which
 // makes every run bit-for-bit reproducible for a given seed.
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is virtual simulation time in nanoseconds.
 type Time int64
@@ -59,48 +63,43 @@ func (t Time) Micros() float64 { return float64(t) / float64(Microsecond) }
 type event struct {
 	t    Time
 	seq  uint64
-	proc *Proc  // if non-nil, resume this process
-	fn   func() // otherwise run this callback (must not block)
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].t != h[j].t {
-		return h[i].t < h[j].t
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	proc *Proc     // if non-nil, resume this process
+	fn   func()    // else run this callback (must not block)
+	fnA  func(any) // else run fnA(arg): closure-free callback
+	arg  any
 }
 
 // Kernel is a discrete-event simulation executive. The zero value is not
 // usable; create kernels with NewKernel.
 type Kernel struct {
-	now        Time
-	seq        uint64
-	events     eventHeap
-	parked     chan struct{} // process -> kernel: "I yielded"
+	now Time
+	seq uint64
+
+	// events is a hand-rolled binary min-heap ordered by (t, seq); it only
+	// holds events scheduled for a future instant.
+	events []*event
+
+	// ready is a FIFO ring of events scheduled for the current instant.
+	// Time is non-decreasing and seq is assigned in push order, so the ring
+	// head is always the ring's (t, seq) minimum.
+	ready fifo[*event]
+
+	free []*event // event record free list
+
+	endRun     chan struct{} // last baton holder -> Run: "this run is over"
 	running    *Proc
 	live       int // spawned processes that have not finished
 	stopped    bool
 	inRun      bool
+	until      Time // horizon of the current Run
+	runPanic   any  // panic forwarded from a baton holder to Run
 	nextID     int64
 	dispatched uint64
 }
 
 // NewKernel returns a fresh kernel at time zero.
 func NewKernel() *Kernel {
-	return &Kernel{parked: make(chan struct{})}
+	return &Kernel{endRun: make(chan struct{}, 1), until: Forever}
 }
 
 // Now returns the current virtual time.
@@ -110,7 +109,7 @@ func (k *Kernel) Now() Time { return k.now }
 func (k *Kernel) Live() int { return k.live }
 
 // Pending returns the number of queued events.
-func (k *Kernel) Pending() int { return len(k.events) }
+func (k *Kernel) Pending() int { return len(k.events) + k.ready.len() }
 
 // Dispatched returns the total number of events executed so far.
 func (k *Kernel) Dispatched() uint64 { return k.dispatched }
@@ -122,12 +121,40 @@ func (k *Kernel) Stop() { k.stopped = true }
 // Stopped reports whether Stop has been called.
 func (k *Kernel) Stopped() bool { return k.stopped }
 
-func (k *Kernel) schedule(t Time, p *Proc, fn func()) {
+func (k *Kernel) newEvent(t Time) *event {
 	if t < k.now {
 		t = k.now
 	}
+	var ev *event
+	if n := len(k.free); n > 0 {
+		ev = k.free[n-1]
+		k.free[n-1] = nil
+		k.free = k.free[:n-1]
+	} else {
+		ev = &event{}
+	}
 	k.seq++
-	heap.Push(&k.events, &event{t: t, seq: k.seq, proc: p, fn: fn})
+	ev.t, ev.seq = t, k.seq
+	return ev
+}
+
+func (k *Kernel) recycle(ev *event) {
+	ev.proc, ev.fn, ev.fnA, ev.arg = nil, nil, nil, nil
+	k.free = append(k.free, ev)
+}
+
+func (k *Kernel) enqueue(ev *event) {
+	if ev.t <= k.now {
+		k.ready.push(ev)
+	} else {
+		k.heapPush(ev)
+	}
+}
+
+func (k *Kernel) schedule(t Time, p *Proc, fn func()) {
+	ev := k.newEvent(t)
+	ev.proc, ev.fn = p, fn
+	k.enqueue(ev)
 }
 
 // At schedules fn to run at absolute time t. fn runs in kernel context and
@@ -138,20 +165,31 @@ func (k *Kernel) At(t Time, fn func()) { k.schedule(t, nil, fn) }
 // After schedules fn to run d nanoseconds from now.
 func (k *Kernel) After(d Time, fn func()) { k.schedule(k.now+d, nil, fn) }
 
+// AfterCall schedules fn(arg) to run d nanoseconds from now. It is the
+// allocation-free variant of After for hot paths: arg rides in the pooled
+// event record, so callers can use one shared top-level function instead of
+// allocating a capturing closure per event.
+func (k *Kernel) AfterCall(d Time, fn func(any), arg any) {
+	ev := k.newEvent(k.now + d)
+	ev.fnA, ev.arg = fn, arg
+	k.enqueue(ev)
+}
+
 // Go spawns a new simulated process that executes fn. The process starts at
 // the current virtual time, after the currently running event yields. Go may
 // be called both from outside Run (to set up the world) and from running
 // processes.
 func (k *Kernel) Go(name string, fn func(p *Proc)) *Proc {
 	k.nextID++
-	p := &Proc{k: k, id: k.nextID, name: name, wake: make(chan struct{})}
+	p := &Proc{k: k, id: k.nextID, name: name, wake: make(chan struct{}, 1)}
 	k.live++
 	go func() {
 		<-p.wake // wait for first dispatch
 		fn(p)
 		p.done = true
 		k.live--
-		k.parked <- struct{}{}
+		k.running = nil
+		k.passBaton()
 	}()
 	k.schedule(k.now, p, nil)
 	return p
@@ -166,37 +204,155 @@ func (k *Kernel) Run(until Time) uint64 {
 	}
 	k.inRun = true
 	defer func() { k.inRun = false }()
-	var n uint64
-	for !k.stopped && len(k.events) > 0 {
-		ev := k.events[0]
-		if until != Forever && ev.t > until {
-			k.now = until
-			return n
-		}
-		heap.Pop(&k.events)
-		if ev.t > k.now {
-			k.now = ev.t
-		}
-		n++
-		k.dispatched++
-		if ev.proc != nil {
-			if ev.proc.done {
-				continue // stale wakeup for a finished process
-			}
-			k.running = ev.proc
-			ev.proc.wake <- struct{}{}
-			<-k.parked
-			k.running = nil
-		} else if ev.fn != nil {
-			ev.fn()
+	k.until = until
+	start := k.dispatched
+	if k.dispatchNext() {
+		// The baton was handed to a process goroutine; wait for the last
+		// holder to report the run complete.
+		<-k.endRun
+		if r := k.runPanic; r != nil {
+			k.runPanic = nil
+			panic(r)
 		}
 	}
 	if until != Forever && k.now < until {
 		k.now = until
 	}
-	return n
+	return k.dispatched - start
+}
+
+// passBaton continues dispatch after the caller is done executing; if the
+// run is over it returns the baton to Run instead. A panic raised by a
+// dispatched event is captured and re-raised from Run, preserving the old
+// central-loop contract that event panics surface at Run's caller.
+func (k *Kernel) passBaton() {
+	defer func() {
+		if r := recover(); r != nil {
+			k.runPanic = r
+			k.endRun <- struct{}{}
+		}
+	}()
+	if !k.dispatchNext() {
+		k.endRun <- struct{}{}
+	}
+}
+
+// peekEvent returns the next event in (t, seq) order without removing it,
+// or nil if none is queued.
+func (k *Kernel) peekEvent() (ev *event, fromReady bool) {
+	if k.ready.len() > 0 {
+		re := k.ready.peek()
+		if len(k.events) > 0 {
+			he := k.events[0]
+			if he.t < re.t || (he.t == re.t && he.seq < re.seq) {
+				return he, false
+			}
+		}
+		return re, true
+	}
+	if len(k.events) > 0 {
+		return k.events[0], false
+	}
+	return nil, false
+}
+
+// dispatchNext drains and executes events until either the baton is handed
+// to a process goroutine (returns true) or the run is over — queue empty,
+// Stop called, or next event past the Run horizon (returns false).
+// Callback events execute inline on the calling goroutine.
+func (k *Kernel) dispatchNext() bool {
+	for !k.stopped {
+		ev, fromReady := k.peekEvent()
+		if ev == nil {
+			return false
+		}
+		if k.until != Forever && ev.t > k.until {
+			return false
+		}
+		if fromReady {
+			k.ready.pop()
+		} else {
+			k.heapPop()
+		}
+		if ev.t > k.now {
+			k.now = ev.t
+		}
+		k.dispatched++
+		if ev.proc != nil {
+			p := ev.proc
+			k.recycle(ev)
+			if p.done {
+				continue // stale wakeup for a finished process
+			}
+			k.running = p
+			p.wake <- struct{}{}
+			return true
+		}
+		if ev.fnA != nil {
+			fn, arg := ev.fnA, ev.arg
+			k.recycle(ev)
+			fn(arg)
+			continue
+		}
+		fn := ev.fn
+		k.recycle(ev)
+		if fn != nil {
+			fn()
+		}
+	}
+	return false
 }
 
 // Running returns the currently executing process, or nil when the kernel is
 // running a callback or is idle.
 func (k *Kernel) Running() *Proc { return k.running }
+
+// --- event heap -----------------------------------------------------------
+
+func eventLess(a, b *event) bool {
+	if a.t != b.t {
+		return a.t < b.t
+	}
+	return a.seq < b.seq
+}
+
+func (k *Kernel) heapPush(ev *event) {
+	h := append(k.events, ev)
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(h[i], h[parent]) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+	k.events = h
+}
+
+func (k *Kernel) heapPop() *event {
+	h := k.events
+	ev := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = nil
+	h = h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && eventLess(h[l], h[min]) {
+			min = l
+		}
+		if r < n && eventLess(h[r], h[min]) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	k.events = h
+	return ev
+}

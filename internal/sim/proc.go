@@ -23,10 +23,14 @@ func (p *Proc) Kernel() *Kernel { return p.k }
 // Now returns the current virtual time.
 func (p *Proc) Now() Time { return p.k.now }
 
-// park yields control to the kernel and blocks until the process is
-// rescheduled. Every blocking primitive bottoms out here.
+// park yields and blocks until the process is rescheduled. Every blocking
+// primitive bottoms out here. The parking process itself dispatches the
+// next event (baton passing): callbacks run inline on this goroutine, and
+// a process handoff is a single buffered-channel send.
 func (p *Proc) park() {
-	p.k.parked <- struct{}{}
+	k := p.k
+	k.running = nil
+	k.passBaton()
 	<-p.wake
 }
 

@@ -3,14 +3,16 @@ package sim
 // Queue is a FIFO channel-like queue of T with optional capacity.
 // Push blocks when the queue is full (capacity > 0); Pop blocks when it is
 // empty. Blocked processes are served in FIFO order. Queue tracks occupancy
-// statistics so models can report queue depths and backpressure.
+// statistics so models can report queue depths and backpressure. Items and
+// waiter queues live in ring buffers, so steady-state traffic does not
+// allocate.
 type Queue[T any] struct {
 	k        *Kernel
 	name     string
 	capacity int
-	items    []T
-	getters  []*Proc
-	putters  []*Proc
+	items    fifo[T]
+	getters  fifo[*Proc]
+	putters  fifo[*Proc]
 	closed   bool
 
 	// stats
@@ -29,7 +31,7 @@ func NewQueue[T any](k *Kernel, name string, capacity int) *Queue[T] {
 func (q *Queue[T]) Name() string { return q.name }
 
 // Len returns the number of queued items.
-func (q *Queue[T]) Len() int { return len(q.items) }
+func (q *Queue[T]) Len() int { return q.items.len() }
 
 // Cap returns the configured capacity (<=0 means unbounded).
 func (q *Queue[T]) Cap() int { return q.capacity }
@@ -50,10 +52,9 @@ func (q *Queue[T]) BlockedPops() uint64 { return q.blockedPop }
 // ok=false instead of blocking, and blocked getters wake.
 func (q *Queue[T]) Close() {
 	q.closed = true
-	for _, g := range q.getters {
-		g.resumeAt(q.k.now)
+	for q.getters.len() > 0 {
+		q.getters.pop().resumeAt(q.k.now)
 	}
-	q.getters = nil
 }
 
 // Closed reports whether Close has been called.
@@ -62,9 +63,9 @@ func (q *Queue[T]) Closed() bool { return q.closed }
 // Push appends v, blocking p while the queue is full. Pushing to a closed
 // queue panics (a model bug).
 func (q *Queue[T]) Push(p *Proc, v T) {
-	for q.capacity > 0 && len(q.items) >= q.capacity && !q.closed {
+	for q.capacity > 0 && q.items.len() >= q.capacity && !q.closed {
 		q.blockedPush++
-		q.putters = append(q.putters, p)
+		q.putters.push(p)
 		p.park()
 	}
 	if q.closed {
@@ -78,7 +79,7 @@ func (q *Queue[T]) TryPush(v T) bool {
 	if q.closed {
 		panic("sim: Push to closed Queue " + q.name)
 	}
-	if q.capacity > 0 && len(q.items) >= q.capacity {
+	if q.capacity > 0 && q.items.len() >= q.capacity {
 		return false
 	}
 	q.add(v)
@@ -86,27 +87,25 @@ func (q *Queue[T]) TryPush(v T) bool {
 }
 
 func (q *Queue[T]) add(v T) {
-	q.items = append(q.items, v)
+	q.items.push(v)
 	q.pushes++
-	if len(q.items) > q.maxDepth {
-		q.maxDepth = len(q.items)
+	if q.items.len() > q.maxDepth {
+		q.maxDepth = q.items.len()
 	}
-	if len(q.getters) > 0 {
-		g := q.getters[0]
-		q.getters = q.getters[1:]
-		g.resumeAt(q.k.now)
+	if q.getters.len() > 0 {
+		q.getters.pop().resumeAt(q.k.now)
 	}
 }
 
 // Pop removes and returns the head item, blocking p while the queue is
 // empty. ok is false only if the queue was closed and drained.
 func (q *Queue[T]) Pop(p *Proc) (v T, ok bool) {
-	for len(q.items) == 0 {
+	for q.items.len() == 0 {
 		if q.closed {
 			return v, false
 		}
 		q.blockedPop++
-		q.getters = append(q.getters, p)
+		q.getters.push(p)
 		p.park()
 	}
 	return q.take(), true
@@ -114,29 +113,24 @@ func (q *Queue[T]) Pop(p *Proc) (v T, ok bool) {
 
 // TryPop removes and returns the head item without blocking.
 func (q *Queue[T]) TryPop() (v T, ok bool) {
-	if len(q.items) == 0 {
+	if q.items.len() == 0 {
 		return v, false
 	}
 	return q.take(), true
 }
 
 func (q *Queue[T]) take() T {
-	v := q.items[0]
-	var zero T
-	q.items[0] = zero
-	q.items = q.items[1:]
-	if len(q.putters) > 0 {
-		w := q.putters[0]
-		q.putters = q.putters[1:]
-		w.resumeAt(q.k.now)
+	v := q.items.pop()
+	if q.putters.len() > 0 {
+		q.putters.pop().resumeAt(q.k.now)
 	}
 	return v
 }
 
 // Peek returns the head item without removing it.
 func (q *Queue[T]) Peek() (v T, ok bool) {
-	if len(q.items) == 0 {
+	if q.items.len() == 0 {
 		return v, false
 	}
-	return q.items[0], true
+	return q.items.peek(), true
 }

@@ -23,7 +23,7 @@ type Mutex struct {
 	name     string
 	locked   bool
 	holder   *Proc
-	waiters  []*Proc
+	waiters  fifo[*Proc]
 	lockedAt Time
 	stats    MutexStats
 	// unlockHook runs whenever the mutex transitions to free (no waiter to
@@ -40,6 +40,10 @@ func (m *Mutex) SetUnlockHook(f func()) { m.unlockHook = f }
 // NewMutex creates a named mutex on kernel k.
 func NewMutex(k *Kernel, name string) *Mutex { return &Mutex{k: k, name: name} }
 
+// MakeMutex returns a mutex by value for callers that embed or
+// block-allocate their locks.
+func MakeMutex(k *Kernel, name string) Mutex { return Mutex{k: k, name: name} }
+
 // Name returns the mutex name.
 func (m *Mutex) Name() string { return m.name }
 
@@ -53,7 +57,7 @@ func (m *Mutex) Locked() bool { return m.locked }
 func (m *Mutex) Holder() *Proc { return m.holder }
 
 // QueueLen returns the number of processes waiting for the lock.
-func (m *Mutex) QueueLen() int { return len(m.waiters) }
+func (m *Mutex) QueueLen() int { return m.waiters.len() }
 
 // Lock acquires the mutex, blocking p until it is available.
 func (m *Mutex) Lock(p *Proc) {
@@ -66,7 +70,7 @@ func (m *Mutex) Lock(p *Proc) {
 	}
 	m.stats.Contended++
 	t0 := p.k.now
-	m.waiters = append(m.waiters, p)
+	m.waiters.push(p)
 	p.park() // Unlock transfers ownership before waking us
 	w := p.k.now - t0
 	m.stats.WaitTime += w
@@ -97,9 +101,8 @@ func (m *Mutex) Unlock(p *Proc) {
 		panic("sim: Unlock of Mutex " + m.name + " by non-holder")
 	}
 	m.stats.HoldTime += m.k.now - m.lockedAt
-	if len(m.waiters) > 0 {
-		next := m.waiters[0]
-		m.waiters = m.waiters[1:]
+	if m.waiters.len() > 0 {
+		next := m.waiters.pop()
 		m.holder = next
 		m.lockedAt = m.k.now
 		next.resumeAt(m.k.now)
@@ -115,7 +118,7 @@ func (m *Mutex) Unlock(p *Proc) {
 // Cond is a condition variable associated with a Mutex.
 type Cond struct {
 	m       *Mutex
-	waiters []*Proc
+	waiters fifo[*Proc]
 }
 
 // NewCond creates a condition variable using m.
@@ -125,7 +128,7 @@ func NewCond(m *Mutex) *Cond { return &Cond{m: m} }
 // then re-acquires the mutex before returning. As with sync.Cond, callers
 // must re-check their predicate in a loop.
 func (c *Cond) Wait(p *Proc) {
-	c.waiters = append(c.waiters, p)
+	c.waiters.push(p)
 	c.m.Unlock(p)
 	p.park()
 	c.m.Lock(p)
@@ -133,20 +136,17 @@ func (c *Cond) Wait(p *Proc) {
 
 // Signal wakes the longest-waiting process, if any.
 func (c *Cond) Signal() {
-	if len(c.waiters) == 0 {
+	if c.waiters.len() == 0 {
 		return
 	}
-	w := c.waiters[0]
-	c.waiters = c.waiters[1:]
-	w.resumeAt(c.m.k.now)
+	c.waiters.pop().resumeAt(c.m.k.now)
 }
 
 // Broadcast wakes all waiting processes.
 func (c *Cond) Broadcast() {
-	for _, w := range c.waiters {
-		w.resumeAt(c.m.k.now)
+	for c.waiters.len() > 0 {
+		c.waiters.pop().resumeAt(c.m.k.now)
 	}
-	c.waiters = c.waiters[:0]
 }
 
 // semWaiter is a queued Acquire request.
@@ -162,7 +162,7 @@ type Semaphore struct {
 	name     string
 	capacity int64
 	avail    int64
-	waiters  []*semWaiter
+	waiters  fifo[semWaiter]
 	// stats
 	acquires  uint64
 	throttled uint64
@@ -185,7 +185,7 @@ func (s *Semaphore) Available() int64 { return s.avail }
 func (s *Semaphore) Capacity() int64 { return s.capacity }
 
 // QueueLen returns the number of blocked Acquire calls.
-func (s *Semaphore) QueueLen() int { return len(s.waiters) }
+func (s *Semaphore) QueueLen() int { return s.waiters.len() }
 
 // Throttled returns how many Acquire calls had to wait.
 func (s *Semaphore) Throttled() uint64 { return s.throttled }
@@ -201,13 +201,13 @@ func (s *Semaphore) Acquire(p *Proc, n int64) {
 	if s.capacity <= 0 {
 		return
 	}
-	if len(s.waiters) == 0 && s.avail >= n {
+	if s.waiters.len() == 0 && s.avail >= n {
 		s.avail -= n
 		return
 	}
 	s.throttled++
 	t0 := p.k.now
-	s.waiters = append(s.waiters, &semWaiter{p: p, n: n})
+	s.waiters.push(semWaiter{p: p, n: n})
 	p.park() // Release grants our units before waking us
 	s.waitTime += p.k.now - t0
 }
@@ -217,7 +217,7 @@ func (s *Semaphore) TryAcquire(n int64) bool {
 	if s.capacity <= 0 {
 		return true
 	}
-	if len(s.waiters) == 0 && s.avail >= n {
+	if s.waiters.len() == 0 && s.avail >= n {
 		s.avail -= n
 		s.acquires++
 		return true
@@ -234,9 +234,8 @@ func (s *Semaphore) Release(n int64) {
 	if s.avail > s.capacity {
 		s.avail = s.capacity
 	}
-	for len(s.waiters) > 0 && s.avail >= s.waiters[0].n {
-		w := s.waiters[0]
-		s.waiters = s.waiters[1:]
+	for s.waiters.len() > 0 && s.avail >= s.waiters.peek().n {
+		w := s.waiters.pop()
 		s.avail -= w.n
 		w.p.resumeAt(s.k.now)
 	}
@@ -248,10 +247,9 @@ func (s *Semaphore) Resize(capacity int64) {
 	s.capacity = capacity
 	if capacity <= 0 {
 		// Became unlimited: release everyone.
-		for _, w := range s.waiters {
-			w.p.resumeAt(s.k.now)
+		for s.waiters.len() > 0 {
+			s.waiters.pop().p.resumeAt(s.k.now)
 		}
-		s.waiters = nil
 		return
 	}
 	if delta > 0 {
@@ -266,7 +264,7 @@ func (s *Semaphore) Resize(capacity int64) {
 type Event struct {
 	k       *Kernel
 	fired   bool
-	waiters []*Proc
+	waiters fifo[*Proc]
 }
 
 // NewEvent creates an unfired event.
@@ -281,10 +279,19 @@ func (e *Event) Fire() {
 		return
 	}
 	e.fired = true
-	for _, w := range e.waiters {
-		w.resumeAt(e.k.now)
+	for e.waiters.len() > 0 {
+		e.waiters.pop().resumeAt(e.k.now)
 	}
-	e.waiters = nil
+}
+
+// Reset re-arms a fired event so the record can be pooled and reused.
+// It must only be called once every waiter has observed the fire (no
+// process may still be blocked in Wait).
+func (e *Event) Reset() {
+	if e.waiters.len() > 0 {
+		panic("sim: Event.Reset with blocked waiters")
+	}
+	e.fired = false
 }
 
 // Wait blocks p until the event fires (returns immediately if it already has).
@@ -292,7 +299,7 @@ func (e *Event) Wait(p *Proc) {
 	if e.fired {
 		return
 	}
-	e.waiters = append(e.waiters, p)
+	e.waiters.push(p)
 	p.park()
 }
 
@@ -300,7 +307,7 @@ func (e *Event) Wait(p *Proc) {
 type WaitGroup struct {
 	k       *Kernel
 	n       int64
-	waiters []*Proc
+	waiters fifo[*Proc]
 }
 
 // NewWaitGroup creates a WaitGroup with zero count.
@@ -313,10 +320,9 @@ func (w *WaitGroup) Add(delta int64) {
 		panic("sim: negative WaitGroup counter")
 	}
 	if w.n == 0 {
-		for _, p := range w.waiters {
-			p.resumeAt(w.k.now)
+		for w.waiters.len() > 0 {
+			w.waiters.pop().resumeAt(w.k.now)
 		}
-		w.waiters = nil
 	}
 }
 
@@ -331,6 +337,6 @@ func (w *WaitGroup) Wait(p *Proc) {
 	if w.n == 0 {
 		return
 	}
-	w.waiters = append(w.waiters, p)
+	w.waiters.push(p)
 	p.park()
 }

@@ -79,13 +79,23 @@ func (h *Histogram) Record(v int64) {
 	}
 	h.counts[h.bucketOf(v)]++
 	h.total++
-	h.sum += v
+	h.sum = satAdd(h.sum, v)
 	if v < h.min {
 		h.min = v
 	}
 	if v > h.max {
 		h.max = v
 	}
+}
+
+// satAdd adds two non-negative int64s, saturating at MaxInt64 instead of
+// wrapping: a histogram fed MaxInt64-magnitude samples (or simply enough
+// of them) must degrade to a pinned Sum/Mean, never to a negative one.
+func satAdd(a, b int64) int64 {
+	if s := a + b; s >= a {
+		return s
+	}
+	return math.MaxInt64
 }
 
 // Count returns how many values were recorded.
@@ -134,7 +144,13 @@ func (h *Histogram) Quantile(q float64) int64 {
 	for i, c := range h.counts {
 		seen += c
 		if seen > rank {
-			return h.bucketLow(i)
+			// The bucket's lower bound can undershoot the smallest sample in
+			// it; clamping to the observed min keeps Quantile monotone in q
+			// (Quantile(0) reports the exact min) and inside [Min, Max].
+			if v := h.bucketLow(i); v > h.min {
+				return v
+			}
+			return h.min
 		}
 	}
 	return h.max
@@ -149,7 +165,7 @@ func (h *Histogram) Merge(other *Histogram) {
 		h.counts[i] += c
 	}
 	h.total += other.total
-	h.sum += other.sum
+	h.sum = satAdd(h.sum, other.sum)
 	if other.total > 0 {
 		if other.min < h.min {
 			h.min = other.min

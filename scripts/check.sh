@@ -4,9 +4,12 @@
 #   vet        static checks
 #   build      every package compiles
 #   test       full suite — unit, integration, recovery/chaos, determinism
-#   race       data-race detector on the light infrastructure packages
-#              (the full-cluster suites are single-goroutine-deterministic
-#               by construction but too slow under -race to gate on)
+#   race       data-race detector: light infrastructure packages at full
+#              scale, the heavy engine packages (osd, core, cluster, qa)
+#              in -short mode — their suites are deterministic by
+#              construction but too slow under -race at full scale
+#   bench      one-iteration smoke over every benchmark (compile + run,
+#              no timing gate; scripts/bench.sh owns the regression gate)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -22,5 +25,12 @@ go test ./...
 echo "== go test -race (light packages)"
 go test -race ./internal/sim/ ./internal/rng/ ./internal/stats/ \
     ./internal/crush/ ./internal/fault/ ./internal/netsim/
+
+echo "== go test -race -short (engine packages)"
+go test -race -short ./internal/osd/ ./internal/core/ \
+    ./internal/cluster/ ./internal/qa/
+
+echo "== go test -bench=. -benchtime=1x (smoke)"
+go test -run '^$' -bench=. -benchtime=1x ./... >/dev/null
 
 echo "tier-1 gate: OK"
