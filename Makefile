@@ -17,7 +17,9 @@ test:
 
 race:
 	go test -race ./internal/sim/ ./internal/rng/ ./internal/stats/ \
-	    ./internal/crush/ ./internal/fault/ ./internal/netsim/
+	    ./internal/crush/ ./internal/fault/ ./internal/netsim/ \
+	    ./internal/oslog/ ./internal/journal/ ./internal/kvstore/ \
+	    ./internal/trace/ ./internal/metrics/
 	go test -race -short ./internal/osd/ ./internal/core/ \
 	    ./internal/cluster/ ./internal/qa/
 

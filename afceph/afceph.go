@@ -20,6 +20,7 @@ import (
 	"repro/internal/osd"
 	"repro/internal/oslog"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -370,6 +371,42 @@ func (c *Cluster) TraceReport() string {
 		prev = cum
 	}
 	return out
+}
+
+// PerfDump renders every perf counter in the cluster — network, CPU, and
+// each OSD's daemon/journal/filestore/KV/logger subsystems — as
+// deterministic JSON, in the spirit of Ceph's `ceph daemon osd.N perf
+// dump`. Purely observational: dumping never perturbs the simulation.
+func (c *Cluster) PerfDump() string { return c.inner.PerfDump() }
+
+// Breakdown returns the per-segment latency attribution of the write path
+// (telescoping critical-path segments whose per-op deltas sum exactly to
+// end-to-end latency), aggregated over all OSDs, plus an end-to-end row.
+// Requires Config.TraceSample > 0 and a write workload; returns nil
+// otherwise.
+func (c *Cluster) Breakdown() []trace.BreakdownRow {
+	agg := osd.NewTraceCollector(true)
+	for _, o := range c.inner.OSDs() {
+		agg.Merge(o.Traces())
+	}
+	if agg.Count() == 0 {
+		return nil
+	}
+	return agg.Breakdown()
+}
+
+// BreakdownTable renders Breakdown as an aligned text table.
+func (c *Cluster) BreakdownTable() string {
+	rows := c.Breakdown()
+	if len(rows) == 0 {
+		return "no traces recorded (set Config.TraceSample and run a write workload)"
+	}
+	return trace.FormatBreakdown(rows)
+}
+
+// BreakdownCSV renders Breakdown as CSV (header + one line per segment).
+func (c *Cluster) BreakdownCSV() string {
+	return trace.BreakdownCSV(c.Breakdown())
 }
 
 // Ctx is the handle passed to scripted I/O; it wraps a simulated process.

@@ -1,6 +1,8 @@
 package afceph
 
 import (
+	"encoding/json"
+	"math"
 	"strings"
 	"testing"
 )
@@ -211,5 +213,61 @@ func TestTraceReportEmpty(t *testing.T) {
 	c := New(miniConfig(AFCeph()))
 	if rep := c.TraceReport(); !strings.Contains(rep, "no traces") {
 		t.Fatalf("empty trace report = %q", rep)
+	}
+	if c.Breakdown() != nil {
+		t.Fatal("breakdown rows without tracing")
+	}
+	if tbl := c.BreakdownTable(); !strings.Contains(tbl, "no traces") {
+		t.Fatalf("empty breakdown table = %q", tbl)
+	}
+}
+
+func TestBreakdownAndPerfDump(t *testing.T) {
+	cfg := miniConfig(AFCeph())
+	cfg.TraceSample = 5
+	c := New(cfg)
+	if _, err := c.RunFio(FioSpec{
+		Workload: "randwrite", BlockSize: 4096, VMs: 2, IODepth: 4,
+		ImageSize: 32 << 20, RuntimeSec: 0.3, RampSec: 0.05,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	rows := c.Breakdown()
+	if len(rows) == 0 || rows[len(rows)-1].Label != "end-to-end" {
+		t.Fatalf("breakdown rows = %+v", rows)
+	}
+	var meanSum float64
+	for _, r := range rows[:len(rows)-1] {
+		meanSum += r.Mean
+	}
+	e2e := rows[len(rows)-1].Mean
+	if math.Abs(meanSum-e2e) > 1e-9*math.Max(meanSum, e2e) {
+		t.Fatalf("segment means sum %.9f != end-to-end %.9f", meanSum, e2e)
+	}
+	tbl := c.BreakdownTable()
+	for _, want := range []string{"segment", "journal", "replica-wait", "end-to-end"} {
+		if !strings.Contains(tbl, want) {
+			t.Fatalf("breakdown table missing %q:\n%s", want, tbl)
+		}
+	}
+	if csvOut := c.BreakdownCSV(); !strings.HasPrefix(csvOut, "segment,count,") {
+		t.Fatalf("breakdown CSV header = %q", csvOut)
+	}
+
+	var dump map[string]map[string]any
+	if err := json.Unmarshal([]byte(c.PerfDump()), &dump); err != nil {
+		t.Fatalf("perf dump is not valid JSON: %v", err)
+	}
+	for _, sub := range []string{"net", "cpu", "osd.0", "osd.0.journal", "osd.0.filestore", "osd.0.kv", "osd.0.log"} {
+		if _, ok := dump[sub]; !ok {
+			t.Fatalf("perf dump missing subsystem %q", sub)
+		}
+	}
+	if w, ok := dump["osd.0"]["write_ops"].(float64); !ok || w <= 0 {
+		t.Fatalf("osd.0 write_ops = %v", dump["osd.0"]["write_ops"])
+	}
+	if c.PerfDump() != c.PerfDump() {
+		t.Fatal("perf dump not deterministic across calls")
 	}
 }

@@ -9,7 +9,9 @@
 //
 // Figures: 1 (thread sweep), 3 (latency breakdown), 4 (log vs no-log),
 // 9 (stepwise optimizations), 10 (VM fleet), 11 (SolidFire comparison),
-// 12 (scale-out). See EXPERIMENTS.md for paper-vs-measured notes.
+// 12 (scale-out), breakdown (per-segment latency attribution with
+// p50/p99, §3 methodology). See EXPERIMENTS.md for paper-vs-measured
+// notes.
 package main
 
 import (
@@ -26,7 +28,7 @@ import (
 
 func main() {
 	var (
-		figList   = flag.String("fig", "all", "comma-separated figure list: 1,3,4,9,10,11,12,load,mixed,dropin or 'all'")
+		figList   = flag.String("fig", "all", "comma-separated figure list: 1,3,4,9,10,11,12,breakdown,load,mixed,dropin or 'all'")
 		scale     = flag.Float64("scale", 0.25, "experiment scale in (0,1]: multiplies VM counts and runtimes")
 		runtime   = flag.Float64("runtime", 2.0, "measured seconds per point at scale=1")
 		ramp      = flag.Float64("ramp", 0.6, "warm-up seconds per point at scale=1")
@@ -37,6 +39,8 @@ func main() {
 		vms       = flag.String("vms", "", "override Fig10 VM counts, e.g. 10,40,80")
 		panels    = flag.String("panels", "", "restrict Fig10 panels, e.g. 4K-randwrite,seq-write")
 		nodes     = flag.String("nodes", "", "override Fig12 node counts, e.g. 4,8,16")
+		perfDump  = flag.Bool("perf-dump", false, "with breakdown: also print the cluster perf-counter dump (JSON)")
+		traceOut  = flag.String("trace-out", "", "with breakdown: write the breakdown table as CSV to this file")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -57,7 +61,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *figList == "all" {
-		for _, f := range []string{"1", "3", "4", "9", "10", "11", "12"} {
+		for _, f := range []string{"1", "3", "4", "9", "10", "11", "12", "breakdown"} {
 			want[f] = true
 		}
 	} else {
@@ -117,6 +121,25 @@ func main() {
 	}
 	if want["12"] {
 		emit(figures.Fig12(opt, parseInts(*nodes)))
+	}
+	if want["breakdown"] {
+		var rep figures.Report
+		var perf string
+		if *perfDump {
+			rep, perf = figures.LatencyBreakdownWithPerf(opt)
+		} else {
+			rep = figures.LatencyBreakdown(opt)
+		}
+		emit(rep)
+		if perf != "" {
+			fmt.Println(perf)
+		}
+		if *traceOut != "" {
+			if err := os.WriteFile(*traceOut, []byte(rep.CSV()), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "afbench:", err)
+				os.Exit(1)
+			}
+		}
 	}
 	if want["dropin"] {
 		emit(figures.DropIn(opt))

@@ -76,6 +76,8 @@ func main() {
 		prefill   = flag.Bool("prefill", false, "prefill images before measuring")
 		seed      = flag.Uint64("seed", 1, "random seed")
 		trace     = flag.Bool("trace", false, "print the write-path stage breakdown (Figure 3 style)")
+		traceOut  = flag.String("trace-out", "", "write the per-segment latency breakdown as CSV to this file (implies tracing)")
+		perfDump  = flag.Bool("perf-dump", false, "print the cluster perf-counter registry as JSON after the run (Ceph `perf dump` style)")
 		sweep     = flag.Bool("sweep", false, "sweep iodepths and report the best point (the paper's methodology)")
 		maxLat    = flag.Float64("max-lat", 0, "with -sweep: discard points above this mean latency (ms)")
 
@@ -101,7 +103,7 @@ func main() {
 	cfg.Nodes = *nodes
 	cfg.Sustained = *sustained
 	cfg.Seed = *seed
-	if *trace {
+	if *trace || *traceOut != "" {
 		cfg.TraceSample = 10
 	}
 	switch *profile {
@@ -156,6 +158,10 @@ func main() {
 	}
 
 	if *sweep {
+		if *perfDump || *traceOut != "" {
+			fmt.Fprintln(os.Stderr, "afsim: -perf-dump/-trace-out need a single run, not -sweep")
+			os.Exit(2)
+		}
 		runSweep(cfg, *rw, *bs, *vms, *imageGB<<30, *runtime, *ramp, *maxLat)
 		return
 	}
@@ -202,6 +208,17 @@ func main() {
 	fmt.Println()
 	if *trace {
 		fmt.Print(c.TraceReport())
+		fmt.Println("per-segment latency breakdown (telescoping; deltas sum to end-to-end)")
+		fmt.Print(c.BreakdownTable())
+	}
+	if *traceOut != "" {
+		if err := os.WriteFile(*traceOut, []byte(c.BreakdownCSV()), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "afsim:", err)
+			os.Exit(1)
+		}
+	}
+	if *perfDump {
+		fmt.Println(c.PerfDump())
 	}
 	if chaos {
 		// Drain: let the recovery and outstanding applies finish past the

@@ -12,7 +12,9 @@
 // custom metrics keep the last value (the simulation is deterministic, so
 // repeats agree anyway).
 //
-// Gate, per benchmark present in both files:
+// Gate, per benchmark in the baseline (a baseline benchmark missing from
+// the results fails unless -allow-subset marks the partial run as
+// intentional):
 //
 //   - allocs/op: tight (default +10%). Allocation counts are near
 //     deterministic, so growth is a real regression.
@@ -64,6 +66,7 @@ func main() {
 		update    = flag.Bool("update", false, "rewrite the baseline from this run instead of gating")
 		nsTol     = flag.Float64("ns-tol", 1.0, "allowed relative ns/op growth")
 		allocsTol = flag.Float64("allocs-tol", 0.10, "allowed relative allocs/op growth")
+		subset    = flag.Bool("allow-subset", false, "permit results to cover only part of the baseline (intentional -bench pattern runs)")
 	)
 	flag.Parse()
 
@@ -105,7 +108,7 @@ func main() {
 	if err != nil {
 		fatal(fmt.Errorf("%v (run scripts/bench.sh -update to create the baseline)", err))
 	}
-	fails := gate(base, res, *nsTol, *allocsTol)
+	fails := gate(base, res, *nsTol, *allocsTol, *subset)
 	for _, f := range fails {
 		fmt.Fprintln(os.Stderr, "FAIL", f)
 	}
@@ -177,7 +180,10 @@ func normalizeName(s string) string {
 }
 
 // gate compares results to the baseline and returns failure descriptions.
-func gate(base, res *File, nsTol, allocsTol float64) []string {
+// A benchmark in the baseline but absent from the results is a failure —
+// a silently skipped benchmark would otherwise let regressions through —
+// unless allowSubset marks the partial run as intentional.
+func gate(base, res *File, nsTol, allocsTol float64, allowSubset bool) []string {
 	var fails []string
 	names := make([]string, 0, len(base.Benchmarks))
 	for name := range base.Benchmarks {
@@ -187,7 +193,11 @@ func gate(base, res *File, nsTol, allocsTol float64) []string {
 	for _, name := range names {
 		b, r := base.Benchmarks[name], res.Benchmarks[name]
 		if r == nil {
-			continue // subset run: gate only what was measured
+			if allowSubset {
+				continue // intentional partial run: gate only what was measured
+			}
+			fails = append(fails, fmt.Sprintf("%s: in baseline but missing from results — partial bench run? pass -allow-subset for intentional subsets, or -update to rebuild the baseline", name))
+			continue
 		}
 		if lim := b.NsOp * (1 + nsTol); b.NsOp > 0 && r.NsOp > lim {
 			fails = append(fails, fmt.Sprintf("%s: ns/op %.0f > %.0f (baseline %.0f +%.0f%%)",

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func bench(ns, allocs float64, metrics map[string]float64) *Bench {
+	return &Bench{NsOp: ns, AllocsOp: allocs, Metrics: metrics}
+}
+
+func TestGateFailsOnBaselineBenchmarkMissingFromResults(t *testing.T) {
+	base := &File{Benchmarks: map[string]*Bench{
+		"Fig1": bench(100, 10, nil),
+		"Fig3": bench(100, 10, nil),
+	}}
+	res := &File{Benchmarks: map[string]*Bench{
+		"Fig1": bench(100, 10, nil),
+	}}
+	fails := gate(base, res, 1.0, 0.10, false)
+	if len(fails) != 1 {
+		t.Fatalf("fails = %v, want exactly one", fails)
+	}
+	if !strings.Contains(fails[0], "Fig3") ||
+		!strings.Contains(fails[0], "missing from results") ||
+		!strings.Contains(fails[0], "-allow-subset") {
+		t.Fatalf("missing-benchmark failure not actionable: %q", fails[0])
+	}
+}
+
+func TestGateAllowSubsetSkipsMissing(t *testing.T) {
+	base := &File{Benchmarks: map[string]*Bench{
+		"Fig1": bench(100, 10, nil),
+		"Fig3": bench(100, 10, nil),
+	}}
+	res := &File{Benchmarks: map[string]*Bench{
+		"Fig1": bench(100, 10, nil),
+	}}
+	if fails := gate(base, res, 1.0, 0.10, true); len(fails) != 0 {
+		t.Fatalf("subset run failed the gate: %v", fails)
+	}
+}
+
+func TestGateRegressionsStillCaught(t *testing.T) {
+	base := &File{Benchmarks: map[string]*Bench{
+		"Fig1": bench(100, 10, map[string]float64{"iops": 5000}),
+	}}
+	res := &File{Benchmarks: map[string]*Bench{
+		"Fig1": bench(100, 12, map[string]float64{"iops": 4000}),
+	}}
+	fails := gate(base, res, 1.0, 0.10, false)
+	if len(fails) != 2 {
+		t.Fatalf("fails = %v, want allocs + metric", fails)
+	}
+}

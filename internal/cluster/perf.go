@@ -1,0 +1,29 @@
+package cluster
+
+import (
+	"repro/internal/metrics"
+)
+
+// Perf assembles a perf-counter registry over the whole cluster: network
+// traffic, per-node CPU utilization, and every OSD's daemon/journal/
+// filestore/KV/logger subsystems. The registry is built on demand so it
+// always reflects the current daemon generation of each OSD (counters
+// survive restarts on the OSD; engine-level stats are rebound per call).
+// Dumping is observation-only: it never touches the simulation.
+func (c *Cluster) Perf() *metrics.Registry {
+	r := metrics.NewRegistry()
+	c.Net.RegisterMetrics(r.Sub("net"))
+	cpu := r.Sub("cpu")
+	for _, n := range c.nodes {
+		node := n
+		cpu.Gauge(node.Name()+"_utilization", node.Utilization)
+	}
+	for _, o := range c.osds {
+		o.RegisterMetrics(r)
+	}
+	return r
+}
+
+// PerfDump renders the registry as deterministic JSON (the `perf dump`
+// hook behind afsim/afbench -perf-dump).
+func (c *Cluster) PerfDump() string { return c.Perf().DumpJSON() }

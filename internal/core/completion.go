@@ -6,10 +6,12 @@ import (
 )
 
 // Completion is deferred PG-lock work produced by a commit/applied/ack
-// event. Fn runs with the shard's lock held.
+// event. Fn runs with the shard's lock held. At is stamped by Defer so
+// the worker can attribute dispatch queueing delay.
 type Completion struct {
 	Shard int
 	Fn    func(p *sim.Proc)
+	At    sim.Time
 }
 
 // CompletionWorkerStats reports batching effectiveness.
@@ -30,6 +32,10 @@ type CompletionWorker struct {
 	q        *sim.Queue[Completion]
 	batchMax int
 	stats    CompletionWorkerStats
+
+	// QueueDelay, when set, records how long each completion waited
+	// between Defer and the start of its batch (observation only).
+	QueueDelay *stats.Histogram
 
 	// Per-batch scratch, reused across iterations so a steady stream of
 	// completions is processed without allocating.
@@ -63,6 +69,7 @@ func (w *CompletionWorker) QueueLen() int { return w.q.Len() }
 // Defer queues PG-lock work. Callable from any process (messenger, journal
 // writer, finisher); never blocks the caller beyond queue push.
 func (w *CompletionWorker) Defer(p *sim.Proc, c Completion) {
+	c.At = p.Now()
 	w.q.Push(p, c)
 }
 
@@ -87,6 +94,11 @@ func (w *CompletionWorker) Run(p *sim.Proc) {
 		w.batch = batch
 		w.stats.Batches.Inc()
 		w.stats.Completions.Add(uint64(len(batch)))
+		if w.QueueDelay != nil {
+			for _, c := range batch {
+				w.QueueDelay.Record(int64(p.Now() - c.At))
+			}
+		}
 
 		// Group by shard, preserving first-seen order for determinism and
 		// per-shard completion order. The group lists stay in the map

@@ -1,0 +1,96 @@
+package figures
+
+import (
+	"math"
+	"strconv"
+	"testing"
+
+	"repro/internal/osd"
+)
+
+// parseRow turns a breakdown row back into (label, count, p50, p99, max,
+// mean) — the Cells layout pinned by trace.BreakdownHeader.
+func parseRow(t *testing.T, row []string) (string, uint64, []float64) {
+	t.Helper()
+	if len(row) != 6 {
+		t.Fatalf("row has %d cells: %v", len(row), row)
+	}
+	n, err := strconv.ParseUint(row[1], 10, 64)
+	if err != nil {
+		t.Fatalf("bad count %q: %v", row[1], err)
+	}
+	vals := make([]float64, 4)
+	for i, cell := range row[2:] {
+		v, err := strconv.ParseFloat(cell, 64)
+		if err != nil {
+			t.Fatalf("bad cell %q: %v", cell, err)
+		}
+		vals[i] = v
+	}
+	return row[0], n, vals
+}
+
+// TestBreakdownTelescopes is the acceptance check for the tentpole: the
+// per-segment means of the telescoping chain sum (within table rounding)
+// to the end-to-end mean, every segment saw every sampled span, and the
+// quantile columns sum to the same order as end-to-end (quantiles do not
+// telescope exactly; means do).
+func TestBreakdownTelescopes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a cluster workload")
+	}
+	rep := LatencyBreakdown(Options{Scale: 0.04, RuntimeSec: 0.6, RampSec: 0.2, JournalMB: 32, Seed: 1})
+	want := len(osd.WriteSpec.Segments) + 3
+	if len(rep.Rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rep.Rows), want)
+	}
+
+	var meanSum, p50Sum, p99Sum float64
+	var e2e []float64
+	var count uint64
+	for _, row := range rep.Rows[:len(osd.WriteSpec.Segments)+1] {
+		label, n, vals := parseRow(t, row)
+		if label == "end-to-end" {
+			e2e = vals
+			count = n
+			continue
+		}
+		if n == 0 {
+			t.Fatalf("segment %s saw no samples", label)
+		}
+		if count != 0 && n != count {
+			t.Fatalf("segment %s count %d != end-to-end %d", label, n, count)
+		}
+		p50Sum += vals[0]
+		p99Sum += vals[1]
+		meanSum += vals[3]
+	}
+	if e2e == nil {
+		t.Fatal("no end-to-end row")
+	}
+	if count == 0 {
+		t.Fatal("no spans sampled")
+	}
+	// Means telescope exactly; each of the 8 segment cells and the
+	// end-to-end cell is rounded to 3 decimals, so allow 9 half-ulps.
+	if tol := 0.0005 * 9; math.Abs(meanSum-e2e[3]) > tol {
+		t.Fatalf("segment means sum to %.4f, end-to-end mean %.4f (tol %.4f)", meanSum, e2e[3], tol)
+	}
+	// Quantiles only approximately telescope (bucket edges + per-op mix);
+	// they must still bracket end-to-end within a loose band.
+	if p50Sum < e2e[0]*0.5 || p50Sum > e2e[0]*1.5 {
+		t.Fatalf("segment p50 sum %.4f far from end-to-end p50 %.4f", p50Sum, e2e[0])
+	}
+	if p99Sum < e2e[1]*0.5 || p99Sum > e2e[1]*2.0 {
+		t.Fatalf("segment p99 sum %.4f far from end-to-end p99 %.4f", p99Sum, e2e[1])
+	}
+
+	// The async rows exist and saw the same workload.
+	kvRow, dispRow := rep.Rows[want-2], rep.Rows[want-1]
+	if kvRow[0] != "post-ack:kv-apply" || dispRow[0] != "async:completion-dispatch" {
+		t.Fatalf("async rows mislabelled: %q, %q", kvRow[0], dispRow[0])
+	}
+	if _, n, _ := parseRow(t, kvRow); n == 0 {
+		t.Fatal("kv-apply histogram empty")
+	}
+}

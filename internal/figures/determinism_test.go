@@ -51,6 +51,7 @@ var goldenFigures = []struct {
 	{"fig10", func(o Options) Report { return Fig10(o, []int{10}, []string{"4K-randwrite"}) }},
 	{"fig11", Fig11},
 	{"fig12", func(o Options) Report { return Fig12(o, []int{2, 4}) }},
+	{"breakdown", LatencyBreakdown},
 }
 
 // TestFigureDeterminism is the golden gate behind every benchmark

@@ -119,7 +119,14 @@ func TestFigureSmoke(t *testing.T) {
 
 	t.Run("fig3", func(t *testing.T) {
 		rep := Fig3(opt)
-		if len(rep.Rows) != len(osd.StageNames) {
+		if len(rep.Rows) != len(fig3Stages) {
+			t.Fatalf("rows = %d", len(rep.Rows))
+		}
+	})
+	t.Run("breakdown", func(t *testing.T) {
+		rep := LatencyBreakdown(opt)
+		// 8 chain segments + end-to-end + the two async rows.
+		if len(rep.Rows) != len(osd.WriteSpec.Segments)+3 {
 			t.Fatalf("rows = %d", len(rep.Rows))
 		}
 	})

@@ -1,0 +1,14 @@
+package filestore
+
+import "repro/internal/metrics"
+
+// RegisterMetrics exposes the filestore's counters on a perf subsystem.
+func (f *FileStore) RegisterMetrics(s *metrics.Subsystem) {
+	st := f.Stats()
+	s.Counter("applies", &st.Applies)
+	s.Counter("reads", &st.Reads)
+	s.Counter("syscalls", &st.Syscalls)
+	s.Counter("meta_reads", &st.MetaReads)
+	s.Counter("meta_read_bytes", &st.MetaReadBytes)
+	s.Counter("data_bytes", &st.DataBytes)
+}

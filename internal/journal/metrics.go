@@ -1,0 +1,14 @@
+package journal
+
+import "repro/internal/metrics"
+
+// RegisterMetrics exposes the journal's counters on a perf-dump
+// subsystem.
+func (j *Journal) RegisterMetrics(s *metrics.Subsystem) {
+	s.Counter("writes", &j.stats.Writes)
+	s.Counter("bytes", &j.stats.Bytes)
+	s.Counter("full_stalls", &j.stats.FullStalls)
+	s.Counter("stall_time_ns", &j.stats.StallTime)
+	s.Gauge("free_bytes", func() float64 { return float64(j.Free()) })
+	s.Gauge("size_bytes", func() float64 { return float64(j.size) })
+}

@@ -69,6 +69,7 @@ func DefaultParams() Params {
 // Stats aggregates store activity.
 type Stats struct {
 	Puts, Gets, Deletes  stats.Counter
+	Scans                stats.Counter
 	UserBytes            stats.Counter // payload bytes offered by callers
 	WALBytes             stats.Counter
 	FlushBytes           stats.Counter

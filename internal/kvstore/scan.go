@@ -1,0 +1,76 @@
+package kvstore
+
+import (
+	"sort"
+
+	"repro/internal/sim"
+)
+
+// Scan visits every live key in [lo, hi) in ascending key order, calling
+// fn for each; fn returning false stops the scan. hi == "" means no upper
+// bound. The view is a point-in-time snapshot taken under the writer
+// lock: entries are resolved newest-version-wins across memtable,
+// immutable memtables and the table levels, and tombstoned keys are
+// skipped. Like Get, the scan charges one scattered block probe per
+// on-disk run it consults; the returned value slices must not be
+// modified.
+func (db *DB) Scan(p *sim.Proc, lo, hi string, fn func(key string, value []byte) bool) {
+	inRange := func(k string) bool { return k >= lo && (hi == "" || k < hi) }
+
+	db.mu.Lock(p)
+	db.node.UseWithAllocs(p, db.params.GetCPU, db.params.GetAllocs)
+	db.stats.Scans.Inc()
+	latest := make(map[string]entry)
+	// Resolve oldest -> newest so newer versions overwrite: L1, then L0
+	// back-to-front (db.l0 is newest-first), then immutable memtables
+	// oldest-first, then the active memtable.
+	tables := 0
+	for _, t := range db.l1 {
+		tables++
+		for _, e := range t.entries {
+			if inRange(e.key) {
+				latest[e.key] = e
+			}
+		}
+	}
+	for i := len(db.l0) - 1; i >= 0; i-- {
+		tables++
+		for _, e := range db.l0[i].entries {
+			if inRange(e.key) {
+				latest[e.key] = e
+			}
+		}
+	}
+	for _, m := range db.imm {
+		for k, e := range m.data {
+			if inRange(k) {
+				latest[k] = e
+			}
+		}
+	}
+	for k, e := range db.mem.data {
+		if inRange(k) {
+			latest[k] = e
+		}
+	}
+	db.mu.Unlock(p)
+
+	for i := 0; i < tables; i++ {
+		db.dev.Read(p, db.probeOff(), db.params.BlockSize)
+	}
+
+	keys := make([]string, 0, len(latest))
+	for k := range latest {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e := latest[k]
+		if e.tombstone {
+			continue
+		}
+		if !fn(k, e.value) {
+			return
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package kvstore
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+)
+
+// collect runs a full scan and returns the visited pairs in order.
+func collect(p *sim.Proc, db *DB, lo, hi string) (keys []string, vals []string) {
+	db.Scan(p, lo, hi, func(k string, v []byte) bool {
+		keys = append(keys, k)
+		vals = append(vals, string(v))
+		return true
+	})
+	return
+}
+
+// sortedModel returns the model's keys in [lo, hi) ascending.
+func sortedModel(model map[string]string, lo, hi string) []string {
+	var keys []string
+	for k := range model {
+		if k >= lo && (hi == "" || k < hi) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func TestScanMatchesModelProperty(t *testing.T) {
+	// Random op sequences (puts, overwrites, deletes) across memtable,
+	// immutable and flushed layers: a full scan must agree with a plain
+	// map model, key for key and value for value, in sorted order.
+	type opDesc struct {
+		Key    uint8
+		Del    bool
+		ValLen uint8
+	}
+	f := func(descs []opDesc, loSel, hiSel uint8) bool {
+		k := sim.NewKernel()
+		db := smallDB(k)
+		model := map[string]string{}
+		okAll := true
+		k.Go("io", func(p *sim.Proc) {
+			for i, d := range descs {
+				key := fmt.Sprintf("k%02d", d.Key%32)
+				if d.Del {
+					db.Delete(p, key)
+					delete(model, key)
+				} else {
+					val := fmt.Sprintf("v%d-%d", i, d.ValLen)
+					db.Put(p, key, []byte(val))
+					model[key] = val
+				}
+			}
+			p.Sleep(100 * sim.Millisecond) // settle flush/compaction
+			// Full scan.
+			keys, vals := collect(p, db, "", "")
+			want := sortedModel(model, "", "")
+			if len(keys) != len(want) {
+				okAll = false
+				return
+			}
+			for i := range keys {
+				if keys[i] != want[i] || vals[i] != model[keys[i]] {
+					okAll = false
+					return
+				}
+			}
+			// Bounded scan over a sub-range.
+			lo := fmt.Sprintf("k%02d", loSel%32)
+			hi := fmt.Sprintf("k%02d", hiSel%32)
+			if hi < lo {
+				lo, hi = hi, lo
+			}
+			keys, vals = collect(p, db, lo, hi)
+			want = sortedModel(model, lo, hi)
+			if len(keys) != len(want) {
+				okAll = false
+				return
+			}
+			for i := range keys {
+				if keys[i] != want[i] || vals[i] != model[keys[i]] {
+					okAll = false
+					return
+				}
+			}
+		})
+		k.Run(sim.Forever)
+		return okAll
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScanOrderingInvariant(t *testing.T) {
+	// Whatever the op sequence, scan output is strictly ascending and
+	// stays inside [lo, hi).
+	f := func(keysRaw []uint16, lo8, hi8 uint8) bool {
+		k := sim.NewKernel()
+		db := smallDB(k)
+		ok := true
+		k.Go("io", func(p *sim.Proc) {
+			for _, kr := range keysRaw {
+				db.Put(p, fmt.Sprintf("key%05d", kr%512), []byte("v"))
+			}
+			p.Sleep(100 * sim.Millisecond)
+			lo := fmt.Sprintf("key%05d", int(lo8)*2)
+			hi := fmt.Sprintf("key%05d", int(hi8)*2)
+			if hi < lo {
+				lo, hi = hi, lo
+			}
+			prev := ""
+			db.Scan(p, lo, hi, func(key string, _ []byte) bool {
+				if key <= prev && prev != "" {
+					ok = false
+					return false
+				}
+				if key < lo || key >= hi {
+					ok = false
+					return false
+				}
+				prev = key
+				return true
+			})
+		})
+		k.Run(sim.Forever)
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompactionPreservesScanAndGets(t *testing.T) {
+	// Heavy churn (overwrites + deletes) forces flushes and compactions;
+	// afterwards both point reads and the scan must still agree with the
+	// model — compaction may drop garbage, never live data.
+	k := sim.NewKernel()
+	db := smallDB(k)
+	model := map[string]string{}
+	k.Go("io", func(p *sim.Proc) {
+		for round := 0; round < 8; round++ {
+			for i := 0; i < 300; i++ {
+				key := fmt.Sprintf("key%04d", i%200)
+				if (i+round)%7 == 0 {
+					db.Delete(p, key)
+					delete(model, key)
+				} else {
+					val := fmt.Sprintf("r%d-i%d", round, i)
+					db.Put(p, key, []byte(val))
+					model[key] = val
+				}
+			}
+			p.Sleep(50 * sim.Millisecond)
+		}
+		p.Sleep(200 * sim.Millisecond)
+		keys, vals := collect(p, db, "", "")
+		want := sortedModel(model, "", "")
+		if len(keys) != len(want) {
+			t.Errorf("scan size %d, model %d", len(keys), len(want))
+			return
+		}
+		for i := range keys {
+			if keys[i] != want[i] || vals[i] != model[keys[i]] {
+				t.Errorf("scan[%d] = %s=%s, want %s=%s", i, keys[i], vals[i], want[i], model[want[i]])
+				return
+			}
+		}
+		for key, want := range model {
+			if v, ok := db.Get(p, key); !ok || string(v) != want {
+				t.Errorf("get %s = %q, %v; want %q", key, v, ok, want)
+				return
+			}
+		}
+	})
+	k.Run(sim.Forever)
+	if db.Stats().Compactions.Value() == 0 {
+		t.Fatal("compaction never ran; churn insufficient")
+	}
+}
+
+func TestScanEarlyStop(t *testing.T) {
+	k := sim.NewKernel()
+	db := testDB(k)
+	k.Go("io", func(p *sim.Proc) {
+		for i := 0; i < 20; i++ {
+			db.Put(p, fmt.Sprintf("k%02d", i), []byte("v"))
+		}
+		visits := 0
+		db.Scan(p, "", "", func(string, []byte) bool {
+			visits++
+			return visits < 5
+		})
+		if visits != 5 {
+			t.Errorf("visits = %d, want 5 (fn false stops the scan)", visits)
+		}
+	})
+	k.Run(sim.Forever)
+	if db.Stats().Scans.Value() != 1 {
+		t.Fatalf("scans counter = %d, want 1", db.Stats().Scans.Value())
+	}
+}
+
+func TestScanSeesNewestVersionAcrossLayers(t *testing.T) {
+	// Overwrite the same key so versions land in different layers (flushed
+	// table vs live memtable); the scan must report only the newest.
+	k := sim.NewKernel()
+	db := smallDB(k)
+	k.Go("io", func(p *sim.Proc) {
+		db.Put(p, "target", []byte("old"))
+		for i := 0; i < 500; i++ { // push "old" out through a flush
+			db.Put(p, fmt.Sprintf("fill%04d", i), make([]byte, 64))
+		}
+		p.Sleep(100 * sim.Millisecond)
+		db.Put(p, "target", []byte("new"))
+		seen := ""
+		count := 0
+		db.Scan(p, "target", "target\x00", func(_ string, v []byte) bool {
+			seen = string(v)
+			count++
+			return true
+		})
+		if count != 1 || seen != "new" {
+			t.Errorf("scan saw %d versions, value %q; want 1 version %q", count, seen, "new")
+		}
+	})
+	k.Run(sim.Forever)
+	if db.Stats().FlushBytes.Value() == 0 {
+		t.Fatal("no flush happened; layering not exercised")
+	}
+}

@@ -1,0 +1,151 @@
+// Package metrics is the simulator's perf-counter registry, modelled on
+// Ceph's `perf dump` admin-socket command: subsystems register named
+// counters, gauges and latency histograms, and the whole registry dumps
+// as deterministic JSON. Registration stores pointers/closures only — the
+// registry is read at dump time and touches nothing on the I/O hot path.
+package metrics
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/stats"
+)
+
+const (
+	kindCounter = iota
+	kindGauge
+	kindHistogram
+)
+
+type item struct {
+	kind    int
+	counter *stats.Counter
+	gauge   func() float64
+	hist    *stats.Histogram
+}
+
+// Subsystem is one named group of metrics (e.g. "osd.3.journal").
+type Subsystem struct {
+	items map[string]item
+}
+
+// Registry holds all subsystems of one cluster.
+type Registry struct {
+	subs map[string]*Subsystem
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{subs: make(map[string]*Subsystem)}
+}
+
+// Sub returns the named subsystem, creating it on first use.
+func (r *Registry) Sub(name string) *Subsystem {
+	s := r.subs[name]
+	if s == nil {
+		s = &Subsystem{items: make(map[string]item)}
+		r.subs[name] = s
+	}
+	return s
+}
+
+// Counter registers a counter; the current value is read at dump time.
+func (s *Subsystem) Counter(name string, c *stats.Counter) {
+	if c == nil {
+		return
+	}
+	s.items[name] = item{kind: kindCounter, counter: c}
+}
+
+// Gauge registers a point-in-time value computed at dump time.
+func (s *Subsystem) Gauge(name string, f func() float64) {
+	if f == nil {
+		return
+	}
+	s.items[name] = item{kind: kindGauge, gauge: f}
+}
+
+// Histogram registers a latency histogram, dumped as a summary object
+// (count plus mean/p50/p99/max in milliseconds). Nil histograms are
+// ignored so callers can pass optionally-enabled instruments directly.
+func (s *Subsystem) Histogram(name string, h *stats.Histogram) {
+	if h == nil {
+		return
+	}
+	s.items[name] = item{kind: kindHistogram, hist: h}
+}
+
+// DumpJSON renders every subsystem as a JSON object, Ceph `perf dump`
+// style. Subsystem and metric keys are emitted sorted so the dump is
+// byte-identical for identical state — it can be golden-tested.
+func (r *Registry) DumpJSON() string {
+	var b strings.Builder
+	b.WriteString("{\n")
+	names := make([]string, 0, len(r.subs))
+	for name := range r.subs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for i, name := range names {
+		b.WriteString("  ")
+		b.WriteString(strconv.Quote(name))
+		b.WriteString(": {\n")
+		r.subs[name].dump(&b)
+		b.WriteString("  }")
+		if i < len(names)-1 {
+			b.WriteByte(',')
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("}")
+	return b.String()
+}
+
+func (s *Subsystem) dump(b *strings.Builder) {
+	keys := make([]string, 0, len(s.items))
+	for k := range s.items {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for i, k := range keys {
+		it := s.items[k]
+		b.WriteString("    ")
+		b.WriteString(strconv.Quote(k))
+		b.WriteString(": ")
+		switch it.kind {
+		case kindCounter:
+			b.WriteString(strconv.FormatUint(it.counter.Value(), 10))
+		case kindGauge:
+			b.WriteString(formatFloat(it.gauge()))
+		case kindHistogram:
+			sn := it.hist.SnapshotMillis()
+			b.WriteString("{\"count\": ")
+			b.WriteString(strconv.FormatUint(sn.Count, 10))
+			b.WriteString(", \"mean_ms\": ")
+			b.WriteString(formatFloat(sn.Mean))
+			b.WriteString(", \"p50_ms\": ")
+			b.WriteString(formatFloat(sn.P50))
+			b.WriteString(", \"p99_ms\": ")
+			b.WriteString(formatFloat(sn.P99))
+			b.WriteString(", \"max_ms\": ")
+			b.WriteString(formatFloat(sn.Max))
+			b.WriteString("}")
+		}
+		if i < len(keys)-1 {
+			b.WriteByte(',')
+		}
+		b.WriteByte('\n')
+	}
+}
+
+// formatFloat renders a finite float as shortest-form JSON; non-finite
+// values (a gauge dividing by zero on an idle cluster) degrade to 0.
+func formatFloat(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "0"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,83 @@
+package metrics
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestDumpJSONDeterministicAndValid(t *testing.T) {
+	r := NewRegistry()
+	var ops stats.Counter
+	ops.Add(42)
+	h := stats.NewHistogram()
+	h.Record(1e6)
+	h.Record(3e6)
+
+	// Register out of order to prove the dump sorts.
+	s := r.Sub("osd.1")
+	s.Histogram("journal_q_delay", h)
+	s.Counter("write_ops", &ops)
+	s.Gauge("cache_ratio", func() float64 { return 0.5 })
+	r.Sub("net").Counter("msgs", &ops)
+
+	out := r.DumpJSON()
+	if out != r.DumpJSON() {
+		t.Fatal("dump not deterministic across calls")
+	}
+	var parsed map[string]map[string]any
+	if err := json.Unmarshal([]byte(out), &parsed); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, out)
+	}
+	if parsed["osd.1"]["write_ops"].(float64) != 42 {
+		t.Fatalf("write_ops wrong: %v", parsed["osd.1"]["write_ops"])
+	}
+	if parsed["osd.1"]["cache_ratio"].(float64) != 0.5 {
+		t.Fatalf("gauge wrong: %v", parsed["osd.1"]["cache_ratio"])
+	}
+	hist := parsed["osd.1"]["journal_q_delay"].(map[string]any)
+	if hist["count"].(float64) != 2 || hist["mean_ms"].(float64) != 2.0 {
+		t.Fatalf("histogram summary wrong: %v", hist)
+	}
+	if strings.Index(out, `"net"`) > strings.Index(out, `"osd.1"`) {
+		t.Fatal("subsystems not sorted")
+	}
+	// Counter reads are live: bump and re-dump.
+	ops.Inc()
+	if !strings.Contains(r.DumpJSON(), `"write_ops": 43`) {
+		t.Fatal("counter not read at dump time")
+	}
+}
+
+func TestDumpJSONNonFiniteGauge(t *testing.T) {
+	r := NewRegistry()
+	r.Sub("x").Gauge("bad", func() float64 { return math.NaN() })
+	var parsed map[string]map[string]float64
+	if err := json.Unmarshal([]byte(r.DumpJSON()), &parsed); err != nil {
+		t.Fatalf("NaN gauge produced invalid JSON: %v", err)
+	}
+	if parsed["x"]["bad"] != 0 {
+		t.Fatal("NaN gauge should dump as 0")
+	}
+}
+
+func TestNilRegistrationsIgnored(t *testing.T) {
+	r := NewRegistry()
+	s := r.Sub("x")
+	s.Counter("c", nil)
+	s.Gauge("g", nil)
+	s.Histogram("h", nil)
+	if out := r.DumpJSON(); strings.Contains(out, `"c"`) || strings.Contains(out, `"g"`) || strings.Contains(out, `"h"`) {
+		t.Fatalf("nil registrations must be ignored:\n%s", out)
+	}
+}
+
+func TestEmptyRegistry(t *testing.T) {
+	var parsed map[string]any
+	if err := json.Unmarshal([]byte(NewRegistry().DumpJSON()), &parsed); err != nil {
+		t.Fatalf("empty dump invalid: %v", err)
+	}
+}

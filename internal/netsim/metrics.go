@@ -1,0 +1,10 @@
+package netsim
+
+import "repro/internal/metrics"
+
+// RegisterMetrics exposes fabric-wide traffic counters on a perf subsystem.
+func (n *Network) RegisterMetrics(s *metrics.Subsystem) {
+	s.Counter("bytes_sent", &n.BytesSent)
+	s.Counter("msgs", &n.Msgs)
+	s.Counter("dropped", &n.Dropped)
+}

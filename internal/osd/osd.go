@@ -36,6 +36,7 @@ const (
 type finEvent struct {
 	kind int
 	e    *jEntry
+	at   sim.Time // enqueue time, for completion-dispatch queue-delay stats
 }
 
 type stagedItem struct {
@@ -119,8 +120,13 @@ type OSD struct {
 	traces  *TraceCollector
 	metrics Metrics
 	// JournalQDelay records time entries wait between journal submission
-	// and the journal writer picking them up.
-	JournalQDelay *stats.Histogram
+	// and the journal writer picking them up. ApplyDelay records journal
+	// submission to filestore apply completion (the post-ack KV work).
+	// CompletionQDelay records how long commit/applied notifications queue
+	// before their completion context (worker or finisher) runs them.
+	JournalQDelay    *stats.Histogram
+	ApplyDelay       *stats.Histogram
+	CompletionQDelay *stats.Histogram
 
 	// Free lists for hot-path records (see pool.go) and transaction-key
 	// scratch. The kvstore retains key strings, so keys are built fresh per
@@ -155,19 +161,21 @@ func NewSplit(k *sim.Kernel, cfg Config, node *cpumodel.Node, ep, cep *netsim.En
 
 	name := fmt.Sprintf("osd%d", cfg.ID)
 	o := &OSD{
-		k:             k,
-		cfg:           cfg,
-		node:          node,
-		ep:            ep,
-		cep:           cep,
-		journalDev:    journalDev,
-		pgSeq:         make(map[uint32]uint64),
-		pglogs:        make(map[uint32]*pgLog),
-		ackNext:       make(map[uint32]uint64),
-		ackHeld:       make(map[uint32]map[uint64]*ClientOp),
-		traces:        NewTraceCollector(),
-		JournalQDelay: stats.NewHistogram(),
-		omapKeys:      make(map[string]string),
+		k:                k,
+		cfg:              cfg,
+		node:             node,
+		ep:               ep,
+		cep:              cep,
+		journalDev:       journalDev,
+		pgSeq:            make(map[uint32]uint64),
+		pglogs:           make(map[uint32]*pgLog),
+		ackNext:          make(map[uint32]uint64),
+		ackHeld:          make(map[uint32]map[uint64]*ClientOp),
+		traces:           NewTraceCollector(cfg.TraceSample > 0),
+		JournalQDelay:    stats.NewHistogram(),
+		ApplyDelay:       stats.NewHistogram(),
+		CompletionQDelay: stats.NewHistogram(),
+		omapKeys:         make(map[string]string),
 	}
 	db := kvstore.New(k, name+".kv", dataDev, node, kvstore.DefaultParams())
 	o.fs = filestore.New(k, name+".fs", dataDev, db, node, cfg.FStore, r)
@@ -199,6 +207,7 @@ func (o *OSD) buildEngine() {
 	eng.fsQ = sim.NewQueue[*jEntry](k, name+".fsq", 0)
 	if cfg.OptCompletionWorker {
 		eng.compw = core.NewCompletionWorker(k, name+".comp", eng.locks, 64)
+		eng.compw.QueueDelay = o.CompletionQDelay
 		eng.commitFn = func(pp *sim.Proc) {
 			o.node.Use(pp, o.cfg.Costs.DeferredCPU)
 			o.logger.Log(pp, siteCommit, o.cfg.LogPerStage)
@@ -300,7 +309,7 @@ func (o *OSD) handleMessage(p *sim.Proc, m *netsim.Message) {
 			o.opCount++
 			if o.opCount%uint64(o.cfg.TraceSample) == 0 {
 				cop.tr = o.getTrace()
-				cop.tr.stamp(StageReceived, p.Now())
+				cop.tr.Stamp(StageReceived, p.Now())
 			}
 		}
 		// osd_client_message_cap: blocks this connection when the OSD has
@@ -309,10 +318,11 @@ func (o *OSD) handleMessage(p *sim.Proc, m *netsim.Message) {
 		if o.gen != eng.gen {
 			return // crashed while throttled
 		}
+		cop.tr.Stamp(StageQueued, p.Now())
 		o.enqueue(p, eng, workItem{cop: cop})
 	case MsgRepOp:
 		rop := m.Payload.(*repOp)
-		rop.parent.tr.stamp(StageRepReceived, p.Now())
+		rop.parent.tr.Stamp(StageRepReceived, p.Now())
 		o.enqueue(p, eng, workItem{rop: rop})
 	case MsgRepCommit:
 		rc := m.Payload.(*repCommit)
@@ -418,7 +428,7 @@ func (o *OSD) processItem(p *sim.Proc, eng *engine, shard int, it workItem) {
 
 // processWrite is the primary write path, steps (1)-(3) of Figure 2(b).
 func (o *OSD) processWrite(p *sim.Proc, eng *engine, op *ClientOp) {
-	op.tr.stamp(StageDequeued, p.Now())
+	op.tr.Stamp(StageDequeued, p.Now())
 	o.metrics.WriteOps.Inc()
 	o.logger.Log(p, siteOpEnter, o.cfg.LogPerStage)
 	c := &o.cfg.Costs
@@ -443,6 +453,7 @@ func (o *OSD) processWrite(p *sim.Proc, eng *engine, op *ClientOp) {
 		o.cep.Send(p, r, op.Len+c.RepMsgOverhead, MsgRepOp, rop)
 	}
 	o.logger.Log(p, siteSubmit, o.cfg.LogPerStage)
+	op.tr.Stamp(StagePrepared, p.Now())
 
 	// filestore_queue_max_ops: a token is held from journal submission
 	// until the filestore has applied the transaction. With the HDD-sized
@@ -452,7 +463,7 @@ func (o *OSD) processWrite(p *sim.Proc, eng *engine, op *ClientOp) {
 	if o.gen != eng.gen {
 		return // crashed before the journal saw it: never acked, never durable
 	}
-	op.tr.stamp(StageSubmitted, p.Now())
+	op.tr.Stamp(StageSubmitted, p.Now())
 	e := o.getJEntry()
 	e.pg, e.seq, e.bytes, e.enq, e.cop = op.PG, op.seq, op.Len+c.JournalHeaderBytes, p.Now(), op
 	e.oid, e.off, e.length, e.stamp = op.OID, op.Off, op.Len, op.Stamp
@@ -527,10 +538,10 @@ func (o *OSD) journalWriter(p *sim.Proc, eng *engine) {
 		e.ret = ret
 		o.retained = append(o.retained, ret)
 		if e.cop != nil {
-			e.cop.tr.stamp(StageJournalWritten, p.Now())
+			e.cop.tr.Stamp(StageJournalWritten, p.Now())
 		}
 		if e.rop != nil {
-			e.rop.parent.tr.stamp(StageRepJournaled, p.Now())
+			e.rop.parent.tr.Stamp(StageRepJournaled, p.Now())
 		}
 		if o.cfg.OptCompletionWorker {
 			// Minimal work under the OP lock; PG-lock bookkeeping deferred
@@ -544,7 +555,7 @@ func (o *OSD) journalWriter(p *sim.Proc, eng *engine) {
 			}
 			eng.compw.Defer(p, core.Completion{Shard: int(e.pg), Fn: eng.commitFn})
 		} else {
-			eng.finisherQ.Push(p, finEvent{kind: finCommit, e: e})
+			eng.finisherQ.Push(p, finEvent{kind: finCommit, e: e, at: p.Now()})
 		}
 		// Write-ahead order: filestore apply follows the journal write.
 		eng.fsQ.Push(p, e)
@@ -560,6 +571,7 @@ func (o *OSD) finisher(p *sim.Proc, eng *engine) {
 		if !ok || o.gen != eng.gen {
 			return
 		}
+		o.CompletionQDelay.Record(int64(p.Now() - ev.at))
 		lock := eng.locks.Get(int(ev.e.pg))
 		lock.Lock(p)
 		o.node.UseWithAllocs(p, c.CommitCPU, c.CommitAllocs)
@@ -607,6 +619,7 @@ func (o *OSD) filestoreWorker(p *sim.Proc, eng *engine) {
 		if o.gen != eng.gen {
 			return
 		}
+		o.ApplyDelay.Record(int64(p.Now() - e.enq))
 		o.putTx(tx)
 		o.markApplied(e.pg, e.seq)
 		eng.jrnl.Trim(e.padded)
@@ -619,7 +632,7 @@ func (o *OSD) filestoreWorker(p *sim.Proc, eng *engine) {
 			// writer. Recycle it and its replica sub-op.
 			o.putJEntry(e)
 		} else {
-			eng.finisherQ.Push(p, finEvent{kind: finApplied, e: e})
+			eng.finisherQ.Push(p, finEvent{kind: finApplied, e: e, at: p.Now()})
 		}
 	}
 }
@@ -689,13 +702,14 @@ func (o *OSD) commitArrived(p *sim.Proc, op *ClientOp, fromReplica bool) {
 	if fromReplica {
 		op.waitCommits--
 		if op.waitCommits == 0 {
-			op.tr.stamp(StageReplicaCommit, p.Now())
+			op.tr.Stamp(StageReplicaCommit, p.Now())
 		}
 	} else {
 		op.localCommit = true
-		op.tr.stamp(StageLocalCommit, p.Now())
+		op.tr.Stamp(StageLocalCommit, p.Now())
 	}
 	if op.localCommit && op.waitCommits <= 0 && !op.acked {
+		op.tr.Stamp(StageCommitsDone, p.Now())
 		o.readyAck(p, op)
 	}
 }
@@ -750,7 +764,7 @@ func (o *OSD) sendAck(p *sim.Proc, op *ClientOp) {
 	// Release on the op's own generation is exact; after a crash the
 	// current semaphore's clamped Release makes a mismatch harmless.
 	o.eng.msgCap.Release(1)
-	op.tr.stamp(StageAcked, p.Now())
+	op.tr.Stamp(StageAcked, p.Now())
 	if op.tr != nil {
 		// Every stage has stamped by ack time (all replica commits precede
 		// the ack), so the trace is quiescent once collected.

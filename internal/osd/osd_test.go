@@ -160,7 +160,8 @@ func TestTraceStagesMonotonic(t *testing.T) {
 	c := h.o.Traces()
 	// Cumulative means must be non-decreasing through the primary path
 	// (replica-commit is skipped: no replicas in this harness).
-	stages := []int{StageReceived, StageDequeued, StageSubmitted, StageJournalWritten, StageLocalCommit, StageAcked}
+	stages := []int{StageReceived, StageQueued, StageDequeued, StagePrepared, StageSubmitted,
+		StageJournalWritten, StageLocalCommit, StageCommitsDone, StageAcked}
 	prev := -1.0
 	for _, s := range stages {
 		m := c.StageMeanMillis(s)
@@ -172,7 +173,7 @@ func TestTraceStagesMonotonic(t *testing.T) {
 }
 
 func TestTraceCollectorIgnoresIncomplete(t *testing.T) {
-	c := NewTraceCollector()
+	c := NewTraceCollector(true)
 	c.Add(nil)
 	c.Add(&Trace{}) // never acked
 	if c.Count() != 0 {

@@ -1,0 +1,60 @@
+package osd
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// RegisterMetrics publishes this OSD's perf counters on the registry, in
+// the spirit of Ceph's `perf dump`: one subsystem per daemon plus child
+// subsystems for the journal, filestore, KV store and logger. Registration
+// binds live counters from the current daemon generation, so callers build
+// the registry on demand at dump time (cluster.Perf) rather than caching it
+// across restarts.
+func (o *OSD) RegisterMetrics(r *metrics.Registry) {
+	s := r.Sub(fmt.Sprintf("osd.%d", o.cfg.ID))
+
+	s.Counter("write_ops", &o.metrics.WriteOps)
+	s.Counter("read_ops", &o.metrics.ReadOps)
+	s.Counter("rep_ops", &o.metrics.RepOps)
+	s.Counter("acks_sent", &o.metrics.AcksSent)
+	s.Counter("crashes", &o.metrics.Crashes)
+	s.Counter("journal_replays", &o.metrics.JournalReplays)
+
+	s.Histogram("opq_delay", o.eng.disp.QueueDelay)
+	s.Histogram("journal_q_delay", o.JournalQDelay)
+	s.Histogram("apply_delay", o.ApplyDelay)
+	s.Histogram("completion_q_delay", o.CompletionQDelay)
+
+	ds := o.eng.disp.Stats()
+	s.Counter("opq_processed", &ds.Processed)
+	s.Counter("opq_deferred", &ds.Deferred)
+	s.Counter("opq_blocked", &ds.Blocked)
+
+	s.Gauge("pg_lock_acquires", func() float64 {
+		return float64(o.eng.locks.AggregateStats().Acquires)
+	})
+	s.Gauge("pg_lock_contended", func() float64 {
+		return float64(o.eng.locks.AggregateStats().Contended)
+	})
+	s.Gauge("pg_lock_wait_ns", func() float64 {
+		return float64(o.eng.locks.AggregateStats().WaitTime)
+	})
+	s.Gauge("msgcap_throttled", func() float64 { return float64(o.eng.msgCap.Throttled()) })
+	s.Gauge("msgcap_wait_ns", func() float64 { return float64(o.eng.msgCap.WaitTime()) })
+	s.Gauge("fs_throttle_throttled", func() float64 { return float64(o.eng.fsThrottle.Throttled()) })
+	s.Gauge("fs_throttle_wait_ns", func() float64 { return float64(o.eng.fsThrottle.WaitTime()) })
+
+	if o.eng.compw != nil {
+		cs := o.eng.compw.Stats()
+		s.Counter("comp_completions", &cs.Completions)
+		s.Counter("comp_batches", &cs.Batches)
+		s.Counter("comp_lock_acquires", &cs.LockAcquires)
+	}
+
+	o.eng.jrnl.RegisterMetrics(r.Sub(fmt.Sprintf("osd.%d.journal", o.cfg.ID)))
+	o.fs.RegisterMetrics(r.Sub(fmt.Sprintf("osd.%d.filestore", o.cfg.ID)))
+	o.fs.DB().RegisterMetrics(r.Sub(fmt.Sprintf("osd.%d.kv", o.cfg.ID)))
+	o.logger.RegisterMetrics(r.Sub(fmt.Sprintf("osd.%d.log", o.cfg.ID)))
+}

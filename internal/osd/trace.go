@@ -1,24 +1,25 @@
 package osd
 
 import (
-	"fmt"
-	"strings"
-
-	"repro/internal/sim"
-	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 // Stage indices of the write path, matching the paper's Figure 3 control
-// flow (message head received ... ack sent to client).
+// flow (message head received ... ack sent to client) plus the
+// intermediate hand-off points the §3 attribution analysis needs
+// (op-queue entry, txn prep done, all commits in).
 const (
 	StageReceived       = iota // message head received by messenger
+	StageQueued                // past the client-message throttle, queued to OP_WQ
 	StageDequeued              // OP_WQ worker holds the PG lock
-	StageSubmitted             // repops sent, journal submission queued
+	StagePrepared              // txn prepped, repops sent; waiting on fs throttle
+	StageSubmitted             // past the filestore throttle, journal submission queued
 	StageJournalWritten        // local journal write durable
 	StageLocalCommit           // local commit processed (PG backend notified)
 	StageRepReceived           // replica messenger received the sub-op
 	StageRepJournaled          // replica journal write durable
 	StageReplicaCommit         // last replica commit processed at primary
+	StageCommitsDone           // local + all replica commits in; ack eligible
 	StageAcked                 // ack sent to client
 	numStages
 )
@@ -26,77 +27,50 @@ const (
 // StageNames labels the trace stages.
 var StageNames = [numStages]string{
 	"received",
+	"queued(opwq)",
 	"dequeued(pg-lock)",
+	"prepared",
 	"submitted",
 	"journal-written",
 	"local-commit",
 	"rep-received",
 	"rep-journaled",
 	"replica-commit",
+	"commits-done",
 	"acked",
 }
 
-// Trace is one sampled write's stage timestamps.
-type Trace struct {
-	t [numStages]sim.Time
+// WriteSpec describes the OSD write path for the trace package. The
+// segments form a telescoping chain over the primary's critical path
+// (each From is the previous To), so per-op segment deltas sum exactly
+// to the end-to-end (received→acked) latency. The replica-side stamps
+// (rep-received/rep-journaled/replica-commit) overlap the local journal
+// work and so appear in the cumulative view, not as chain segments.
+var WriteSpec = trace.Spec{
+	Names: StageNames[:],
+	Base:  StageReceived,
+	Final: StageAcked,
+	Segments: []trace.Segment{
+		{From: StageReceived, To: StageQueued, Label: "msg-throttle"},
+		{From: StageQueued, To: StageDequeued, Label: "opq+pg-lock"},
+		{From: StageDequeued, To: StagePrepared, Label: "txn-prep"},
+		{From: StagePrepared, To: StageSubmitted, Label: "fs-throttle"},
+		{From: StageSubmitted, To: StageJournalWritten, Label: "journal"},
+		{From: StageJournalWritten, To: StageLocalCommit, Label: "commit-dispatch"},
+		{From: StageLocalCommit, To: StageCommitsDone, Label: "replica-wait"},
+		{From: StageCommitsDone, To: StageAcked, Label: "ack-send"},
+	},
 }
 
-func (tr *Trace) stamp(stage int, now sim.Time) {
-	if tr == nil {
-		return
-	}
-	tr.t[stage] = now
-}
+// Trace is one sampled write's stage timestamps (a pooled trace.Span).
+type Trace = trace.Span
 
-// TraceCollector aggregates sampled traces into per-stage latency
-// histograms (time from StageReceived to each stage).
-type TraceCollector struct {
-	hists [numStages]*stats.Histogram
-	count uint64
-}
+// TraceCollector aggregates sampled traces into per-stage and
+// per-segment latency histograms (see internal/trace).
+type TraceCollector = trace.Collector
 
-// NewTraceCollector returns an empty collector.
-func NewTraceCollector() *TraceCollector {
-	c := &TraceCollector{}
-	for i := range c.hists {
-		c.hists[i] = stats.NewHistogram()
-	}
-	return c
-}
-
-// Add folds one completed trace into the collector.
-func (c *TraceCollector) Add(tr *Trace) {
-	if tr == nil || tr.t[StageAcked] == 0 {
-		return
-	}
-	base := tr.t[StageReceived]
-	for i := 0; i < numStages; i++ {
-		if tr.t[i] >= base {
-			c.hists[i].Record(int64(tr.t[i] - base))
-		}
-	}
-	c.count++
-}
-
-// Count returns the number of traces added.
-func (c *TraceCollector) Count() uint64 { return c.count }
-
-// StageMeanMillis returns the mean elapsed time (ms) from receive to the
-// given stage.
-func (c *TraceCollector) StageMeanMillis(stage int) float64 {
-	return c.hists[stage].Mean() / 1e6
-}
-
-// Report renders the Figure-3-style breakdown: cumulative mean time at each
-// stage plus the per-stage delta.
-func (c *TraceCollector) Report() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "write path stage breakdown (%d samples)\n", c.count)
-	prev := 0.0
-	for i := 0; i < numStages; i++ {
-		cum := c.StageMeanMillis(i)
-		fmt.Fprintf(&b, "  %-18s cum %8.3f ms   +%8.3f ms\n", StageNames[i], cum, cum-prev)
-		prev = cum
-	}
-	return b.String()
+// NewTraceCollector returns a collector for the write path. A disabled
+// collector (tracing off) allocates no histograms and ignores Add.
+func NewTraceCollector(enabled bool) *TraceCollector {
+	return trace.NewCollector(&WriteSpec, enabled)
 }

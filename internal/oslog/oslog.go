@@ -66,6 +66,12 @@ type Params struct {
 	// MemoryLimit bounds queued entries in Async mode; beyond it, entries
 	// are dropped (bounded memory, as §3.3 requires). <=0 means unbounded.
 	MemoryLimit int
+	// RotateEvery rotates the log file after that many entries (<=0 never
+	// rotates, the historical behaviour). Rotation is charged to the logger
+	// thread, never the submitter, so the non-blocking property holds.
+	RotateEvery int
+	// RotateCPU is the logger-thread cost of one rotation.
+	RotateCPU sim.Time
 }
 
 // CommunityParams returns the stock single-thread synchronous logger.
@@ -97,6 +103,8 @@ type Stats struct {
 	CacheHits stats.Counter
 	// BlockTime is virtual time submitters spent waiting (Sync mode).
 	BlockTime stats.Counter
+	// Rotations counts log-file rotations (RotateEvery > 0 only).
+	Rotations stats.Counter
 }
 
 type batch struct {
@@ -115,6 +123,10 @@ type Logger struct {
 	q      *sim.Queue[batch]
 	cache  map[int]bool
 	stats  Stats
+	// sinceRotate counts entries written since the last rotation; logger
+	// threads run one-at-a-time under the sim kernel, so a plain field is
+	// race-free and keeps Rotations == floor(Entries/RotateEvery) exactly.
+	sinceRotate int
 	// evFree recycles Sync-mode completion events: once Wait returns the
 	// event has fired and nothing else references it.
 	evFree []*sim.Event
@@ -213,6 +225,14 @@ func (l *Logger) loop(p *sim.Proc) {
 		}
 		l.node.UseWithAllocs(p, cpu*sim.Time(b.count), allocs*b.count)
 		l.stats.Entries.Add(uint64(b.count))
+		if l.params.RotateEvery > 0 {
+			l.sinceRotate += b.count
+			for l.sinceRotate >= l.params.RotateEvery {
+				l.sinceRotate -= l.params.RotateEvery
+				l.node.Use(p, l.params.RotateCPU)
+				l.stats.Rotations.Inc()
+			}
+		}
 		if b.done != nil {
 			b.done.Fire()
 		}

@@ -1,6 +1,7 @@
 #!/bin/sh
 # Tier-1 gate: everything a change must pass before it lands.
 #
+#   fmt        gofmt -l must be clean
 #   vet        static checks
 #   build      every package compiles
 #   test       full suite — unit, integration, recovery/chaos, determinism
@@ -13,6 +14,14 @@
 set -eu
 cd "$(dirname "$0")/.."
 
+echo "== gofmt -l"
+UNFMT="$(gofmt -l .)"
+if [ -n "$UNFMT" ]; then
+    echo "gofmt: the following files need formatting:" >&2
+    echo "$UNFMT" >&2
+    exit 1
+fi
+
 echo "== go vet ./..."
 go vet ./...
 
@@ -24,7 +33,9 @@ go test ./...
 
 echo "== go test -race (light packages)"
 go test -race ./internal/sim/ ./internal/rng/ ./internal/stats/ \
-    ./internal/crush/ ./internal/fault/ ./internal/netsim/
+    ./internal/crush/ ./internal/fault/ ./internal/netsim/ \
+    ./internal/oslog/ ./internal/journal/ ./internal/kvstore/ \
+    ./internal/trace/ ./internal/metrics/
 
 echo "== go test -race -short (engine packages)"
 go test -race -short ./internal/osd/ ./internal/core/ \
