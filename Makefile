@@ -15,13 +15,9 @@ build:
 test:
 	go test ./...
 
+# The race package lists live in check.sh (single source of truth).
 race:
-	go test -race ./internal/sim/ ./internal/rng/ ./internal/stats/ \
-	    ./internal/crush/ ./internal/fault/ ./internal/netsim/ \
-	    ./internal/oslog/ ./internal/journal/ ./internal/kvstore/ \
-	    ./internal/trace/ ./internal/metrics/
-	go test -race -short ./internal/osd/ ./internal/core/ \
-	    ./internal/cluster/ ./internal/qa/
+	./scripts/check.sh race
 
 bench:
 	go test -bench=. -benchmem ./...

@@ -103,8 +103,13 @@ type Config struct {
 	// must call StopHeartbeats before it can drain fully idle.
 	HeartbeatMs      float64
 	HeartbeatGraceMs float64
-	Tuning           Tuning
-	Seed             uint64
+	// Backend selects the object-store backend: "" or "filestore" for the
+	// journal+filestore double-write path, "directstore" for the
+	// BlueStore-style direct-write path (small writes through a KV WAL,
+	// large writes straight to the data device with metadata-only commits).
+	Backend string
+	Tuning  Tuning
+	Seed    uint64
 }
 
 // DefaultConfig returns the paper's 4-node testbed with AFCeph tuning.
@@ -200,6 +205,7 @@ func New(cfg Config) *Cluster {
 	} else {
 		p.Allocator = cpumodel.TCMalloc
 	}
+	p.Backend = cfg.Backend
 	p.OSDConfig = buildOSDConfig(cfg.Tuning, cfg.TraceSample)
 	return &Cluster{cfg: cfg, inner: cluster.New(p)}
 }
@@ -317,7 +323,9 @@ type Stats struct {
 	PGLockWaitMs float64
 	// PGLockContended counts lock acquisitions that had to wait.
 	PGLockContended uint64
-	// JournalFullStalls counts journal submissions blocked on a full ring.
+	// JournalFullStalls counts write-ahead submissions blocked on full
+	// write-ahead space (the journal ring, or the KV WAL's memtable stalls
+	// on the directstore backend).
 	JournalFullStalls uint64
 	// CPUUtil is the mean core utilization per server node.
 	CPUUtil []float64
@@ -334,7 +342,7 @@ func (c *Cluster) Stats() Stats {
 		PGLockContended: ls.Contended,
 	}
 	for _, o := range c.inner.OSDs() {
-		st.JournalFullStalls += o.Journal().Stats().FullStalls.Value()
+		st.JournalFullStalls += o.Store().WALFullStalls()
 		st.OSDWriteOps += o.Metrics().WriteOps.Value()
 		st.OSDReadOps += o.Metrics().ReadOps.Value()
 	}

@@ -248,6 +248,34 @@ func BenchmarkMixedRW(b *testing.B) {
 	reportSimWall(b, start)
 }
 
+// BenchmarkBackends gates the direct-write backend against journal+filestore
+// on the two workloads where the write paths differ most: 4K random writes
+// (deferred KV WAL vs journal double-write) and the 70/30 mixed pattern.
+// The directstore-journal-MB metric must stay exactly zero — the direct
+// backend owns no journal ring.
+func BenchmarkBackends(b *testing.B) {
+	panels := []string{"4K-randwrite", "4K-randrw70"}
+	for _, panel := range panels {
+		panel := panel
+		b.Run(panel, func(b *testing.B) {
+			start := simWallStart()
+			for i := 0; i < b.N; i++ {
+				rep := figures.Backends(benchOptions(), []string{panel})
+				// row 0 = filestore, row 1 = directstore.
+				b.ReportMetric(cell(rep, 0, 2), "filestore-iops")
+				b.ReportMetric(cell(rep, 1, 2), "directstore-iops")
+				b.ReportMetric(cell(rep, 0, 6), "filestore-amp")
+				b.ReportMetric(cell(rep, 1, 6), "directstore-amp")
+				b.ReportMetric(cell(rep, 1, 4), "directstore-journal-MB")
+				if i == 0 {
+					b.Log("\n" + rep.String())
+				}
+			}
+			reportSimWall(b, start)
+		})
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Substrate microbenchmarks.
 

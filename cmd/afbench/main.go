@@ -10,8 +10,8 @@
 // Figures: 1 (thread sweep), 3 (latency breakdown), 4 (log vs no-log),
 // 9 (stepwise optimizations), 10 (VM fleet), 11 (SolidFire comparison),
 // 12 (scale-out), breakdown (per-segment latency attribution with
-// p50/p99, §3 methodology). See EXPERIMENTS.md for paper-vs-measured
-// notes.
+// p50/p99, §3 methodology), backends (journal+filestore vs direct-write
+// write amplification). See EXPERIMENTS.md for paper-vs-measured notes.
 package main
 
 import (
@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		figList   = flag.String("fig", "all", "comma-separated figure list: 1,3,4,9,10,11,12,breakdown,load,mixed,dropin or 'all'")
+		figList   = flag.String("fig", "all", "comma-separated figure list: 1,3,4,9,10,11,12,breakdown,backends,load,mixed,dropin or 'all'")
 		scale     = flag.Float64("scale", 0.25, "experiment scale in (0,1]: multiplies VM counts and runtimes")
 		runtime   = flag.Float64("runtime", 2.0, "measured seconds per point at scale=1")
 		ramp      = flag.Float64("ramp", 0.6, "warm-up seconds per point at scale=1")
@@ -61,7 +61,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *figList == "all" {
-		for _, f := range []string{"1", "3", "4", "9", "10", "11", "12", "breakdown"} {
+		for _, f := range []string{"1", "3", "4", "9", "10", "11", "12", "breakdown", "backends"} {
 			want[f] = true
 		}
 	} else {
@@ -140,6 +140,9 @@ func main() {
 				os.Exit(1)
 			}
 		}
+	}
+	if want["backends"] {
+		emit(figures.Backends(opt, nil))
 	}
 	if want["dropin"] {
 		emit(figures.DropIn(opt))

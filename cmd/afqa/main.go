@@ -21,6 +21,7 @@ import (
 func main() {
 	var (
 		profile = flag.String("profile", "afceph", "community | afceph")
+		backend = flag.String("backend", "filestore", "object-store backend: filestore | directstore")
 		clients = flag.Int("clients", 6, "concurrent clients")
 		ops     = flag.Int("ops", 120, "randomized ops per client")
 		seeds   = flag.Int("seeds", 3, "number of seeds to sweep")
@@ -38,10 +39,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "afqa: unknown profile %q\n", *profile)
 		os.Exit(2)
 	}
+	switch *backend {
+	case "filestore", "directstore":
+	default:
+		fmt.Fprintf(os.Stderr, "afqa: unknown backend %q\n", *backend)
+		os.Exit(2)
+	}
 
 	failed := false
 	for seed := uint64(1); seed <= uint64(*seeds); seed++ {
 		cfg := qa.DefaultStress(prof)
+		cfg.Backend = *backend
 		cfg.Clients = *clients
 		cfg.OpsPerClient = *ops
 		cfg.Seed = seed

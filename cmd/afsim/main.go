@@ -64,6 +64,7 @@ func runSweep(cfg afceph.Config, rw string, bs int64, vms int, imageSize int64, 
 func main() {
 	var (
 		profile   = flag.String("profile", "afceph", "community | afceph")
+		backend   = flag.String("backend", "filestore", "object-store backend: filestore | directstore")
 		rw        = flag.String("rw", "randwrite", "randwrite | randread | write | read")
 		bs        = flag.Int64("bs", 4096, "block size in bytes")
 		vms       = flag.Int("vms", 20, "number of VM clients")
@@ -113,6 +114,13 @@ func main() {
 		cfg.Tuning = afceph.AFCeph()
 	default:
 		fmt.Fprintf(os.Stderr, "afsim: unknown profile %q\n", *profile)
+		os.Exit(2)
+	}
+	switch *backend {
+	case "filestore", "directstore":
+		cfg.Backend = *backend
+	default:
+		fmt.Fprintf(os.Stderr, "afsim: unknown backend %q\n", *backend)
 		os.Exit(2)
 	}
 	if *noPending {

@@ -42,6 +42,11 @@ type Params struct {
 	// HDD as basis").
 	UseHDD    bool
 	HDDParams device.HDDParams
+	// Backend overrides the object-store backend on every OSD when
+	// non-empty (store.BackendFileStore / store.BackendDirectStore);
+	// empty leaves whatever OSDConfig chose, which defaults to the
+	// journal+filestore backend.
+	Backend string
 	// Components.
 	NetParams netsim.Params
 	SSDParams device.SSDParams
@@ -104,6 +109,7 @@ type Cluster struct {
 
 	clientList  []*Client
 	dataDevs    []*device.RAID0
+	nvrams      []*device.NVRAM
 	diskFaults  []*fault.DiskFaults
 	pubNICs     []*netsim.NIC
 	clusterNICs []*netsim.NIC
@@ -137,6 +143,7 @@ func New(params Params) *Cluster {
 		node := cpumodel.NewNode(k, fmt.Sprintf("node%d", n), params.CoresPerNode, params.Allocator)
 		c.nodes = append(c.nodes, node)
 		nvram := device.NewNVRAM(k, fmt.Sprintf("node%d.nvram", n), device.DefaultNVRAMParams())
+		c.nvrams = append(c.nvrams, nvram)
 		nicPub := c.Net.NewNIC(fmt.Sprintf("node%d.pub", n))
 		nicCluster := c.Net.NewNIC(fmt.Sprintf("node%d.cluster", n))
 		c.pubNICs = append(c.pubNICs, nicPub)
@@ -160,6 +167,9 @@ func New(params Params) *Cluster {
 			cfg := params.OSDConfig(id)
 			cfg.ID = id
 			cfg.FStore.VerifyData = params.VerifyData
+			if params.Backend != "" {
+				cfg.Backend = params.Backend
+			}
 			// All OSDs on a server share the server's two physical NICs:
 			// public (clients) and cluster (replication), as in Figure 8.
 			ep := c.Net.NewEndpointNIC(fmt.Sprintf("osd%d", id), node, nicPub, true)
@@ -234,6 +244,10 @@ func (c *Cluster) PrimaryFor(oid string) *osd.OSD {
 
 // DataDevice returns an OSD's RAID0 data array.
 func (c *Cluster) DataDevice(id int) *device.RAID0 { return c.dataDevs[id] }
+
+// NVRAMs returns the per-node journal devices (write-amplification
+// accounting compares their traffic against the data devices').
+func (c *Cluster) NVRAMs() []*device.NVRAM { return c.nvrams }
 
 // DiskFaults returns the fault injector for an OSD's data array, installing
 // it on first use (a zero-rate injector adds no latency and draws no random

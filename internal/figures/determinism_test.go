@@ -52,6 +52,7 @@ var goldenFigures = []struct {
 	{"fig11", Fig11},
 	{"fig12", func(o Options) Report { return Fig12(o, []int{2, 4}) }},
 	{"breakdown", LatencyBreakdown},
+	{"backends", func(o Options) Report { return Backends(o, nil) }},
 }
 
 // TestFigureDeterminism is the golden gate behind every benchmark

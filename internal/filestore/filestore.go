@@ -306,6 +306,31 @@ func (f *FileStore) Apply(p *sim.Proc, tx *Transaction) {
 	}
 }
 
+// DevOffset translates an object-relative offset to the device address of
+// the object's extent, allocating the extent on first touch — for backends
+// that own their data I/O but share this object table.
+func (f *FileStore) DevOffset(oid string, off int64) int64 {
+	return f.lookup(oid).base + off%extentSize
+}
+
+// CommitObject updates the authoritative object table for a write whose
+// data I/O and KV commit happened outside Apply (a direct-write backend).
+// It charges no I/O or CPU; the table stays shared so reads, scrub and
+// recovery see one source of truth regardless of backend.
+func (f *FileStore) CommitObject(oid string, off, length int64, stamp uint64) {
+	obj := f.lookup(oid)
+	if end := off + length; end > obj.size {
+		obj.size = end
+	}
+	obj.version++
+	if f.cfg.VerifyData && length > 0 {
+		if obj.stamps == nil {
+			obj.stamps = make(map[int64]uint64)
+		}
+		obj.stamps[off] = stamp
+	}
+}
+
 // lookup returns the object record, allocating its device extent on first
 // touch.
 func (f *FileStore) lookup(oid string) *object {

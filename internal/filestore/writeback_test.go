@@ -1,0 +1,100 @@
+package filestore
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestWritebackBackpressure exercises the ApplyWriteback/DirtyLimit path:
+// applies outrun the background flushers until dirty bytes hit the limit,
+// later applies block on the dirty condition until the syncer returns
+// credit, and VerifyData stamps stay read-your-write through the stall.
+func TestWritebackBackpressure(t *testing.T) {
+	cfg := CommunityConfig()
+	cfg.ApplyWriteback = true
+	cfg.DirtyLimit = 128 << 10
+	cfg.VerifyData = true
+	w := newWorld(cfg)
+
+	const (
+		writers  = 4
+		perWrite = 64 << 10
+		rounds   = 32
+	)
+	var maxDirty int64
+	done := 0
+	for wi := 0; wi < writers; wi++ {
+		wi := wi
+		w.k.Go(fmt.Sprintf("writer%d", wi), func(p *sim.Proc) {
+			for r := 0; r < rounds; r++ {
+				oid := fmt.Sprintf("obj%d.%d", wi, r)
+				stamp := uint64(wi)<<32 + uint64(r) + 1
+				w.fs.Apply(p, basicTx(oid, 0, perWrite, stamp))
+				if d := w.fs.DirtyBytes(); d > maxDirty {
+					maxDirty = d
+				}
+				// Read-your-write while the flushers are still behind: the
+				// stamp must be visible the instant Apply returns, not when
+				// the extent reaches the device.
+				if got, ok := w.fs.Read(p, oid, 0, perWrite); !ok || got != stamp {
+					t.Errorf("mid-stall read %s: stamp %d ok=%v, want %d", oid, got, ok, stamp)
+				}
+				// Overwrite half the rounds so stale flushes of the first
+				// version race newer stamps.
+				if r%2 == 0 {
+					w.fs.Apply(p, basicTx(oid, 0, perWrite, stamp+1000))
+					if got, ok := w.fs.Read(p, oid, 0, perWrite); !ok || got != stamp+1000 {
+						t.Errorf("overwrite read %s: stamp %d ok=%v, want %d", oid, got, ok, stamp+1000)
+					}
+				}
+				done++
+			}
+		})
+	}
+	w.k.Run(sim.Forever)
+
+	if done != writers*rounds {
+		t.Fatalf("completed %d of %d applies (writers wedged)", done, writers*rounds)
+	}
+	// The limit must actually have been reached — otherwise nothing blocked
+	// and the test is vacuous. 4 writers x 64K against a 128K limit cannot
+	// stay under it while the flushers pay device latency.
+	if maxDirty < cfg.DirtyLimit {
+		t.Fatalf("dirty bytes peaked at %d, never reached the %d limit", maxDirty, cfg.DirtyLimit)
+	}
+	// Drain invariant: once the kernel idles, the syncer returned every
+	// byte of credit.
+	if d := w.fs.DirtyBytes(); d != 0 {
+		t.Fatalf("dirty bytes not drained: %d", d)
+	}
+	// Post-drain readback: every object still carries its newest stamp.
+	w.k.Go("readback", func(p *sim.Proc) {
+		for wi := 0; wi < writers; wi++ {
+			for r := 0; r < rounds; r++ {
+				oid := fmt.Sprintf("obj%d.%d", wi, r)
+				want := uint64(wi)<<32 + uint64(r) + 1
+				if r%2 == 0 {
+					want += 1000
+				}
+				if got, ok := w.fs.Read(p, oid, 0, perWrite); !ok || got != want {
+					t.Errorf("post-drain read %s: stamp %d ok=%v, want %d", oid, got, ok, want)
+				}
+			}
+		}
+	})
+	w.k.Run(sim.Forever)
+}
+
+// TestWritebackDefaultLimit: enabling writeback without a limit must apply
+// the 128 MB default rather than an unbounded (never-blocking) zero.
+func TestWritebackDefaultLimit(t *testing.T) {
+	cfg := CommunityConfig()
+	cfg.ApplyWriteback = true
+	cfg.DirtyLimit = 0
+	w := newWorld(cfg)
+	if got := w.fs.Config().DirtyLimit; got != 128<<20 {
+		t.Fatalf("default DirtyLimit = %d, want %d", got, int64(128<<20))
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/filestore"
 	"repro/internal/oslog"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 // Costs collects the CPU/byte constants of the OSD pipeline. They are
@@ -99,6 +100,13 @@ type Config struct {
 	LogMode     oslog.Mode
 	LogParams   oslog.Params
 	LogPerStage int // debug entries emitted per pipeline stage
+	// Backend selects the object-store backend: store.BackendFileStore
+	// (default; journal + filestore double-write) or
+	// store.BackendDirectStore (direct write with a KV WAL for small
+	// writes — no journal double-write).
+	Backend string
+	// DStore configures the directstore backend (ignored by filestore).
+	DStore store.DirectConfig
 	// Filestore / transaction behaviour (§3.4).
 	FStore filestore.Config
 	// TraceSample: record a stage trace for every Nth client write

@@ -1,7 +1,9 @@
 package osd
 
 import (
+	"repro/internal/filestore"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 // Crash kills the OSD daemon at the current instant, as an injected fault
@@ -28,17 +30,17 @@ func (o *OSD) Crash() {
 	}
 
 	// Durable horizon per PG: the highest sequence that is applied or
-	// journaled. Journal submission is per-PG FIFO, so every sequence at or
+	// committed. Commit order is per-PG FIFO, so every sequence at or
 	// below the horizon is durable and the kept log prefix stays contiguous.
 	durable := make(map[uint32]uint64)
 	for pg, l := range o.pglogs {
 		durable[pg] = l.appliedSeq
 	}
-	for _, e := range o.retained {
-		if !e.applied && e.seq > durable[e.pg] {
-			durable[e.pg] = e.seq
+	o.store.UnappliedSeqs(func(pg uint32, seq uint64) {
+		if seq > durable[pg] {
+			durable[pg] = seq
 		}
-	}
+	})
 	for pg, l := range o.pglogs {
 		h := durable[pg]
 		cut := len(l.entries)
@@ -58,11 +60,11 @@ func (o *OSD) Crash() {
 }
 
 // Restart boots a fresh daemon instance after a Crash: it rebuilds the
-// engine (queues, throttles, an empty ring with the retained entries'
-// space re-reserved), replays every journaled-but-unapplied entry into the
-// filestore in journal order — this is what makes acked writes crash
-// consistent — and resumes receiving messages. It consumes simulated time
-// for the replay I/O and returns the number of entries replayed.
+// engine (queues, throttles, the backend's per-generation write-ahead
+// state), then has the backend replay every committed-but-unapplied entry
+// in commit order — this is what makes acked writes crash consistent — and
+// resumes receiving messages. It consumes simulated time for the replay
+// I/O and returns the number of entries replayed.
 //
 // The OSD stays marked down in the cluster map until recovery
 // (RecoverOSD) backfills it; the dirty flag tells recovery that this was a
@@ -73,29 +75,17 @@ func (o *OSD) Restart(p *sim.Proc) int {
 		panic("osd: Restart on a live OSD")
 	}
 	o.buildEngine()
-	var pending []*retainedEntry
-	for _, e := range o.retained {
-		if !e.applied {
-			pending = append(pending, e)
-		}
-	}
-	o.retained = nil
-	for _, e := range pending {
-		o.eng.jrnl.ReserveRecovered(e.padded)
-	}
-	replayed := 0
-	for _, e := range pending {
-		tx := o.makeTx(e.pg, e.oid, e.off, e.length, e.stamp)
-		o.fs.Apply(p, tx)
-		o.putTx(tx)
-		// The retained entries themselves are NOT recycled here: a worker of
-		// the crashed generation may still be parked inside a filestore
-		// apply for one of them and will mark it applied when it resumes.
-		e.applied = true
-		o.markApplied(e.pg, e.seq)
-		o.eng.jrnl.Trim(e.padded)
-		replayed++
-	}
+	replayed := o.store.Replay(p, store.ReplayHooks{
+		BuildMeta: func(pg uint32, oid string, off, length int64, stamp uint64) *filestore.Transaction {
+			return o.makeTx(pg, oid, off, length, stamp)
+		},
+		Applied: func(pg uint32, seq uint64, meta *filestore.Transaction) {
+			if meta != nil {
+				o.putTx(meta)
+			}
+			o.markApplied(pg, seq)
+		},
+	})
 	o.metrics.JournalReplays.Add(uint64(replayed))
 	o.crashed = false
 	o.ep.SetDead(false)
@@ -117,14 +107,6 @@ func (o *OSD) Dirty() bool { return o.dirty }
 // after the backfill.
 func (o *OSD) ClearDirty() { o.dirty = false }
 
-// RetainedEntries reports how many journaled-but-unapplied entries the
-// NVRAM ring currently holds (diagnostic).
-func (o *OSD) RetainedEntries() int {
-	n := 0
-	for _, e := range o.retained {
-		if !e.applied {
-			n++
-		}
-	}
-	return n
-}
+// RetainedEntries reports how many committed-but-unapplied entries the
+// backend's write-ahead state currently holds (diagnostic).
+func (o *OSD) RetainedEntries() int { return o.store.PendingOps() }

@@ -3,6 +3,7 @@ package osd
 import (
 	"repro/internal/netsim"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 // Network message kinds used by the storage protocol.
@@ -80,37 +81,15 @@ type workItem struct {
 	rc  *repCommit
 }
 
-// jEntry is a journal-submission record carrying the transaction that must
-// subsequently be applied to the filestore. It copies the write's payload
-// fields out of the originating op: the filestore apply runs after the
-// client ack (write-ahead order), by which time a pooled ClientOp may
-// already be recycled, so the entry must not dereference cop past the ack.
+// jEntry is a commit-queue record carrying the store transaction that must
+// subsequently be applied to the backend. The transaction copies the
+// write's payload fields out of the originating op: the backend apply runs
+// after the client ack (write-ahead order), by which time a pooled
+// ClientOp may already be recycled, so the entry must not dereference cop
+// past the ack.
 type jEntry struct {
-	pg     uint32
-	seq    uint64
-	oid    string
-	off    int64
-	length int64
-	stamp  uint64
-	bytes  int64
-	padded int64
-	enq    sim.Time
-	cop    *ClientOp // set at the primary; valid only until the ack
-	rop    *repOp    // set at a replica
-	ret    *retainedEntry
-}
-
-// retainedEntry mirrors one journaled-but-not-yet-applied transaction. The
-// slice of these is the crash-survivable image of the NVRAM ring: on a crash
-// every unapplied entry is replayed into the filestore at Restart, which is
-// what makes an ack (given after journal submit) durable across the crash.
-type retainedEntry struct {
-	pg      uint32
-	seq     uint64
-	oid     string
-	off     int64
-	length  int64
-	stamp   uint64
-	padded  int64
-	applied bool
+	t   store.Txn
+	enq sim.Time
+	cop *ClientOp // set at the primary; valid only until the ack
+	rop *repOp    // set at a replica
 }

@@ -15,6 +15,7 @@ import (
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/store"
 )
 
 // Log call sites (for the oslog cache).
@@ -66,8 +67,6 @@ type Metrics struct {
 type engine struct {
 	gen int
 
-	jrnl *journal.Journal
-
 	locks *core.ShardLocks
 	disp  *core.Dispatcher[workItem]
 	compw *core.CompletionWorker
@@ -98,6 +97,12 @@ type OSD struct {
 	journalDev device.Device
 	logger     *oslog.Logger
 
+	// store is the object-store backend behind the OSD↔store seam; it
+	// owns the write-ahead state (journal ring or KV WAL) and the
+	// crash-replay image. metaAtCommit caches store.MetaAtCommit().
+	store        store.Backend
+	metaAtCommit bool
+
 	// eng is the live daemon instance; gen counts restarts. crashed gates
 	// the message handlers while the daemon is down; dirty marks a restart
 	// after a crash (recovery must backfill rather than trust PG logs).
@@ -105,8 +110,6 @@ type OSD struct {
 	gen     int
 	crashed bool
 	dirty   bool
-	// retained mirrors journaled-but-unapplied entries (see retainedEntry).
-	retained []*retainedEntry
 
 	placer func(pg uint32) []*netsim.Endpoint
 
@@ -135,7 +138,6 @@ type OSD struct {
 	ropFree  []*repOp
 	rcFree   []*repCommit
 	trFree   []*Trace
-	retFree  []*retainedEntry
 	txFree   []*filestore.Transaction
 	replies  *ReplyPool
 	keyBuf   []byte
@@ -159,6 +161,17 @@ func New(k *sim.Kernel, cfg Config, node *cpumodel.Node, ep *netsim.Endpoint,
 func NewSplit(k *sim.Kernel, cfg Config, node *cpumodel.Node, ep, cep *netsim.Endpoint,
 	dataDev device.Device, journalDev device.Device, r *rng.Rand) *OSD {
 
+	if cfg.Backend == store.BackendDirectStore {
+		// The direct backend owns data placement and commits metadata in
+		// one KV batch; only the light-weight transaction cost model
+		// (minimized syscalls, batched KV, write-through metadata cache)
+		// matches that design, so it is forced regardless of profile.
+		cfg.FStore.MinimizeSyscalls = true
+		cfg.FStore.SetAllocHint = false
+		cfg.FStore.BatchKVOps = true
+		cfg.FStore.WriteThroughMetaCache = true
+		cfg.FStore.ApplyWriteback = false
+	}
 	name := fmt.Sprintf("osd%d", cfg.ID)
 	o := &OSD{
 		k:                k,
@@ -180,6 +193,15 @@ func NewSplit(k *sim.Kernel, cfg Config, node *cpumodel.Node, ep, cep *netsim.En
 	db := kvstore.New(k, name+".kv", dataDev, node, kvstore.DefaultParams())
 	o.fs = filestore.New(k, name+".fs", dataDev, db, node, cfg.FStore, r)
 	o.logger = oslog.New(k, name, node, cfg.LogMode, cfg.LogParams)
+	switch cfg.Backend {
+	case "", store.BackendFileStore:
+		o.store = store.NewFileStoreBackend(k, o.fs, journalDev, cfg.JournalSize)
+	case store.BackendDirectStore:
+		o.store = store.NewDirectStore(k, o.fs, node, cfg.DStore)
+	default:
+		panic("osd: unknown backend " + cfg.Backend)
+	}
+	o.metaAtCommit = o.store.MetaAtCommit()
 
 	ep.SetHandler(o.handleMessage)
 	if cep != ep {
@@ -191,14 +213,15 @@ func NewSplit(k *sim.Kernel, cfg Config, node *cpumodel.Node, ep, cep *netsim.En
 }
 
 // buildEngine creates a fresh daemon instance: queues, throttles, locks,
-// dispatcher and an empty journal ring. Called at construction and again at
-// Restart; the previous engine (if any) is simply abandoned — workers of the
-// old generation park on its queues forever without generating events.
+// dispatcher and the backend's per-generation write-ahead state. Called at
+// construction and again at Restart; the previous engine (if any) is simply
+// abandoned — workers of the old generation park on its queues forever
+// without generating events.
 func (o *OSD) buildEngine() {
 	k, cfg := o.k, o.cfg
 	name := fmt.Sprintf("osd%d.g%d", cfg.ID, o.gen)
 	eng := &engine{gen: o.gen}
-	eng.jrnl = journal.New(k, name+".journal", o.journalDev, cfg.JournalSize)
+	o.store.Reopen(name)
 	eng.locks = core.NewShardLocks(k, name)
 	eng.disp = core.NewDispatcher[workItem](k, name+".opwq", eng.locks, 0, cfg.OptPendingQueue)
 	eng.msgCap = sim.NewSemaphore(k, name+".msgcap", cfg.Throttles.OSDClientMessageCap)
@@ -262,11 +285,21 @@ func (o *OSD) Endpoint() *netsim.Endpoint { return o.ep }
 // Endpoint when the networks are not separated).
 func (o *OSD) ClusterEndpoint() *netsim.Endpoint { return o.cep }
 
-// FileStore exposes the backend (for integration-test verification).
+// FileStore exposes the shared object table/read engine (for
+// integration-test verification, scrub and recovery; backend-neutral).
 func (o *OSD) FileStore() *filestore.FileStore { return o.fs }
 
-// Journal exposes the write-ahead journal (of the current generation).
-func (o *OSD) Journal() *journal.Journal { return o.eng.jrnl }
+// Store exposes the object-store backend behind the OSD↔store seam.
+func (o *OSD) Store() store.Backend { return o.store }
+
+// Journal exposes the write-ahead journal ring (of the current generation)
+// when the filestore backend is active; nil for backends without a ring.
+func (o *OSD) Journal() *journal.Journal {
+	if b, ok := o.store.(*store.FileStoreBackend); ok {
+		return b.Journal()
+	}
+	return nil
+}
 
 // Logger exposes the debug-log subsystem.
 func (o *OSD) Logger() *oslog.Logger { return o.logger }
@@ -465,8 +498,8 @@ func (o *OSD) processWrite(p *sim.Proc, eng *engine, op *ClientOp) {
 	}
 	op.tr.Stamp(StageSubmitted, p.Now())
 	e := o.getJEntry()
-	e.pg, e.seq, e.bytes, e.enq, e.cop = op.PG, op.seq, op.Len+c.JournalHeaderBytes, p.Now(), op
-	e.oid, e.off, e.length, e.stamp = op.OID, op.Off, op.Len, op.Stamp
+	e.t.PG, e.t.Seq, e.t.Bytes, e.enq, e.cop = op.PG, op.seq, op.Len+c.JournalHeaderBytes, p.Now(), op
+	e.t.OID, e.t.Off, e.t.Len, e.t.Stamp = op.OID, op.Off, op.Len, op.Stamp
 	eng.journalQ.Push(p, e)
 }
 
@@ -477,7 +510,7 @@ func (o *OSD) processRead(p *sim.Proc, eng *engine, op *ClientOp) {
 	o.logger.Log(p, siteRead, o.cfg.LogPerStage)
 	o.node.UseWithAllocs(p, c.OpSetupCPU, c.OpSetupAllocs)
 	o.node.Use(p, c.ReadCPU)
-	st, exists := o.fs.Read(p, op.OID, op.Off, op.Len)
+	st, exists := o.store.Read(p, op.OID, op.Off, op.Len)
 	if o.gen != eng.gen {
 		return // crashed mid-read: no reply, client retries elsewhere
 	}
@@ -509,13 +542,13 @@ func (o *OSD) processRepOp(p *sim.Proc, eng *engine, rop *repOp) {
 		return
 	}
 	e := o.getJEntry()
-	e.pg, e.seq, e.bytes, e.enq, e.rop = rop.pg, rop.seq, rop.length+c.JournalHeaderBytes, p.Now(), rop
-	e.oid, e.off, e.length, e.stamp = rop.oid, rop.off, rop.length, rop.stamp
+	e.t.PG, e.t.Seq, e.t.Bytes, e.enq, e.rop = rop.pg, rop.seq, rop.length+c.JournalHeaderBytes, p.Now(), rop
+	e.t.OID, e.t.Off, e.t.Len, e.t.Stamp = rop.oid, rop.off, rop.length, rop.stamp
 	eng.journalQ.Push(p, e)
 }
 
-// journalWriter drains the journal queue onto the journal device and
-// dispatches commit completions.
+// journalWriter drains the commit queue into the backend's write-ahead
+// path and dispatches commit completions.
 func (o *OSD) journalWriter(p *sim.Proc, eng *engine) {
 	c := &o.cfg.Costs
 	for {
@@ -524,19 +557,22 @@ func (o *OSD) journalWriter(p *sim.Proc, eng *engine) {
 			return
 		}
 		o.JournalQDelay.Record(int64(p.Now() - e.enq))
-		e.padded = eng.jrnl.Submit(p, e.bytes) // blocks while the ring is full
+		var meta *filestore.Transaction
+		if o.metaAtCommit {
+			meta = o.buildTx(e)
+		}
+		o.store.Commit(p, &e.t, meta) // blocks while write-ahead space is full
 		if o.gen != eng.gen {
-			// Torn journal write: the crash hit mid-I/O, so the entry is
-			// not durable. It was never acked; the client retries.
+			// Torn commit: the crash hit mid-I/O, so the entry is not
+			// durable. It was never acked; the client retries.
 			return
 		}
-		// The entry is durable in NVRAM: retain its image for crash replay
-		// until the filestore apply lands.
-		ret := o.getRetained()
-		ret.pg, ret.seq, ret.padded = e.pg, e.seq, e.padded
-		ret.oid, ret.off, ret.length, ret.stamp = e.oid, e.off, e.length, e.stamp
-		e.ret = ret
-		o.retained = append(o.retained, ret)
+		if meta != nil {
+			o.putTx(meta)
+		}
+		// The entry is durable: retain its image for crash replay until
+		// the backend apply lands.
+		o.store.Committed(&e.t)
 		if e.cop != nil {
 			e.cop.tr.Stamp(StageJournalWritten, p.Now())
 		}
@@ -553,11 +589,11 @@ func (o *OSD) journalWriter(p *sim.Proc, eng *engine) {
 			if e.rop != nil {
 				o.sendRepCommit(p, e.rop)
 			}
-			eng.compw.Defer(p, core.Completion{Shard: int(e.pg), Fn: eng.commitFn})
+			eng.compw.Defer(p, core.Completion{Shard: int(e.t.PG), Fn: eng.commitFn})
 		} else {
 			eng.finisherQ.Push(p, finEvent{kind: finCommit, e: e, at: p.Now()})
 		}
-		// Write-ahead order: filestore apply follows the journal write.
+		// Write-ahead order: the backend apply follows the commit.
 		eng.fsQ.Push(p, e)
 	}
 }
@@ -572,7 +608,7 @@ func (o *OSD) finisher(p *sim.Proc, eng *engine) {
 			return
 		}
 		o.CompletionQDelay.Record(int64(p.Now() - ev.at))
-		lock := eng.locks.Get(int(ev.e.pg))
+		lock := eng.locks.Get(int(ev.e.t.PG))
 		lock.Lock(p)
 		o.node.UseWithAllocs(p, c.CommitCPU, c.CommitAllocs)
 		switch ev.kind {
@@ -601,55 +637,38 @@ func (o *OSD) sendRepCommit(p *sim.Proc, rop *repOp) {
 	o.cep.Send(p, rop.primary, 150, MsgRepCommit, rc)
 }
 
-// filestoreWorker applies journaled transactions to the backend, trims the
-// journal and returns the throttle token.
+// filestoreWorker applies committed transactions to the backend, releases
+// their write-ahead space and returns the throttle token.
 func (o *OSD) filestoreWorker(p *sim.Proc, eng *engine) {
 	for {
 		e, ok := eng.fsQ.Pop(p)
 		if !ok || o.gen != eng.gen {
 			return
 		}
-		tx := o.buildTx(e)
-		o.fs.Apply(p, tx)
-		if e.ret != nil {
-			// The apply landed even if the daemon died mid-I/O; a possible
-			// duplicate replay is healed by the dirty-restart backfill.
-			e.ret.applied = true
+		var meta *filestore.Transaction
+		if !o.metaAtCommit {
+			meta = o.buildTx(e)
 		}
+		o.store.Apply(p, &e.t, meta)
 		if o.gen != eng.gen {
 			return
 		}
 		o.ApplyDelay.Record(int64(p.Now() - e.enq))
-		o.putTx(tx)
-		o.markApplied(e.pg, e.seq)
-		eng.jrnl.Trim(e.padded)
+		if meta != nil {
+			o.putTx(meta)
+		}
+		o.markApplied(e.t.PG, e.t.Seq)
+		o.store.Applied(&e.t)
 		eng.fsThrottle.Release(1)
-		o.compactRetained()
 		if o.cfg.OptCompletionWorker {
-			eng.compw.Defer(p, core.Completion{Shard: int(e.pg), Fn: eng.applyFn})
-			// The entry has cleared journal, filestore and completion
-			// dispatch; the commit notification was sent back in the journal
-			// writer. Recycle it and its replica sub-op.
+			eng.compw.Defer(p, core.Completion{Shard: int(e.t.PG), Fn: eng.applyFn})
+			// The entry has cleared commit, apply and completion dispatch;
+			// the commit notification was sent back in the journal writer.
+			// Recycle it and its replica sub-op.
 			o.putJEntry(e)
 		} else {
 			eng.finisherQ.Push(p, finEvent{kind: finApplied, e: e, at: p.Now()})
 		}
-	}
-}
-
-// compactRetained drops the applied prefix of the retained-journal mirror,
-// matching the ring's trim order (journal submit order == retained order).
-func (o *OSD) compactRetained() {
-	i := 0
-	for i < len(o.retained) && o.retained[i].applied {
-		// Applied entries have exactly one writer (the filestore worker that
-		// applied them), which has finished; safe to recycle.
-		o.putRetained(o.retained[i])
-		o.retained[i] = nil
-		i++
-	}
-	if i > 0 {
-		o.retained = o.retained[i:]
 	}
 }
 
@@ -684,11 +703,11 @@ func (o *OSD) makeTx(pg uint32, oid string, off, length int64, stamp uint64) *fi
 	return tx
 }
 
-// buildTx converts a journal entry into a filestore transaction. It reads
+// buildTx converts a pipeline entry into the metadata transaction. It reads
 // only the entry's own payload copy: at the primary the originating op may
 // already be acked (and recycled) by apply time.
 func (o *OSD) buildTx(e *jEntry) *filestore.Transaction {
-	return o.makeTx(e.pg, e.oid, e.off, e.length, e.stamp)
+	return o.makeTx(e.t.PG, e.t.OID, e.t.Off, e.t.Len, e.t.Stamp)
 }
 
 // commitArrived records a local or replica journal commit for op and sends

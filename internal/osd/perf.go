@@ -53,8 +53,6 @@ func (o *OSD) RegisterMetrics(r *metrics.Registry) {
 		s.Counter("comp_lock_acquires", &cs.LockAcquires)
 	}
 
-	o.eng.jrnl.RegisterMetrics(r.Sub(fmt.Sprintf("osd.%d.journal", o.cfg.ID)))
-	o.fs.RegisterMetrics(r.Sub(fmt.Sprintf("osd.%d.filestore", o.cfg.ID)))
-	o.fs.DB().RegisterMetrics(r.Sub(fmt.Sprintf("osd.%d.kv", o.cfg.ID)))
+	o.store.RegisterMetrics(r, fmt.Sprintf("osd.%d", o.cfg.ID))
 	o.logger.RegisterMetrics(r.Sub(fmt.Sprintf("osd.%d.log", o.cfg.ID)))
 }

@@ -3,8 +3,9 @@ package osd
 import "repro/internal/filestore"
 
 // Free lists for the write-path records that used to be allocated per op:
-// journal entries, replication sub-ops, commit notifications, traces,
-// retained-journal mirrors and filestore transactions. A DES kernel runs
+// journal entries, replication sub-ops, commit notifications, traces and
+// filestore transactions (the retained-journal mirror pools moved into the
+// store backends with the crash-replay log). A DES kernel runs
 // exactly one process at a time, so per-OSD (and per-cluster, for records
 // that migrate between daemons) free lists need no locking. Records are
 // recycled only at points where the pipeline provably holds no other
@@ -65,20 +66,6 @@ func (o *OSD) getTrace() *Trace {
 }
 
 func (o *OSD) putTrace(tr *Trace) { o.trFree = append(o.trFree, tr) }
-
-func (o *OSD) getRetained() *retainedEntry {
-	if n := len(o.retFree); n > 0 {
-		r := o.retFree[n-1]
-		o.retFree = o.retFree[:n-1]
-		return r
-	}
-	return &retainedEntry{}
-}
-
-func (o *OSD) putRetained(r *retainedEntry) {
-	*r = retainedEntry{}
-	o.retFree = append(o.retFree, r)
-}
 
 // getTx returns a transaction with reusable buffers: the PG-log and omap
 // value buffers are recycled (the kvstore copies values), while key strings

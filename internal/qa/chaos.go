@@ -40,7 +40,10 @@ type ChaosConfig struct {
 	CrashCycles int
 	Partition   bool
 	DiskFaults  bool
-	Seed        uint64
+	// Backend overrides the object-store backend on every OSD when
+	// non-empty ("filestore" / "directstore").
+	Backend string
+	Seed    uint64
 }
 
 // DefaultChaos returns the standard thrasher shape: a small AFCeph-profile
@@ -110,6 +113,7 @@ func RunChaos(cfg ChaosConfig) *ChaosResult {
 	p.Replicas = 2
 	p.VerifyData = true
 	p.Sustained = false
+	p.Backend = cfg.Backend
 	p.Seed = cfg.Seed
 	// The robustness layer: clients retry, heartbeats detect.
 	p.ClientOpTimeout = 50 * sim.Millisecond
@@ -279,8 +283,8 @@ func RunChaos(cfg ChaosConfig) *ChaosResult {
 		}
 	}
 	for id, o := range c.OSDs() {
-		if free, size := o.Journal().Free(), o.Journal().Size(); free != size {
-			res.violate("osd.%d journal not trimmed: %d/%d free", id, free, size)
+		if ops, bytes := o.Store().PendingOps(), o.Store().PendingBytes(); ops != 0 || bytes != 0 {
+			res.violate("osd.%d write-ahead state not drained: %d ops, %d bytes", id, ops, bytes)
 		}
 		if n := o.Dispatcher().QueueLen() + o.Dispatcher().PendingLen(); n != 0 {
 			res.violate("osd.%d op queue not drained: %d items", id, n)

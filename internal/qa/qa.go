@@ -13,8 +13,9 @@
 //  2. Completion: every submitted op completes.
 //  3. Replication: every written object ends up on exactly `Replicas`
 //     OSDs' filestores.
-//  4. Drain: after quiescing, journals are fully trimmed, filestore
-//     throttles fully released and OP queues are empty.
+//  4. Drain: after quiescing, the backend's write-ahead state (journal
+//     ring or KV WAL) is fully trimmed, filestore throttles fully released
+//     and OP queues are empty.
 package qa
 
 import (
@@ -43,7 +44,10 @@ type StressConfig struct {
 	// Nodes / OSDsPerNode shrink the cluster for fast runs.
 	Nodes       int
 	OSDsPerNode int
-	Seed        uint64
+	// Backend overrides the object-store backend on every OSD when
+	// non-empty ("filestore" / "directstore").
+	Backend string
+	Seed    uint64
 }
 
 // DefaultStress returns a moderate randomized workload.
@@ -91,6 +95,7 @@ func buildCluster(cfg StressConfig) *cluster.Cluster {
 	p.PGs = 128
 	p.VerifyData = true
 	p.Sustained = false
+	p.Backend = cfg.Backend
 	p.Seed = cfg.Seed
 	return cluster.New(p)
 }
@@ -181,8 +186,8 @@ func checkInvariants(c *cluster.Cluster, cfg StressConfig, res *Result, touched 
 	res.ObjectsWritten = len(touched)
 
 	for _, o := range c.OSDs() {
-		if free, size := o.Journal().Free(), o.Journal().Size(); free != size {
-			res.violate("osd journal not trimmed: %d/%d free", free, size)
+		if ops, bytes := o.Store().PendingOps(), o.Store().PendingBytes(); ops != 0 || bytes != 0 {
+			res.violate("osd write-ahead state not drained: %d ops, %d bytes", ops, bytes)
 		}
 		if avail, cap := o.FsThrottle().Available(), o.FsThrottle().Capacity(); avail != cap {
 			res.violate("filestore throttle leaked: %d/%d", avail, cap)

@@ -1,0 +1,272 @@
+package store
+
+import (
+	"strconv"
+
+	"repro/internal/cpumodel"
+	"repro/internal/filestore"
+	"repro/internal/kvstore"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// DirectConfig configures the direct-write backend.
+type DirectConfig struct {
+	// WALThreshold: writes of at most this many bytes ride the KV WAL
+	// (deferred write — payload committed with the metadata batch,
+	// flushed to the device extent after the ack). Larger writes go
+	// straight to the device with a metadata-only KV commit.
+	WALThreshold int64
+	// SyscallCost is the CPU charge per direct-I/O submission.
+	SyscallCost sim.Time
+}
+
+// DefaultDirectConfig returns flash-era defaults (BlueStore's deferred
+// threshold generation: 64 KiB).
+func DefaultDirectConfig() DirectConfig {
+	return DirectConfig{WALThreshold: 64 << 10, SyscallCost: 2 * sim.Microsecond}
+}
+
+// DirectStats aggregates direct-write backend activity.
+type DirectStats struct {
+	SmallWrites stats.Counter // commits whose payload rode the KV WAL
+	LargeWrites stats.Counter // commits written straight to the device
+	WALBytes    stats.Counter // payload bytes logged through the KV WAL
+	DirectBytes stats.Counter // payload bytes written directly at commit
+	Flushes     stats.Counter // deferred payloads flushed at apply
+	Replays     stats.Counter // deferred payloads flushed during crash replay
+}
+
+// DirectStore is a BlueStore-style backend: the commit point is a single
+// batched KV apply (PG log + omap + — for small writes — the data payload
+// itself in the WAL), so there is no journal double-write. Small-write
+// payloads are flushed from the WAL to their device extent after the ack;
+// large writes hit the device extent first and commit metadata only.
+// Object bookkeeping (sizes, versions, verification stamps) stays in the
+// shared filestore table so reads, scrub and recovery are backend-neutral.
+type DirectStore struct {
+	k    *sim.Kernel
+	fs   *filestore.FileStore
+	db   *kvstore.DB
+	node *cpumodel.Node
+	cfg  DirectConfig
+
+	rlog       replayLog
+	walPending int64 // committed-but-unflushed WAL payload bytes
+	walSeq     uint64
+	keyBuf     []byte
+	// Scratch pools for KV batches and WAL payload buffers: a worker can
+	// be parked inside db.Apply while another commits, so scratch is
+	// checked out per call rather than shared (cf. Transaction.kvScratch).
+	opsFree [][]kvstore.Op
+	valFree [][]byte
+
+	stats DirectStats
+}
+
+// NewDirectStore builds the backend over the filestore's object table,
+// device and KV store.
+func NewDirectStore(k *sim.Kernel, fs *filestore.FileStore, node *cpumodel.Node, cfg DirectConfig) *DirectStore {
+	def := DefaultDirectConfig()
+	if cfg.WALThreshold <= 0 {
+		cfg.WALThreshold = def.WALThreshold
+	}
+	if cfg.SyscallCost <= 0 {
+		cfg.SyscallCost = def.SyscallCost
+	}
+	return &DirectStore{k: k, fs: fs, db: fs.DB(), node: node, cfg: cfg}
+}
+
+// Name returns "directstore".
+func (d *DirectStore) Name() string { return BackendDirectStore }
+
+// MetaAtCommit is true: metadata commits atomically with (or before) the
+// data, in the commit-time KV batch.
+func (d *DirectStore) MetaAtCommit() bool { return true }
+
+// Reopen is a no-op: the KV store and device are durable state shared
+// across daemon generations; there is no per-generation ring.
+func (d *DirectStore) Reopen(string) {}
+
+// Stats returns live backend statistics.
+func (d *DirectStore) Stats() *DirectStats { return &d.stats }
+
+func (d *DirectStore) getOps() []kvstore.Op {
+	if n := len(d.opsFree); n > 0 {
+		s := d.opsFree[n-1]
+		d.opsFree = d.opsFree[:n-1]
+		return s[:0]
+	}
+	return nil
+}
+
+func (d *DirectStore) putOps(s []kvstore.Op) {
+	for i := range s {
+		s[i] = kvstore.Op{}
+	}
+	d.opsFree = append(d.opsFree, s)
+}
+
+func (d *DirectStore) getVal(n int64) []byte {
+	if m := len(d.valFree); m > 0 {
+		b := d.valFree[m-1]
+		d.valFree = d.valFree[:m-1]
+		if int64(cap(b)) >= n {
+			return b[:n]
+		}
+	}
+	return make([]byte, n, max64(n, 4096))
+}
+
+func (d *DirectStore) putVal(b []byte) { d.valFree = append(d.valFree, b) }
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Commit makes the write durable: one batched KV apply carrying the PG log
+// entry, the omap mutations and — for small writes — the data payload in
+// the WAL. Large writes hit the device extent first, so a crash between
+// the data write and the KV commit leaves unreferenced garbage, never torn
+// metadata.
+func (d *DirectStore) Commit(p *sim.Proc, t *Txn, meta *filestore.Transaction) {
+	ops := d.getOps()
+	var val []byte
+	t.small = t.Len > 0 && t.Len <= d.cfg.WALThreshold
+	if t.small {
+		d.walSeq++
+		b := append(d.keyBuf[:0], "dwal."...)
+		b = strconv.AppendUint(b, d.walSeq, 10)
+		d.keyBuf = b
+		t.walKey = string(b)
+		val = d.getVal(t.Len)
+		ops = append(ops, kvstore.Op{Key: t.walKey, Value: val})
+	} else if t.Len > 0 {
+		d.node.Use(p, d.cfg.SyscallCost)
+		d.fs.Device().Write(p, d.fs.DevOffset(t.OID, t.Off), t.Len)
+	}
+	if meta.PGLogKey != "" {
+		ops = append(ops, kvstore.Op{Key: meta.PGLogKey, Value: meta.PGLogValue})
+	}
+	ops = append(ops, meta.OmapOps...)
+	d.db.Apply(p, ops) // the durability point
+	d.putOps(ops)
+	if val != nil {
+		d.putVal(val)
+	}
+}
+
+// Committed makes the write visible (object table commit) and retains its
+// image for crash replay until the deferred flush lands.
+func (d *DirectStore) Committed(t *Txn) {
+	if t.small {
+		d.stats.SmallWrites.Inc()
+		d.stats.WALBytes.Add(uint64(t.Len))
+		d.walPending += t.Len
+	} else {
+		d.stats.LargeWrites.Inc()
+		if t.Len > 0 {
+			d.stats.DirectBytes.Add(uint64(t.Len))
+		}
+	}
+	d.fs.CommitObject(t.OID, t.Off, t.Len, t.Stamp)
+	d.rlog.retain(t)
+}
+
+// finish marks a retained entry applied exactly once, returning its WAL
+// credit. Both the apply path and crash replay can race to finish an entry
+// (a worker of a crashed generation resumes mid-apply); whoever gets there
+// first wins.
+func (d *DirectStore) finish(e *retained) {
+	if e.applied {
+		return
+	}
+	e.applied = true
+	if e.small {
+		d.walPending -= e.length
+	}
+}
+
+// Apply flushes a small write's payload from the WAL to its device extent
+// and deletes the WAL record; large writes were already placed at commit.
+func (d *DirectStore) Apply(p *sim.Proc, t *Txn, _ *filestore.Transaction) {
+	if t.small {
+		d.node.Use(p, d.cfg.SyscallCost)
+		d.fs.Device().Write(p, d.fs.DevOffset(t.OID, t.Off), t.Len)
+		ops := d.getOps()
+		ops = append(ops, kvstore.Op{Key: t.walKey, Delete: true})
+		d.db.Apply(p, ops)
+		d.putOps(ops)
+		d.stats.Flushes.Inc()
+	}
+	if t.ret != nil {
+		d.finish(t.ret)
+	}
+}
+
+// Applied compacts the replay image (the WAL credit was returned by Apply).
+func (d *DirectStore) Applied(t *Txn) { d.rlog.compact() }
+
+// Read delegates to the shared filestore read path.
+func (d *DirectStore) Read(p *sim.Proc, oid string, off, size int64) (uint64, bool) {
+	return d.fs.Read(p, oid, off, size)
+}
+
+// Replay finishes every committed-but-unflushed deferred write after a
+// crash: the payload is durable in the KV WAL, so it is written to its
+// device extent and the WAL record deleted. Metadata and object state
+// committed before the crash; there is nothing to rebuild for large
+// writes.
+func (d *DirectStore) Replay(p *sim.Proc, h ReplayHooks) int {
+	pending := d.rlog.takePending()
+	n := 0
+	for _, e := range pending {
+		if e.small {
+			d.node.Use(p, d.cfg.SyscallCost)
+			d.fs.Device().Write(p, d.fs.DevOffset(e.oid, e.off), e.length)
+			ops := d.getOps()
+			ops = append(ops, kvstore.Op{Key: e.walKey, Delete: true})
+			d.db.Apply(p, ops)
+			d.putOps(ops)
+			d.stats.Replays.Inc()
+		}
+		d.finish(e)
+		h.Applied(e.pg, e.seq, nil)
+		n++
+	}
+	return n
+}
+
+// UnappliedSeqs visits the committed-but-unflushed entries.
+func (d *DirectStore) UnappliedSeqs(fn func(pg uint32, seq uint64)) { d.rlog.unapplied(fn) }
+
+// PendingOps counts committed-but-unflushed entries.
+func (d *DirectStore) PendingOps() int { return d.rlog.pendingOps() }
+
+// PendingBytes is the committed-but-unflushed WAL payload.
+func (d *DirectStore) PendingBytes() int64 { return d.walPending }
+
+// WALFullStalls counts KV write stalls on the commit path (the direct
+// backend's analogue of a full journal ring).
+func (d *DirectStore) WALFullStalls() uint64 { return d.db.Stats().Stalls.Value() }
+
+// FileStore returns the shared object table/read engine.
+func (d *DirectStore) FileStore() *filestore.FileStore { return d.fs }
+
+// RegisterMetrics publishes the direct, filestore and KV subsystems.
+func (d *DirectStore) RegisterMetrics(r *metrics.Registry, prefix string) {
+	s := r.Sub(prefix + ".direct")
+	s.Counter("small_writes", &d.stats.SmallWrites)
+	s.Counter("large_writes", &d.stats.LargeWrites)
+	s.Counter("wal_bytes", &d.stats.WALBytes)
+	s.Counter("direct_bytes", &d.stats.DirectBytes)
+	s.Counter("flushes", &d.stats.Flushes)
+	s.Counter("replays", &d.stats.Replays)
+	s.Gauge("wal_pending_bytes", func() float64 { return float64(d.walPending) })
+	d.fs.RegisterMetrics(r.Sub(prefix + ".filestore"))
+	d.fs.DB().RegisterMetrics(r.Sub(prefix + ".kv"))
+}

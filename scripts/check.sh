@@ -5,14 +5,45 @@
 #   vet        static checks
 #   build      every package compiles
 #   test       full suite — unit, integration, recovery/chaos, determinism
+#              (shuffled, to catch test-order dependence)
 #   race       data-race detector: light infrastructure packages at full
 #              scale, the heavy engine packages (osd, core, cluster, qa)
 #              in -short mode — their suites are deterministic by
 #              construction but too slow under -race at full scale
 #   bench      one-iteration smoke over every benchmark (compile + run,
 #              no timing gate; scripts/bench.sh owns the regression gate)
+#
+# Usage: check.sh [race]
+#   (no arg)   run the full gate
+#   race       run only the race-detector passes (the Makefile's `race`
+#              target delegates here so the package lists live in exactly
+#              one place)
 set -eu
 cd "$(dirname "$0")/.."
+
+run_race() {
+    echo "== go test -race (light packages)"
+    go test -race ./internal/sim/ ./internal/rng/ ./internal/stats/ \
+        ./internal/crush/ ./internal/fault/ ./internal/netsim/ \
+        ./internal/oslog/ ./internal/journal/ ./internal/kvstore/ \
+        ./internal/trace/ ./internal/metrics/ ./internal/store/
+
+    echo "== go test -race -short (engine packages)"
+    go test -race -short ./internal/osd/ ./internal/core/ \
+        ./internal/cluster/ ./internal/qa/
+}
+
+case "${1:-all}" in
+race)
+    run_race
+    exit 0
+    ;;
+all) ;;
+*)
+    echo "usage: check.sh [race]" >&2
+    exit 2
+    ;;
+esac
 
 echo "== gofmt -l"
 UNFMT="$(gofmt -l .)"
@@ -28,18 +59,10 @@ go vet ./...
 echo "== go build ./..."
 go build ./...
 
-echo "== go test ./..."
-go test ./...
+echo "== go test -shuffle=on ./..."
+go test -shuffle=on ./...
 
-echo "== go test -race (light packages)"
-go test -race ./internal/sim/ ./internal/rng/ ./internal/stats/ \
-    ./internal/crush/ ./internal/fault/ ./internal/netsim/ \
-    ./internal/oslog/ ./internal/journal/ ./internal/kvstore/ \
-    ./internal/trace/ ./internal/metrics/
-
-echo "== go test -race -short (engine packages)"
-go test -race -short ./internal/osd/ ./internal/core/ \
-    ./internal/cluster/ ./internal/qa/
+run_race
 
 echo "== go test -bench=. -benchtime=1x (smoke)"
 go test -run '^$' -bench=. -benchtime=1x ./... >/dev/null
