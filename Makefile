@@ -1,13 +1,18 @@
 # Tier-1 gate and common entry points. `make check` is what CI runs and
 # what a change must pass before it lands (see README "Testing").
 
-.PHONY: check build test race vet bench bench-smoke bench-gate
+.PHONY: check build test race vet lint bench bench-smoke bench-gate
 
 check:
 	./scripts/check.sh
 
 vet:
 	go vet ./...
+
+# go vet + afvet, the project's own static-analysis suite (DESIGN.md §9).
+# The subcommand lives in check.sh so `make check` and `make lint` agree.
+lint:
+	./scripts/check.sh lint
 
 build:
 	go build ./...

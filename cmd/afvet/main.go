@@ -1,0 +1,81 @@
+// Command afvet runs the project's static-analysis suite (DESIGN.md §9)
+// over the given package patterns, in the style of a go/analysis
+// multichecker:
+//
+//	afvet ./...             run all five analyzers
+//	afvet -only determinism,logpath ./internal/osd
+//	afvet -list             print the analyzers and exit
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load error. Findings are
+// reported as file:line:col: analyzer: message. A finding is suppressed by
+// annotating the offending line (or the line above it) with
+//
+//	//afvet:allow <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	list := flag.Bool("list", false, "print the analyzers and exit")
+	only := flag.String("only", "", "comma-separated subset of analyzers to run")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: afvet [-list] [-only a,b] packages...\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	analyzers := analysis.All()
+	if *only != "" {
+		analyzers = nil
+		for _, name := range strings.Split(*only, ",") {
+			a := analysis.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "afvet: unknown analyzer %q (try -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+	if flag.NArg() == 0 {
+		flag.Usage()
+		return 2
+	}
+
+	pkgs, err := driver.Load("", flag.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "afvet: %v\n", err)
+		return 2
+	}
+	diags, err := driver.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "afvet: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "afvet: %d finding(s)\n", len(diags))
+		return 1
+	}
+	return 0
+}

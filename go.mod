@@ -1,3 +1,16 @@
 module repro
 
 go 1.22
+
+// Zero external requirements, deliberately: the build environment is
+// offline (no module proxy), so the afvet static-analysis suite
+// (internal/analysis, cmd/afvet) cannot pin golang.org/x/tools for
+// go/analysis + go/packages + analysistest. It instead runs on a
+// dependency-free equivalent (internal/analysis/driver: `go list
+// -export -deps -json` + go/importer export data, the same mechanism
+// go/packages uses) whose Analyzer/Pass/Diagnostic shapes mirror
+// x/tools. To port back online, add
+//
+//	require golang.org/x/tools v0.24.0
+//
+// and swap the driver/analysistest imports for the real packages.

@@ -1,0 +1,34 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/driver"
+)
+
+// TestAfvetCleanOnRepo runs the full multichecker over the real module and
+// requires zero findings: every violation in the production tree must be
+// fixed or carry a justified //afvet:allow annotation. This is the same
+// invocation `scripts/check.sh lint` gates on.
+func TestAfvetCleanOnRepo(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module; skipped in -short runs")
+	}
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := driver.Load(root, "./...")
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	diags, err := driver.Run(pkgs, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}

@@ -1,0 +1,100 @@
+// Package determinism rejects sources of run-to-run nondeterminism in the
+// packages whose output feeds figures and golden hashes. The simulator's
+// A/B comparisons and 20-seed chaos sweeps are only meaningful because two
+// runs with the same seed are bit-for-bit identical; one stray wall-clock
+// read or unordered map walk silently breaks that property in ways the
+// golden tests catch only when the perturbed value reaches a figure.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/driver"
+)
+
+// auditedPkgs are the package names whose state feeds golden hashes
+// (DESIGN.md §9). Matching is by package name so analysistest fixtures
+// exercise the production configuration.
+var auditedPkgs = []string{"sim", "osd", "store", "filestore", "figures", "qa"}
+
+// forbiddenImports are entropy sources that bypass repro/internal/rng.
+var forbiddenImports = map[string]bool{
+	"math/rand":    true,
+	"math/rand/v2": true,
+	"crypto/rand":  true,
+}
+
+// forbiddenCalls are wall-clock and process-identity reads, keyed by
+// package path then function name.
+var forbiddenCalls = map[string]map[string]bool{
+	"time": {
+		"Now": true, "Since": true, "Until": true, "After": true,
+		"Tick": true, "Sleep": true, "NewTimer": true, "NewTicker": true,
+		"AfterFunc": true,
+	},
+	"os": {
+		"Getpid": true, "Getppid": true, "Hostname": true, "Environ": true,
+	},
+}
+
+// Analyzer implements the determinism check.
+var Analyzer = &driver.Analyzer{
+	Name: "determinism",
+	Doc: "forbid wall-clock reads, ambient entropy, and unordered map iteration " +
+		"in packages feeding figures/golden hashes; randomness must come from " +
+		"repro/internal/rng and time from the simulation kernel (DESIGN.md §9)",
+	Run: run,
+}
+
+func run(pass *driver.Pass) error {
+	if !driver.PkgNamed(pass.Pkg, auditedPkgs...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, imp := range f.Imports {
+			path := importPath(imp)
+			if forbiddenImports[path] {
+				pass.Reportf(imp.Pos(),
+					"import %q is forbidden in deterministic package %q: use repro/internal/rng (seeded, forkable streams) instead",
+					path, pass.Pkg.Name())
+			}
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				fn := driver.CalleeFunc(pass.TypesInfo, n)
+				if fn == nil || fn.Pkg() == nil {
+					return true
+				}
+				if names, ok := forbiddenCalls[fn.Pkg().Path()]; ok && names[fn.Name()] {
+					pass.Reportf(n.Pos(),
+						"call to %s.%s reads wall-clock/host state; deterministic packages must use sim virtual time (p.Now) or repro/internal/rng",
+						fn.Pkg().Name(), fn.Name())
+				}
+			case *ast.RangeStmt:
+				tv, ok := pass.TypesInfo.Types[n.X]
+				if !ok {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+					pass.Reportf(n.Pos(),
+						"map iteration order is nondeterministic; iterate a sorted key slice, or annotate //afvet:allow determinism <why order cannot matter>")
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func importPath(imp *ast.ImportSpec) string {
+	if imp.Path == nil {
+		return ""
+	}
+	s := imp.Path.Value
+	if len(s) >= 2 {
+		return s[1 : len(s)-1]
+	}
+	return s
+}

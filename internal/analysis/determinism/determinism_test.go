@@ -1,0 +1,14 @@
+package determinism_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), determinism.Analyzer,
+		"determinism/osd", "determinism/util")
+}

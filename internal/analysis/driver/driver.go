@@ -1,0 +1,177 @@
+// Package driver is a minimal, dependency-free equivalent of the
+// golang.org/x/tools/go/analysis framework, sized for this repository's
+// needs. The build environment is offline and the module deliberately has
+// no external requirements, so instead of depending on x/tools the afvet
+// suite runs on this driver: the Analyzer/Pass/Diagnostic shapes mirror
+// go/analysis closely enough that the five checkers could be ported to the
+// real framework by changing imports.
+//
+// The driver loads packages by shelling out to `go list -export -deps
+// -json` (the same mechanism go/packages uses), parses the target
+// packages' sources, and typechecks them against the compiler's export
+// data for every dependency — no source re-typechecking of the standard
+// library, no network, no GOPATH assumptions.
+//
+// Suppression: a diagnostic is suppressed when the offending line, or the
+// line directly above it, carries a comment of the form
+//
+//	//afvet:allow <analyzer> <reason>
+//
+// The analyzer name must match (or be "all") and a non-empty reason is
+// mandatory — an annotation without a justification does not suppress.
+package driver
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer describes one static check. It mirrors analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //afvet:allow annotations.
+	Name string
+	// Doc is a one-paragraph description of what the analyzer enforces,
+	// ending with a pointer to the written invariant it checks.
+	Doc string
+	// Run is invoked once per loaded package.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's syntax and type information to an analyzer.
+// It mirrors analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, with a resolved file position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics sorted by position. Diagnostics silenced by a valid
+// //afvet:allow annotation are dropped.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allows := collectAllows(pkg)
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				diags:     &pkgDiags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+			}
+		}
+		for _, d := range pkgDiags {
+			if !allows.suppresses(d) {
+				diags = append(diags, d)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}
+
+// allowKey addresses one annotated line of one file.
+type allowKey struct {
+	file string
+	line int
+}
+
+type allowSet map[allowKey][]string // analyzer names allowed at that line
+
+// collectAllows gathers valid //afvet:allow annotations from a package's
+// comments. The annotation must name an analyzer (or "all") and carry at
+// least one word of justification.
+func collectAllows(pkg *Package) allowSet {
+	set := allowSet{}
+	for _, f := range pkg.Syntax {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, "afvet:allow") {
+					continue
+				}
+				fields := strings.Fields(strings.TrimPrefix(text, "afvet:allow"))
+				if len(fields) < 2 {
+					continue // no reason given: annotation does not count
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				k := allowKey{file: pos.Filename, line: pos.Line}
+				set[k] = append(set[k], fields[0])
+			}
+		}
+	}
+	return set
+}
+
+// suppresses reports whether d is silenced by an annotation on its own
+// line or the line directly above.
+func (s allowSet) suppresses(d Diagnostic) bool {
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, name := range s[allowKey{file: d.Pos.Filename, line: line}] {
+			if name == d.Analyzer || name == "all" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// PkgNamed reports whether the package's name is one of names. The afvet
+// analyzers scope their audits by package name (osd, sim, store, ...) so
+// that analysistest fixture packages under testdata/src/<case>/<name>
+// exercise exactly the production configuration.
+func PkgNamed(pkg *types.Package, names ...string) bool {
+	for _, n := range names {
+		if pkg.Name() == n {
+			return true
+		}
+	}
+	return false
+}

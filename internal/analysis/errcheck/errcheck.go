@@ -1,0 +1,94 @@
+// Package errcheck is a scoped errcheck: it flags discarded error results
+// from the durability-critical write-path packages — journal, kvstore,
+// filestore, and the store.Backend seam. Today those APIs are infallible
+// (the simulated devices fail via fault injection, not error returns), so
+// the repository is trivially clean; the analyzer is the gate that keeps a
+// future fallible API — an on-host backend, a real WAL — from being called
+// fire-and-forget on the commit path, where a swallowed error becomes a
+// silently-lost acked write.
+package errcheck
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/driver"
+)
+
+// targetPkgs are the packages (matched by name, see driver.PkgNamed) whose
+// error returns must never be dropped.
+var targetPkgs = map[string]bool{
+	"journal": true, "kvstore": true, "filestore": true, "store": true,
+}
+
+// Analyzer implements the errcheck-lite check.
+var Analyzer = &driver.Analyzer{
+	Name: "errcheck",
+	Doc: "errors returned by journal, kvstore, filestore, and store.Backend " +
+		"write-path methods must be handled, not discarded; a dropped commit " +
+		"error is a lost acked write (DESIGN.md §9)",
+	Run: run,
+}
+
+func run(pass *driver.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					reportDropped(pass, call, nil)
+				}
+			case *ast.GoStmt:
+				reportDropped(pass, n.Call, nil)
+			case *ast.DeferStmt:
+				reportDropped(pass, n.Call, nil)
+			case *ast.AssignStmt:
+				if len(n.Rhs) == 1 {
+					if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok {
+						reportDropped(pass, call, n.Lhs)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// reportDropped reports call if its callee is a write-path function whose
+// error result is discarded: the call is a statement (lhs == nil) or the
+// error's assignment position is the blank identifier.
+func reportDropped(pass *driver.Pass, call *ast.CallExpr, lhs []ast.Expr) {
+	fn := driver.CalleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil || !targetPkgs[fn.Pkg().Name()] {
+		return
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if !isErrorType(res.At(i).Type()) {
+			continue
+		}
+		dropped := lhs == nil ||
+			(len(lhs) == res.Len() && isBlank(lhs[i])) ||
+			(len(lhs) == 1 && res.Len() == 1 && isBlank(lhs[0]))
+		if dropped {
+			pass.Reportf(call.Pos(),
+				"error result of %s.%s is discarded; write-path errors must be handled (DESIGN.md §9)",
+				fn.Pkg().Name(), fn.Name())
+			return
+		}
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,14 @@
+package errcheck_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/errcheck"
+)
+
+func TestErrcheck(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), errcheck.Analyzer,
+		"errcheck/kvstore", "errcheck/caller")
+}

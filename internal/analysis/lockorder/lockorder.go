@@ -1,0 +1,442 @@
+// Package lockorder statically enforces the simulator's lock hierarchy
+// (DESIGN.md §9): the PG/shard lock is the outermost lock, the filestore
+// dirty-list mutex nests inside it, and the kvstore mutex is innermost.
+// Acquiring against that order — or acquiring the same class twice — is
+// how the DES deadlocks (sim.Mutex is not reentrant and a parked process
+// never wakes). It also enforces the completion-batching rule that a
+// dynamic callback (a pooled completion, an unlock hook) never runs with
+// two locks held: the §3.1 batching design works precisely because each
+// batch runs its callbacks under exactly one shard lock.
+//
+// The check is intraprocedural with one level of same-package call
+// summaries: a call to a function that itself acquires a lock class is
+// treated as an acquisition at the call site.
+package lockorder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/driver"
+)
+
+// Lock classes, outermost-first. Rank order is the documented acquisition
+// order: a lock may only be acquired while holding locks of strictly
+// lower rank.
+const (
+	classUnknown = iota
+	classPG      // core.ShardLocks shard (PG) mutex
+	classDirty   // filestore dirty-list mutex (field dirtyMu)
+	classKV      // kvstore LSM mutex (field mu)
+)
+
+var className = map[int]string{
+	classPG:    "PG/shard lock",
+	classDirty: "filestore dirty-list mutex",
+	classKV:    "kvstore mutex",
+}
+
+// Analyzer implements the lockorder check.
+var Analyzer = &driver.Analyzer{
+	Name: "lockorder",
+	Doc: "sim.Mutex acquisitions must follow the documented order " +
+		"PG/shard -> filestore dirty -> kvstore, never nest the same class, " +
+		"and never invoke a callback with two locks held (DESIGN.md §9)",
+	Run: run,
+}
+
+type heldLock struct {
+	class int
+	expr  string
+	pos   token.Pos
+}
+
+type checker struct {
+	pass     *driver.Pass
+	varClass map[*types.Var]int
+	// summary maps same-package functions to the set of lock classes they
+	// acquire anywhere in their body.
+	summary map[*types.Func]map[int]bool
+}
+
+func run(pass *driver.Pass) error {
+	c := &checker{
+		pass:     pass,
+		varClass: map[*types.Var]int{},
+		summary:  map[*types.Func]map[int]bool{},
+	}
+	// Pass 1: variable provenance (lock := locks.Get(pg)) and per-function
+	// acquisition summaries.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if as, ok := n.(*ast.AssignStmt); ok {
+				c.trackAssign(as)
+			}
+			return true
+		})
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			acq := map[int]bool{}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if recv, kind := c.lockCall(call); kind == "Lock" {
+					if cls := c.classify(recv); cls != classUnknown {
+						acq[cls] = true
+					}
+				}
+				return true
+			})
+			if len(acq) > 0 {
+				c.summary[fn] = acq
+			}
+		}
+	}
+	// Pass 2: simulate acquisition order through each function body.
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				var held []heldLock
+				c.walkStmts(fd.Body.List, &held)
+			}
+		}
+	}
+	return nil
+}
+
+// trackAssign records lock-class provenance for simple assignments like
+// `lock := eng.locks.Get(pg)`.
+func (c *checker) trackAssign(as *ast.AssignStmt) {
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := ast.Unparen(lhs).(*ast.Ident)
+		if !ok {
+			continue
+		}
+		cls := c.classify(as.Rhs[i])
+		if cls == classUnknown {
+			continue
+		}
+		if v, ok := c.pass.TypesInfo.Defs[id].(*types.Var); ok {
+			c.varClass[v] = cls
+		} else if v, ok := c.pass.TypesInfo.Uses[id].(*types.Var); ok {
+			c.varClass[v] = cls
+		}
+	}
+}
+
+// classify maps an expression denoting a mutex to its lock class.
+func (c *checker) classify(e ast.Expr) int {
+	e = ast.Unparen(e)
+	switch e := e.(type) {
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			return c.classify(e.X)
+		}
+	case *ast.CallExpr:
+		// core.(*ShardLocks).Get(shard) hands out a PG/shard lock.
+		fn := driver.CalleeFunc(c.pass.TypesInfo, e)
+		if fn != nil && fn.Name() == "Get" && driver.NamedIs(driver.RecvNamed(fn), "core", "ShardLocks") {
+			return classPG
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := c.pass.TypesInfo.Selections[e]; ok && sel.Kind() == types.FieldVal {
+			pkg := typePkgName(sel.Recv())
+			switch {
+			case e.Sel.Name == "dirtyMu" && pkg == "filestore":
+				return classDirty
+			case e.Sel.Name == "mu" && pkg == "kvstore":
+				return classKV
+			}
+		}
+	case *ast.Ident:
+		if v, ok := c.pass.TypesInfo.Uses[e].(*types.Var); ok {
+			return c.varClass[v]
+		}
+	}
+	return classUnknown
+}
+
+// lockCall returns (receiver, "Lock"|"Unlock") when call is a sim.Mutex
+// Lock/Unlock method call, else ("", "").
+func (c *checker) lockCall(call *ast.CallExpr) (ast.Expr, string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, ""
+	}
+	name := sel.Sel.Name
+	if name != "Lock" && name != "Unlock" {
+		return nil, ""
+	}
+	fn := driver.CalleeFunc(c.pass.TypesInfo, call)
+	if fn == nil || !driver.NamedIs(driver.RecvNamed(fn), "sim", "Mutex") {
+		return nil, ""
+	}
+	return sel.X, name
+}
+
+// walkStmts simulates the statement list in order, tracking held locks.
+// Branch bodies run on copies of the held set and are discarded afterward:
+// critical sections are expected to be balanced within a branch, and an
+// unbalanced branch must not poison the analysis of the fall-through path.
+func (c *checker) walkStmts(list []ast.Stmt, held *[]heldLock) {
+	for _, st := range list {
+		c.walkStmt(st, held)
+	}
+}
+
+func (c *checker) walkStmt(st ast.Stmt, held *[]heldLock) {
+	switch st := st.(type) {
+	case *ast.BlockStmt:
+		c.walkStmts(st.List, held)
+	case *ast.LabeledStmt:
+		c.walkStmt(st.Stmt, held)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			c.walkStmt(st.Init, held)
+		}
+		c.scanExpr(st.Cond, held)
+		branch := copyHeld(*held)
+		c.walkStmt(st.Body, &branch)
+		if st.Else != nil {
+			branch = copyHeld(*held)
+			c.walkStmt(st.Else, &branch)
+		}
+	case *ast.ForStmt:
+		if st.Init != nil {
+			c.walkStmt(st.Init, held)
+		}
+		if st.Cond != nil {
+			c.scanExpr(st.Cond, held)
+		}
+		branch := copyHeld(*held)
+		c.walkStmt(st.Body, &branch)
+	case *ast.RangeStmt:
+		c.scanExpr(st.X, held)
+		branch := copyHeld(*held)
+		c.walkStmt(st.Body, &branch)
+	case *ast.SwitchStmt:
+		if st.Init != nil {
+			c.walkStmt(st.Init, held)
+		}
+		if st.Tag != nil {
+			c.scanExpr(st.Tag, held)
+		}
+		for _, cc := range st.Body.List {
+			branch := copyHeld(*held)
+			c.walkStmts(cc.(*ast.CaseClause).Body, &branch)
+		}
+	case *ast.TypeSwitchStmt:
+		for _, cc := range st.Body.List {
+			branch := copyHeld(*held)
+			c.walkStmts(cc.(*ast.CaseClause).Body, &branch)
+		}
+	case *ast.SelectStmt:
+		for _, cc := range st.Body.List {
+			branch := copyHeld(*held)
+			c.walkStmts(cc.(*ast.CommClause).Body, &branch)
+		}
+	case *ast.DeferStmt:
+		// `defer mu.Unlock(p)` pairs with the acquisition for the rest of
+		// the function; treat it as releasing for tracking purposes.
+		if recv, kind := c.lockCall(st.Call); kind == "Unlock" {
+			c.release(recv, held)
+			return
+		}
+		c.scanExpr(st.Call, held)
+	case *ast.GoStmt:
+		// The spawned body runs as its own process with no inherited
+		// locks; its func literal is scanned with an empty held set.
+		c.scanExpr(st.Call, held)
+	case *ast.ExprStmt:
+		c.scanExpr(st.X, held)
+	case *ast.AssignStmt:
+		c.trackAssign(st)
+		for _, e := range st.Rhs {
+			c.scanExpr(e, held)
+		}
+	case *ast.ReturnStmt:
+		for _, e := range st.Results {
+			c.scanExpr(e, held)
+		}
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt, *ast.BranchStmt, *ast.EmptyStmt:
+		ast.Inspect(st, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok {
+				c.scanExpr(e, held)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+// scanExpr processes every call in e (in syntactic order), updating and
+// checking the held set. Func literal bodies are walked with a fresh held
+// set: in this codebase they run later, as spawned processes or queued
+// callbacks, not inline under the caller's locks.
+func (c *checker) scanExpr(e ast.Expr, held *[]heldLock) {
+	if e == nil {
+		return
+	}
+	ast.Inspect(e, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			var fresh []heldLock
+			c.walkStmts(fl.Body.List, &fresh)
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		c.checkCall(call, held)
+		return true
+	})
+}
+
+func (c *checker) checkCall(call *ast.CallExpr, held *[]heldLock) {
+	if recv, kind := c.lockCall(call); kind != "" {
+		cls := c.classify(recv)
+		if kind == "Unlock" {
+			c.release(recv, held)
+			return
+		}
+		c.acquire(call, cls, recv, held)
+		return
+	}
+	fn := driver.CalleeFunc(c.pass.TypesInfo, call)
+	if fn == nil {
+		// Dynamic call: a func-typed variable, field, or parameter —
+		// i.e. a callback. Exclude conversions and builtins.
+		if c.isDynamicCall(call) && len(*held) >= 2 {
+			c.pass.Reportf(call.Pos(),
+				"callback invoked while holding %d locks (%s); completion callbacks must run under at most one lock (DESIGN.md §9)",
+				len(*held), heldNames(*held))
+		}
+		return
+	}
+	// Same-package call summary: treat the callee's acquisitions as
+	// happening here.
+	if acq, ok := c.summary[fn]; ok && len(*held) > 0 {
+		for cls := range acq {
+			for _, h := range *held {
+				if h.class == classUnknown || cls == classUnknown {
+					continue
+				}
+				if h.class == cls {
+					c.pass.Reportf(call.Pos(),
+						"call to %s acquires the %s while it is already held (acquired %s); sim.Mutex is not reentrant (DESIGN.md §9)",
+						fn.Name(), className[cls], c.pos(h.pos))
+				} else if h.class > cls {
+					c.pass.Reportf(call.Pos(),
+						"call to %s acquires the %s while holding the %s; documented order is PG/shard -> filestore dirty -> kvstore (DESIGN.md §9)",
+						fn.Name(), className[cls], className[h.class])
+				}
+			}
+		}
+	}
+}
+
+func (c *checker) acquire(call *ast.CallExpr, cls int, recv ast.Expr, held *[]heldLock) {
+	for _, h := range *held {
+		if h.class == classUnknown || cls == classUnknown {
+			continue
+		}
+		if h.class == cls {
+			c.pass.Reportf(call.Pos(),
+				"acquiring the %s while already holding it (acquired %s); sim.Mutex is not reentrant (DESIGN.md §9)",
+				className[cls], c.pos(h.pos))
+		} else if h.class > cls {
+			c.pass.Reportf(call.Pos(),
+				"lock order violation: acquiring the %s while holding the %s; documented order is PG/shard -> filestore dirty -> kvstore (DESIGN.md §9)",
+				className[cls], className[h.class])
+		}
+	}
+	*held = append(*held, heldLock{class: cls, expr: types.ExprString(recv), pos: call.Pos()})
+}
+
+// release removes the most recent matching acquisition: by expression
+// text first, then by class.
+func (c *checker) release(recv ast.Expr, held *[]heldLock) {
+	expr := types.ExprString(recv)
+	for i := len(*held) - 1; i >= 0; i-- {
+		if (*held)[i].expr == expr {
+			*held = append((*held)[:i], (*held)[i+1:]...)
+			return
+		}
+	}
+	cls := c.classify(recv)
+	for i := len(*held) - 1; i >= 0; i-- {
+		if (*held)[i].class == cls {
+			*held = append((*held)[:i], (*held)[i+1:]...)
+			return
+		}
+	}
+}
+
+// isDynamicCall reports whether call invokes a func value (not a declared
+// function, method, builtin, conversion, or immediately-invoked literal).
+func (c *checker) isDynamicCall(call *ast.CallExpr) bool {
+	fun := ast.Unparen(call.Fun)
+	if _, ok := fun.(*ast.FuncLit); ok {
+		return false
+	}
+	tv, ok := c.pass.TypesInfo.Types[fun]
+	if !ok || tv.IsType() || tv.IsBuiltin() {
+		return false
+	}
+	_, isSig := tv.Type.Underlying().(*types.Signature)
+	return isSig
+}
+
+func (c *checker) pos(p token.Pos) string {
+	pos := c.pass.Fset.Position(p)
+	return pos.String()
+}
+
+func heldNames(held []heldLock) string {
+	s := ""
+	for i, h := range held {
+		if i > 0 {
+			s += ", "
+		}
+		if n, ok := className[h.class]; ok {
+			s += n
+		} else {
+			s += h.expr
+		}
+	}
+	return s
+}
+
+func copyHeld(h []heldLock) []heldLock {
+	out := make([]heldLock, len(h))
+	copy(out, h)
+	return out
+}
+
+// typePkgName returns the name of the package declaring t's named type
+// (through one pointer), or "".
+func typePkgName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return ""
+	}
+	return named.Obj().Pkg().Name()
+}

@@ -1,0 +1,14 @@
+package lockorder_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/lockorder"
+)
+
+func TestLockorder(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), lockorder.Analyzer,
+		"lockorder/osd", "lockorder/filestore", "lockorder/kvstore")
+}

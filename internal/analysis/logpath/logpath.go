@@ -1,0 +1,103 @@
+// Package logpath enforces the paper's §4 non-blocking-logging rule as a
+// lint: op-path packages must not call blocking console I/O. A synchronous
+// fmt.Printf on the commit path serializes every OSD worker behind one
+// file descriptor — exactly the class of hidden stall the paper removes by
+// routing per-stage logging through a non-blocking ring (internal/oslog).
+package logpath
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/driver"
+)
+
+// auditedPkgs are the op-path packages (DESIGN.md §9): everything that
+// executes while a client write is in flight.
+var auditedPkgs = []string{
+	"sim", "osd", "store", "filestore", "journal", "kvstore",
+	"core", "netsim", "trace", "device",
+}
+
+// printFuncs are fmt functions that write to os.Stdout implicitly.
+var printFuncs = map[string]bool{"Print": true, "Printf": true, "Println": true}
+
+// fprintFuncs write to an explicit writer; they are flagged only when that
+// writer is os.Stdout or os.Stderr (writing to a strings.Builder is fine).
+var fprintFuncs = map[string]bool{"Fprint": true, "Fprintf": true, "Fprintln": true}
+
+// Analyzer implements the logpath check.
+var Analyzer = &driver.Analyzer{
+	Name: "logpath",
+	Doc: "forbid blocking console I/O (fmt.Print*, log.*, println, writes to " +
+		"os.Stdout/os.Stderr) in op-path packages; per-op logging must go through " +
+		"repro/internal/oslog, the non-blocking ring of the paper's §4 (DESIGN.md §9)",
+	Run: run,
+}
+
+func run(pass *driver.Pass) error {
+	if !driver.PkgNamed(pass.Pkg, auditedPkgs...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// Builtin print/println also write to standard error.
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok &&
+					(b.Name() == "print" || b.Name() == "println") {
+					pass.Reportf(call.Pos(),
+						"builtin %s blocks on standard error; use repro/internal/oslog on the op path", b.Name())
+					return true
+				}
+			}
+			fn := driver.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "fmt":
+				if printFuncs[fn.Name()] {
+					pass.Reportf(call.Pos(),
+						"fmt.%s blocks on stdout; op-path logging must use repro/internal/oslog (non-blocking ring, §4)", fn.Name())
+				}
+				if fprintFuncs[fn.Name()] && len(call.Args) > 0 && isStdStream(pass.TypesInfo, call.Args[0]) {
+					pass.Reportf(call.Pos(),
+						"fmt.%s to os.Stdout/os.Stderr blocks the op path; use repro/internal/oslog (non-blocking ring, §4)", fn.Name())
+				}
+			case "log":
+				pass.Reportf(call.Pos(),
+					"log.%s is synchronous console I/O; op-path logging must use repro/internal/oslog (non-blocking ring, §4)", fn.Name())
+			}
+			// Direct writes: os.Stdout.Write / os.Stderr.WriteString.
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok && isStdStream(pass.TypesInfo, sel.X) {
+				pass.Reportf(call.Pos(),
+					"direct write to os.%s blocks the op path; use repro/internal/oslog (non-blocking ring, §4)",
+					stdStreamName(pass.TypesInfo, sel.X))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isStdStream reports whether e denotes os.Stdout or os.Stderr.
+func isStdStream(info *types.Info, e ast.Expr) bool { return stdStreamName(info, e) != "" }
+
+func stdStreamName(info *types.Info, e ast.Expr) string {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	v, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Pkg().Path() != "os" {
+		return ""
+	}
+	if v.Name() == "Stdout" || v.Name() == "Stderr" {
+		return v.Name()
+	}
+	return ""
+}

@@ -1,0 +1,14 @@
+package logpath_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/logpath"
+)
+
+func TestLogpath(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), logpath.Analyzer,
+		"logpath/osd", "logpath/util")
+}

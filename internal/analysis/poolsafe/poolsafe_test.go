@@ -1,0 +1,14 @@
+package poolsafe_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/poolsafe"
+)
+
+func TestPoolsafe(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), poolsafe.Analyzer,
+		"poolsafe/osd")
+}

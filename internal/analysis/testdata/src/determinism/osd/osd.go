@@ -1,0 +1,37 @@
+// Package osd is an afvet fixture: it carries the name of an audited
+// package so the determinism analyzer applies its production rules.
+package osd
+
+import (
+	"math/rand" // want `import "math/rand" is forbidden in deterministic package "osd"`
+	"os"
+	"time"
+)
+
+func wallClock() time.Duration {
+	t0 := time.Now()      // want `call to time.Now reads wall-clock/host state`
+	return time.Since(t0) // want `call to time.Since reads wall-clock/host state`
+}
+
+func entropy() int {
+	pid := os.Getpid() // want `call to os.Getpid reads wall-clock/host state`
+	return pid + rand.Int()
+}
+
+func sum(m map[string]int) int {
+	s := 0
+	for _, v := range m { // want `map iteration order is nondeterministic`
+		s += v
+	}
+	return s
+}
+
+// sumAllowed proves a justified annotation suppresses the map-range
+// diagnostic: this range must produce no finding.
+func sumAllowed(m map[string]int) int {
+	s := 0
+	for _, v := range m { //afvet:allow determinism summing ints is order-insensitive
+		s += v
+	}
+	return s
+}

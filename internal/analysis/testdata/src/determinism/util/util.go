@@ -1,0 +1,19 @@
+// Package util is an afvet fixture control: it is not an audited package
+// name, so the determinism analyzer must stay silent despite wall-clock
+// reads and map iteration.
+package util
+
+import "time"
+
+func wallClock() time.Duration {
+	t0 := time.Now()
+	return time.Since(t0)
+}
+
+func sum(m map[string]int) int {
+	s := 0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}

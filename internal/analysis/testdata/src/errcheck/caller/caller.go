@@ -1,0 +1,23 @@
+// Package caller is an afvet fixture that discards errors returned by a
+// package named kvstore, which errcheck must flag.
+package caller
+
+import kv "repro/internal/analysis/testdata/src/errcheck/kvstore"
+
+func use(db *kv.DB) error {
+	db.Put("a", nil)       // want `error result of kvstore.Put is discarded`
+	_ = db.Put("b", nil)   // want `error result of kvstore.Put is discarded`
+	_, _ = db.Sync()       // want `error result of kvstore.Sync is discarded`
+	defer db.Put("c", nil) // want `error result of kvstore.Put is discarded`
+	if err := db.Put("d", nil); err != nil {
+		return err
+	}
+	n, err := db.Sync()
+	_ = n
+	return err
+}
+
+func open() *kv.DB {
+	db, _ := kv.Open("x") // want `error result of kvstore.Open is discarded`
+	return db
+}

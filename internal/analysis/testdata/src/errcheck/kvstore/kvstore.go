@@ -1,0 +1,20 @@
+// Package kvstore is an afvet fixture: a fallible write-path API carrying
+// a target package name. Defining it produces no findings; discarding its
+// errors (see the caller fixture) does.
+package kvstore
+
+import "errors"
+
+var errFull = errors.New("wal full")
+
+// DB is a stand-in for a fallible key-value store.
+type DB struct{}
+
+// Put writes one key.
+func (db *DB) Put(key string, v []byte) error { return errFull }
+
+// Sync flushes the WAL, returning the bytes written.
+func (db *DB) Sync() (int, error) { return 0, errFull }
+
+// Open opens a store.
+func Open(path string) (*DB, error) { return nil, errFull }

@@ -1,0 +1,37 @@
+// Package filestore is an afvet fixture: its name and dirtyMu field mirror
+// the real filestore so the lockorder analyzer classifies the mutex as the
+// dirty-list lock (rank 2, inside the PG/shard lock).
+package filestore
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// FileStore is a stand-in carrying the dirty-list mutex.
+type FileStore struct {
+	dirtyMu *sim.Mutex
+}
+
+func (f *FileStore) orderOK(p *sim.Proc, locks *core.ShardLocks) {
+	l := locks.Get(1)
+	l.Lock(p)
+	f.dirtyMu.Lock(p)
+	f.dirtyMu.Unlock(p)
+	l.Unlock(p)
+}
+
+func (f *FileStore) orderBad(p *sim.Proc, locks *core.ShardLocks) {
+	f.dirtyMu.Lock(p)
+	l := locks.Get(2)
+	l.Lock(p) // want `lock order violation: acquiring the PG/shard lock while holding the filestore dirty-list mutex`
+	l.Unlock(p)
+	f.dirtyMu.Unlock(p)
+}
+
+func (f *FileStore) doubleDirty(p *sim.Proc) {
+	f.dirtyMu.Lock(p)
+	f.dirtyMu.Lock(p) // want `acquiring the filestore dirty-list mutex while already holding it`
+	f.dirtyMu.Unlock(p)
+	f.dirtyMu.Unlock(p)
+}

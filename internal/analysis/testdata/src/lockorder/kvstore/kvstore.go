@@ -1,0 +1,29 @@
+// Package kvstore is an afvet fixture: its name and mu field mirror the
+// real kvstore so the lockorder analyzer classifies the mutex as the
+// innermost (rank 3) lock.
+package kvstore
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// DB is a stand-in carrying the kvstore mutex.
+type DB struct {
+	mu *sim.Mutex
+}
+
+func (db *DB) flushBad(p *sim.Proc, locks *core.ShardLocks) {
+	db.mu.Lock(p)
+	locks.Get(2).Lock(p) // want `lock order violation: acquiring the PG/shard lock while holding the kvstore mutex`
+	locks.Get(2).Unlock(p)
+	db.mu.Unlock(p)
+}
+
+func (db *DB) getOK(p *sim.Proc, locks *core.ShardLocks) {
+	l := locks.Get(3)
+	l.Lock(p)
+	db.mu.Lock(p)
+	db.mu.Unlock(p)
+	l.Unlock(p)
+}

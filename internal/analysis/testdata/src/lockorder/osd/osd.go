@@ -1,0 +1,64 @@
+// Package osd is an afvet fixture exercising the lockorder analyzer
+// against the real simulation primitives: same-class nesting of PG/shard
+// locks, nesting through a same-package call, and the callback-under-two-
+// locks rule.
+package osd
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func doubleShard(p *sim.Proc, locks *core.ShardLocks) {
+	a := locks.Get(1)
+	b := locks.Get(2)
+	a.Lock(p)
+	b.Lock(p) // want `acquiring the PG/shard lock while already holding it`
+	b.Unlock(p)
+	a.Unlock(p)
+}
+
+func lockHelper(p *sim.Proc, locks *core.ShardLocks) {
+	l := locks.Get(3)
+	l.Lock(p)
+	l.Unlock(p)
+}
+
+func nestedViaCall(p *sim.Proc, locks *core.ShardLocks) {
+	l := locks.Get(4)
+	l.Lock(p)
+	lockHelper(p, locks) // want `call to lockHelper acquires the PG/shard lock while it is already held`
+	l.Unlock(p)
+}
+
+func callbackUnderTwo(p *sim.Proc, k *sim.Kernel, fn func()) {
+	a := sim.NewMutex(k, "a")
+	b := sim.NewMutex(k, "b")
+	a.Lock(p)
+	b.Lock(p)
+	fn() // want `callback invoked while holding 2 locks`
+	b.Unlock(p)
+	a.Unlock(p)
+}
+
+func callbackUnderOne(p *sim.Proc, locks *core.ShardLocks, fn func()) {
+	l := locks.Get(5)
+	l.Lock(p)
+	fn()
+	l.Unlock(p)
+}
+
+func balancedReuse(p *sim.Proc, locks *core.ShardLocks) {
+	l := locks.Get(6)
+	l.Lock(p)
+	l.Unlock(p)
+	l.Lock(p)
+	l.Unlock(p)
+}
+
+func deferredUnlock(p *sim.Proc, locks *core.ShardLocks, fn func()) {
+	l := locks.Get(7)
+	l.Lock(p)
+	defer l.Unlock(p)
+	fn()
+}

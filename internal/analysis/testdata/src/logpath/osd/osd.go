@@ -1,0 +1,26 @@
+// Package osd is an afvet fixture: it carries the name of an op-path
+// package so the logpath analyzer applies its production rules.
+package osd
+
+import (
+	"fmt"
+	"log"
+	"os"
+)
+
+func opPath(v int) {
+	fmt.Println("committed", v)         // want `fmt.Println blocks on stdout`
+	fmt.Printf("seq=%d\n", v)           // want `fmt.Printf blocks on stdout`
+	fmt.Fprintf(os.Stderr, "x %d\n", v) // want `fmt.Fprintf to os.Stdout/os.Stderr blocks the op path`
+	log.Printf("op %d", v)              // want `log.Printf is synchronous console I/O`
+	println("dbg")                      // want `builtin println blocks on standard error`
+	os.Stdout.WriteString("y")          // want `direct write to os.Stdout blocks the op path`
+}
+
+// okPath exercises the non-blocking fmt functions that must not fire.
+func okPath(v int) (string, error) {
+	var sb fmt.Stringer
+	_ = sb
+	s := fmt.Sprintf("op %d", v)
+	return s, fmt.Errorf("op %d", v)
+}

@@ -1,0 +1,9 @@
+// Package util is an afvet fixture control: it is not an op-path package
+// name, so the logpath analyzer must stay silent despite console I/O.
+package util
+
+import "fmt"
+
+func report(v int) {
+	fmt.Println("total", v)
+}

@@ -1,0 +1,60 @@
+// Package osd is an afvet fixture for pooled-object lifetime discipline:
+// a free-list pool with a put helper, plus functions that use, retain, or
+// capture a record around its release.
+package osd
+
+type op struct {
+	id   int
+	next *op
+}
+
+type engine struct {
+	opFree []*op
+	inbox  []*op
+	last   *op
+}
+
+// putOp recycles a record: afvet treats the unexported put* helper (and
+// the append to the *Free field inside it) as the release point.
+func (e *engine) putOp(o *op) {
+	*o = op{}
+	e.opFree = append(e.opFree, o)
+}
+
+func useAfterRelease(e *engine, o *op) int {
+	e.putOp(o)
+	return o.id // want `use of o.id after it was released to its pool`
+}
+
+func doubleRelease(e *engine, o *op) {
+	e.putOp(o)
+	e.putOp(o) // want `use of o after it was released to its pool`
+}
+
+func retainThenRelease(e *engine, o *op) {
+	e.last = o // want `pooled object o is stored here but released to its pool`
+	e.putOp(o)
+}
+
+func queueThenRelease(e *engine, o *op) {
+	e.inbox = append(e.inbox, o) // want `pooled object o is stored here but released to its pool`
+	e.putOp(o)
+}
+
+func captureThenRelease(e *engine, o *op, spawn func(func())) {
+	spawn(func() { _ = o.id }) // want `pooled object o is stored here but released to its pool`
+	e.putOp(o)
+}
+
+// releaseThenReuse reassigns the variable after the release, which starts
+// a new lifetime: no finding.
+func releaseThenReuse(e *engine, o *op) *op {
+	e.putOp(o)
+	o = &op{}
+	return o
+}
+
+// releaseLast is the clean path: release with no surviving alias.
+func releaseLast(e *engine, o *op) {
+	e.putOp(o)
+}

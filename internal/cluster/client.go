@@ -135,7 +135,9 @@ func (cl *Client) doOp(p *sim.Proc, kind osd.OpKind, oid string, off, size int64
 		op.Stamp, op.Client, op.ID = stamp, cl.ep, cl.nextID
 		pend := cl.getPend(pool)
 		pend.target = acting[0]
-		cl.pending[op.ID] = pend
+		// The reply and timeout paths both delete this map entry before the
+		// record recycles below, so no alias survives the release.
+		cl.pending[op.ID] = pend //afvet:allow poolsafe pending entry is removed before the record recycles
 		msgKind := osd.MsgWrite
 		wire := size + 200 // request header
 		if kind == osd.OpRead {

@@ -17,6 +17,8 @@
 package filestore
 
 import (
+	"sort"
+
 	"repro/internal/cpumodel"
 	"repro/internal/device"
 	"repro/internal/kvstore"
@@ -393,12 +395,14 @@ func (f *FileStore) ObjectVersion(oid string) uint64 {
 // Objects returns the number of distinct objects stored.
 func (f *FileStore) Objects() int { return len(f.objects) }
 
-// ObjectNames lists every stored object (scrub support).
+// ObjectNames lists every stored object in sorted order (scrub and
+// recovery iterate the result, so it must not leak map iteration order).
 func (f *FileStore) ObjectNames() []string {
 	names := make([]string, 0, len(f.objects))
-	for n := range f.objects {
+	for n := range f.objects { //afvet:allow determinism keys are sorted before return
 		names = append(names, n)
 	}
+	sort.Strings(names)
 	return names
 }
 
@@ -424,6 +428,7 @@ func (f *FileStore) CorruptObject(oid string) bool {
 	if !ok {
 		return false
 	}
+	//afvet:allow determinism per-key XOR of every entry; order cannot matter
 	for off := range o.stamps {
 		o.stamps[off] ^= 0xdeadbeef
 	}
@@ -458,7 +463,7 @@ func (f *FileStore) ExportObject(oid string) (ObjectState, bool) {
 	st := ObjectState{Size: o.size, Version: o.version, Damaged: o.damaged}
 	if o.stamps != nil {
 		st.Stamps = make(map[int64]uint64, len(o.stamps))
-		for k, v := range o.stamps {
+		for k, v := range o.stamps { //afvet:allow determinism map-to-map copy is order-insensitive
 			st.Stamps[k] = v
 		}
 	}
@@ -489,7 +494,7 @@ func (f *FileStore) IngestObject(p *sim.Proc, oid string, st ObjectState) {
 	obj.damaged = st.Damaged
 	if f.cfg.VerifyData && st.Stamps != nil {
 		obj.stamps = make(map[int64]uint64, len(st.Stamps))
-		for k, v := range st.Stamps {
+		for k, v := range st.Stamps { //afvet:allow determinism map-to-map copy is order-insensitive
 			obj.stamps[k] = v
 		}
 	}

@@ -32,16 +32,18 @@ func (o *OSD) Crash() {
 	// Durable horizon per PG: the highest sequence that is applied or
 	// committed. Commit order is per-PG FIFO, so every sequence at or
 	// below the horizon is durable and the kept log prefix stays contiguous.
+	pgs := o.sortedPGIDs()
 	durable := make(map[uint32]uint64)
-	for pg, l := range o.pglogs {
-		durable[pg] = l.appliedSeq
+	for _, pg := range pgs {
+		durable[pg] = o.pglogs[pg].appliedSeq
 	}
 	o.store.UnappliedSeqs(func(pg uint32, seq uint64) {
 		if seq > durable[pg] {
 			durable[pg] = seq
 		}
 	})
-	for pg, l := range o.pglogs {
+	for _, pg := range pgs {
+		l := o.pglogs[pg]
 		h := durable[pg]
 		cut := len(l.entries)
 		for cut > 0 && l.entries[cut-1].Seq > h {

@@ -10,6 +10,8 @@ package osd
 // must preserve: per-PG sequence numbers strictly increase, and trims only
 // remove applied-and-durable prefixes.
 
+import "sort"
+
 // PGLogEntry records one mutation of a placement group.
 type PGLogEntry struct {
 	Seq   uint64 // primary-assigned, strictly increasing per PG
@@ -128,7 +130,8 @@ func (o *OSD) PGLogHead(pg uint32) uint64 {
 // It returns human-readable violations (empty = healthy).
 func (o *OSD) PGLogViolations() []string {
 	var out []string
-	for pg, l := range o.pglogs {
+	for _, pg := range o.sortedPGIDs() {
+		l := o.pglogs[pg]
 		prev := l.trimmedTo
 		for _, e := range l.entries {
 			if e.Seq != prev+1 {
@@ -159,4 +162,17 @@ func itoa(v uint64) string {
 		v /= 10
 	}
 	return string(buf[i:])
+}
+
+// sortedPGIDs returns the ID of every PG this OSD has logged, in sorted
+// order. Anything whose output can feed a figure, a hash, or a violation
+// report must walk o.pglogs through this helper: map iteration order is
+// not reproducible across runs.
+func (o *OSD) sortedPGIDs() []uint32 {
+	pgs := make([]uint32, 0, len(o.pglogs))
+	for pg := range o.pglogs { //afvet:allow determinism keys are sorted before use
+		pgs = append(pgs, pg)
+	}
+	sort.Slice(pgs, func(i, j int) bool { return pgs[i] < pgs[j] })
+	return pgs
 }

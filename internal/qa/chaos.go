@@ -271,7 +271,7 @@ func RunChaos(cfg ChaosConfig) *ChaosResult {
 	}
 
 	// Drain and consistency invariants.
-	for oid := range touched {
+	for _, oid := range sortedOIDs(touched) {
 		holders := 0
 		for _, o := range c.OSDs() {
 			if o.FileStore().ObjectVersion(oid) > 0 {
@@ -302,7 +302,7 @@ func RunChaos(cfg ChaosConfig) *ChaosResult {
 	c.K.Go("chaos.readback", func(pp *sim.Proc) {
 		for ci, cc := range clients {
 			offs := make([]int64, 0, len(cc.model))
-			for off := range cc.model {
+			for off := range cc.model { //afvet:allow determinism keys are sorted before use
 				offs = append(offs, off)
 			}
 			sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
@@ -358,12 +358,7 @@ func (r *ChaosResult) fingerprint(c *cluster.Cluster, touched map[string]bool) u
 		mix(m.Crashes.Value())
 		mix(m.JournalReplays.Value())
 	}
-	oids := make([]string, 0, len(touched))
-	for oid := range touched {
-		oids = append(oids, oid)
-	}
-	sort.Strings(oids)
-	for _, oid := range oids {
+	for _, oid := range sortedOIDs(touched) {
 		mixs(oid)
 		for _, o := range c.OSDs() {
 			mix(o.FileStore().ObjectVersion(oid))

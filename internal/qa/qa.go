@@ -20,6 +20,7 @@ package qa
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/cluster"
 	"repro/internal/osd"
@@ -172,7 +173,7 @@ func checkInvariants(c *cluster.Cluster, cfg StressConfig, res *Result, touched 
 	// journaling).
 	c.K.Go("settle", func(pp *sim.Proc) { pp.Sleep(2 * sim.Second) })
 	c.K.Run(sim.Forever)
-	for oid := range touched {
+	for _, oid := range sortedOIDs(touched) {
 		holders := 0
 		for _, o := range c.OSDs() {
 			if o.FileStore().ObjectVersion(oid) > 0 {
@@ -245,4 +246,16 @@ func RunStressWithOutage(cfg StressConfig, failID int) *Result {
 		res.violate("scrub: %s %s", inc.OID, inc.Detail)
 	}
 	return res
+}
+
+// sortedOIDs returns the touched-object set as a sorted slice. Invariant
+// checks and hashes iterate object sets through this helper so their
+// report order never inherits map iteration order.
+func sortedOIDs(touched map[string]bool) []string {
+	oids := make([]string, 0, len(touched))
+	for oid := range touched { //afvet:allow determinism keys are sorted before use
+		oids = append(oids, oid)
+	}
+	sort.Strings(oids)
+	return oids
 }

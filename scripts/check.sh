@@ -2,7 +2,9 @@
 # Tier-1 gate: everything a change must pass before it lands.
 #
 #   fmt        gofmt -l must be clean
-#   vet        static checks
+#   lint       static checks: go vet plus afvet, the project's own
+#              multichecker (determinism, lockorder, poolsafe, errcheck,
+#              logpath — see DESIGN.md §9)
 #   build      every package compiles
 #   test       full suite — unit, integration, recovery/chaos, determinism
 #              (shuffled, to catch test-order dependence)
@@ -13,13 +15,22 @@
 #   bench      one-iteration smoke over every benchmark (compile + run,
 #              no timing gate; scripts/bench.sh owns the regression gate)
 #
-# Usage: check.sh [race]
+# Usage: check.sh [race|lint]
 #   (no arg)   run the full gate
 #   race       run only the race-detector passes (the Makefile's `race`
 #              target delegates here so the package lists live in exactly
 #              one place)
+#   lint       run only the static checks (go vet + afvet)
 set -eu
 cd "$(dirname "$0")/.."
+
+run_lint() {
+    echo "== go vet ./..."
+    go vet ./...
+
+    echo "== afvet ./..."
+    go run ./cmd/afvet ./...
+}
 
 run_race() {
     echo "== go test -race (light packages)"
@@ -38,9 +49,13 @@ race)
     run_race
     exit 0
     ;;
+lint)
+    run_lint
+    exit 0
+    ;;
 all) ;;
 *)
-    echo "usage: check.sh [race]" >&2
+    echo "usage: check.sh [race|lint]" >&2
     exit 2
     ;;
 esac
@@ -53,8 +68,7 @@ if [ -n "$UNFMT" ]; then
     exit 1
 fi
 
-echo "== go vet ./..."
-go vet ./...
+run_lint
 
 echo "== go build ./..."
 go build ./...
