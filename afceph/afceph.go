@@ -108,8 +108,18 @@ type Config struct {
 	// BlueStore-style direct-write path (small writes through a KV WAL,
 	// large writes straight to the data device with metadata-only commits).
 	Backend string
-	Tuning  Tuning
-	Seed    uint64
+	// ScrubIntervalMs, when positive, runs the background scrub scheduler:
+	// one round per interval, deep-verifying every PG's replicas against
+	// each other online. ScrubBudgetMBps caps deep-read bandwidth (0 =
+	// unthrottled), ScrubPGs bounds concurrently-scrubbed PGs (0 = 1), and
+	// ScrubAutoRepair heals what a scrub finds in place. A cluster with
+	// scrub enabled must call StopScrub before it can drain fully idle.
+	ScrubIntervalMs float64
+	ScrubBudgetMBps float64
+	ScrubPGs        int
+	ScrubAutoRepair bool
+	Tuning          Tuning
+	Seed            uint64
 }
 
 // DefaultConfig returns the paper's 4-node testbed with AFCeph tuning.
@@ -206,6 +216,16 @@ func New(cfg Config) *Cluster {
 		p.Allocator = cpumodel.TCMalloc
 	}
 	p.Backend = cfg.Backend
+	if cfg.ScrubIntervalMs > 0 {
+		p.Scrub = cluster.ScrubParams{
+			Interval:         sim.Time(cfg.ScrubIntervalMs * 1e6),
+			DeepEvery:        1,
+			BytesPerSec:      int64(cfg.ScrubBudgetMBps * (1 << 20)),
+			MaxConcurrentPGs: cfg.ScrubPGs,
+			AutoRepair:       cfg.ScrubAutoRepair,
+			SettleDelay:      2 * sim.Millisecond,
+		}
+	}
 	p.OSDConfig = buildOSDConfig(cfg.Tuning, cfg.TraceSample)
 	return &Cluster{cfg: cfg, inner: cluster.New(p)}
 }

@@ -89,6 +89,35 @@ func (c *Cluster) StopHeartbeats() { c.inner.StopHeartbeats() }
 // administrative).
 func (c *Cluster) DownsDetected() uint64 { return c.inner.DownsDetected() }
 
+// StopScrub shuts down the background scrub scheduler so the simulation
+// can drain. Required at the end of any scripted run on a cluster built
+// with Config.ScrubIntervalMs > 0; safe to call when scrub is off.
+func (c *Cluster) StopScrub() { c.inner.StopScrub() }
+
+// ScrubReport summarizes what the background scrub scheduler did.
+type ScrubReport struct {
+	Rounds, PGsScrubbed, ObjectsScrubbed uint64
+	DeepReads, BytesRead, Yields         uint64
+	Findings, Repairs, Deferred          uint64
+}
+
+// ScrubStats returns the background scheduler's counters (all zero when
+// Config.ScrubIntervalMs is 0).
+func (c *Cluster) ScrubStats() ScrubReport {
+	st := c.inner.ScrubStats()
+	return ScrubReport{
+		Rounds:          st.Rounds.Value(),
+		PGsScrubbed:     st.PGsScrubbed.Value(),
+		ObjectsScrubbed: st.ObjectsScrubbed.Value(),
+		DeepReads:       st.DeepReads.Value(),
+		BytesRead:       st.BytesRead.Value(),
+		Yields:          st.Yields.Value(),
+		Findings:        st.Findings.Value(),
+		Repairs:         st.Repairs.Value(),
+		Deferred:        st.Deferred.Value(),
+	}
+}
+
 // CrashOSD is the scripted-I/O variant: crash an OSD mid-workload.
 func (ctx *Ctx) CrashOSD(id int) { ctx.c.inner.CrashOSD(id) }
 
@@ -114,6 +143,9 @@ func (ctx *Ctx) OSDDown(id int) bool { return ctx.c.inner.Down(id) }
 
 // StopHeartbeats is the scripted-I/O variant of Cluster.StopHeartbeats.
 func (ctx *Ctx) StopHeartbeats() { ctx.c.inner.StopHeartbeats() }
+
+// StopScrub is the scripted-I/O variant of Cluster.StopScrub.
+func (ctx *Ctx) StopScrub() { ctx.c.inner.StopScrub() }
 
 // Scrub runs the cluster-wide consistency check and returns human-readable
 // findings: replication placement, replica version agreement, deep-scrub

@@ -276,6 +276,29 @@ func BenchmarkBackends(b *testing.B) {
 	}
 }
 
+// BenchmarkScrub gates the self-healing layer: the client p99 cost of
+// running the background scrub (off vs throttled vs unthrottled) and the
+// detection coverage for bit-rot injected on cold replicas. The off-row
+// detected metric must stay exactly zero — cold rot is invisible without
+// scrub — and both scrub rows must detect every injected copy.
+func BenchmarkScrub(b *testing.B) {
+	start := simWallStart()
+	for i := 0; i < b.N; i++ {
+		rep := figures.Scrub(benchOptions())
+		b.ReportMetric(cellByRowName(rep, "off", 3), "off-p99-ms")
+		b.ReportMetric(cellByRowName(rep, "throttled", 3), "throttled-p99-ms")
+		b.ReportMetric(cellByRowName(rep, "unthrottled", 3), "unthrottled-p99-ms")
+		b.ReportMetric(cellByRowName(rep, "off", 9), "off-detected")
+		b.ReportMetric(cellByRowName(rep, "throttled", 9), "throttled-detected")
+		b.ReportMetric(cellByRowName(rep, "unthrottled", 9), "unthrottled-detected")
+		b.ReportMetric(cellByRowName(rep, "unthrottled", 10), "unthrottled-ttd-ms")
+		if i == 0 {
+			b.Log("\n" + rep.String())
+		}
+	}
+	reportSimWall(b, start)
+}
+
 // ---------------------------------------------------------------------------
 // Substrate microbenchmarks.
 

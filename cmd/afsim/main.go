@@ -82,6 +82,11 @@ func main() {
 		sweep     = flag.Bool("sweep", false, "sweep iodepths and report the best point (the paper's methodology)")
 		maxLat    = flag.Float64("max-lat", 0, "with -sweep: discard points above this mean latency (ms)")
 
+		scrubMs     = flag.Float64("scrub-ms", 0, "background scrub round interval in ms (0 = scrub off)")
+		scrubMBps   = flag.Float64("scrub-mbps", 128, "deep-scrub read bandwidth budget in MB/s (0 = unthrottled)")
+		scrubPGs    = flag.Int("scrub-pgs", 1, "max concurrently scrubbed PGs")
+		scrubRepair = flag.Bool("scrub-repair", true, "auto-repair what the scrub finds")
+
 		failAt    = flag.Float64("fail-at", 0, "crash an OSD this many ms into the run (0 = no fault injection)")
 		recoverAt = flag.Float64("recover-at", 0, "restart + recover the crashed OSD this many ms into the run")
 		failOSD   = flag.Int("fail-osd", 0, "OSD id to crash with -fail-at")
@@ -140,6 +145,16 @@ func main() {
 	}
 	if *noLightTx {
 		cfg.Tuning.LightTx = false
+	}
+	if *scrubMs > 0 {
+		if *sweep {
+			fmt.Fprintln(os.Stderr, "afsim: -scrub-ms cannot be combined with -sweep")
+			os.Exit(2)
+		}
+		cfg.ScrubIntervalMs = *scrubMs
+		cfg.ScrubBudgetMBps = *scrubMBps
+		cfg.ScrubPGs = *scrubPGs
+		cfg.ScrubAutoRepair = *scrubRepair
 	}
 
 	chaos := *failAt > 0
@@ -228,6 +243,10 @@ func main() {
 	if *perfDump {
 		fmt.Println(c.PerfDump())
 	}
+	if *scrubMs > 0 {
+		// Stop before any Forever drain: a live scrub loop never idles.
+		c.StopScrub()
+	}
 	if chaos {
 		// Drain: let the recovery and outstanding applies finish past the
 		// measured window, then converge any divergence recovery left while
@@ -259,6 +278,15 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println("  final scrub: clean (no acked write lost)")
+	}
+	if *scrubMs > 0 {
+		if !chaos {
+			c.Internal().K.Run(sim.Forever) // drain the in-flight scrub round
+		}
+		st := c.ScrubStats()
+		fmt.Printf("background scrub: rounds=%d pgs=%d objects=%d deep-reads=%d read=%.1fMB yields=%d findings=%d repairs=%d deferred=%d\n",
+			st.Rounds, st.PGsScrubbed, st.ObjectsScrubbed, st.DeepReads,
+			float64(st.BytesRead)/(1<<20), st.Yields, st.Findings, st.Repairs, st.Deferred)
 	}
 }
 

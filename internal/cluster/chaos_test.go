@@ -8,6 +8,7 @@ import (
 	"repro/internal/crush"
 	"repro/internal/osd"
 	"repro/internal/sim"
+	"repro/internal/store"
 )
 
 // Targeted fault-injection tests: each exercises one leg of the chaos layer
@@ -241,53 +242,64 @@ func TestClientRidesOutPartition(t *testing.T) {
 	}
 }
 
+// TestRepairHealsCorruptedReplica runs against both backends: corruption,
+// detection and repair all flow through the store.Backend seam, so the
+// journal+filestore and direct-write paths must behave identically.
 func TestRepairHealsCorruptedReplica(t *testing.T) {
-	c := New(smallParams(osd.AFCephConfig))
-	cl := c.NewClient()
-	bd := cl.OpenDevice("img", 64<<20)
-	writeBatch(c, bd, 0, 20, 1)
+	for _, backend := range []string{store.BackendFileStore, store.BackendDirectStore} {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			p := smallParams(osd.AFCephConfig)
+			p.Backend = backend
+			c := New(p)
+			cl := c.NewClient()
+			bd := cl.OpenDevice("img", 64<<20)
+			writeBatch(c, bd, 0, 20, 1)
 
-	// Flip bits on a non-primary replica of object 0 (written with stamp 1
-	// at offset 0 by the batch above).
-	oid := "rbd.img.0"
-	pg := crush.ObjectToPG(oid, c.Params.PGs)
-	set := c.Map().PGToOSDs(pg, c.Params.Replicas)
-	victim := set[len(set)-1]
-	if !c.OSDs()[victim].FileStore().CorruptObject(oid) {
-		t.Fatalf("osd.%d holds no copy of %s", victim, oid)
-	}
-	if !c.OSDs()[victim].FileStore().ObjectDamaged(oid) {
-		t.Fatal("CorruptObject did not flag the copy damaged")
-	}
+			// Flip bits on a non-primary replica of object 0 (written with
+			// stamp 1 at offset 0 by the batch above).
+			oid := "rbd.img.0"
+			pg := crush.ObjectToPG(oid, c.Params.PGs)
+			set := c.Map().PGToOSDs(pg, c.Params.Replicas)
+			victim := set[len(set)-1]
+			if !c.OSDs()[victim].Store().CorruptObject(oid) {
+				t.Fatalf("osd.%d holds no copy of %s", victim, oid)
+			}
+			if !c.OSDs()[victim].Store().ObjectDamaged(oid) {
+				t.Fatal("CorruptObject did not flag the copy damaged")
+			}
 
-	inc := c.ScrubAll()
-	found := false
-	for _, i := range inc {
-		if i.OID == oid && strings.Contains(i.Detail, fmt.Sprintf("checksum mismatch on osd.%d", victim)) {
-			found = true
-		}
-	}
-	if !found {
-		t.Fatalf("deep scrub missed the corruption: %+v", inc)
-	}
+			inc := c.ScrubAll()
+			found := false
+			for _, i := range inc {
+				if i.OID == oid && strings.Contains(i.Detail, fmt.Sprintf("checksum mismatch on osd.%d", victim)) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("deep scrub missed the corruption: %+v", inc)
+			}
 
-	if healed := c.Repair(); healed == 0 {
-		t.Fatal("repair healed nothing")
-	}
-	if inc := c.ScrubAll(); len(inc) != 0 {
-		t.Fatalf("scrub still dirty after repair: %+v", inc[0])
-	}
-	if c.OSDs()[victim].FileStore().ObjectDamaged(oid) {
-		t.Fatal("repaired copy still flagged damaged")
-	}
+			if healed := c.Repair(); healed == 0 {
+				t.Fatal("repair healed nothing")
+			}
+			if inc := c.ScrubAll(); len(inc) != 0 {
+				t.Fatalf("scrub still dirty after repair: %+v", inc[0])
+			}
+			if c.OSDs()[victim].Store().ObjectDamaged(oid) {
+				t.Fatal("repaired copy still flagged damaged")
+			}
 
-	// The healed copy must carry the original data, not the scrambled bits.
-	ref, _ := c.OSDs()[set[0]].FileStore().ExportObject(oid)
-	got, ok := c.OSDs()[victim].FileStore().ExportObject(oid)
-	if !ok || !sameStamps(ref.Stamps, got.Stamps) {
-		t.Fatalf("healed copy diverges from primary: %+v vs %+v", got, ref)
-	}
-	if got.Stamps[0] != 1 {
-		t.Fatalf("stamp at offset 0 = %d, want 1", got.Stamps[0])
+			// The healed copy must carry the original data, not the
+			// scrambled bits.
+			ref, _ := c.OSDs()[set[0]].Store().ExportObject(oid)
+			got, ok := c.OSDs()[victim].Store().ExportObject(oid)
+			if !ok || !sameStamps(ref.Stamps, got.Stamps) {
+				t.Fatalf("healed copy diverges from primary: %+v vs %+v", got, ref)
+			}
+			if got.Stamps[0] != 1 {
+				t.Fatalf("stamp at offset 0 = %d, want 1", got.Stamps[0])
+			}
+		})
 	}
 }

@@ -27,6 +27,7 @@ type Client struct {
 	nextID  uint64
 	rnd     *rng.Rand
 	retries uint64
+	eios    uint64
 
 	// Free lists for op and pending records. Recycling is safe only without
 	// the retry timeout: a timeout timer retains the done event past the
@@ -68,6 +69,10 @@ func (cl *Client) Endpoint() *netsim.Endpoint { return cl.ep }
 // epoch change.
 func (cl *Client) Retries() uint64 { return cl.retries }
 
+// EIOs reports how many reads failed because every replica copy of the
+// extent was damaged. An EIO read returns (0, false) — never corrupt data.
+func (cl *Client) EIOs() uint64 { return cl.eios }
+
 func (cl *Client) handleReply(p *sim.Proc, m *netsim.Message) {
 	rep := m.Payload.(*osd.Reply)
 	pend, ok := cl.pending[rep.Op.ID]
@@ -90,7 +95,7 @@ func (cl *Client) noteEpoch() {
 		return
 	}
 	var ids []uint64
-	for id, pend := range cl.pending {
+	for id, pend := range cl.pending { //afvet:allow determinism ids are sorted before use
 		if cl.c.down[pend.target] {
 			ids = append(ids, id)
 		}
@@ -152,6 +157,12 @@ func (cl *Client) doOp(p *sim.Proc, kind osd.OpKind, oid string, off, size int64
 		pend.done.Wait(p)
 		if rep := pend.reply; rep != nil {
 			st, ex := rep.Stamp, rep.Exists
+			if rep.EIO {
+				// The cluster has no healthy copy of the extent; retrying
+				// would not help. Surface the failure as a missing read.
+				cl.eios++
+				st, ex = 0, false
+			}
 			if pool {
 				// The op is fully quiescent once the primary acked it (all
 				// replica commits precede the ack), so the whole attempt —

@@ -70,6 +70,10 @@ type Params struct {
 	// 4x the interval).
 	HeartbeatInterval sim.Time
 	HeartbeatGrace    sim.Time
+	// Scrub configures the background scrub scheduler (light and deep
+	// scrubs with read throttling and optional auto-repair); the zero
+	// value keeps it off.
+	Scrub ScrubParams
 }
 
 // DefaultParams returns the paper's testbed shape with community OSDs.
@@ -115,6 +119,11 @@ type Cluster struct {
 	clusterNICs []*netsim.NIC
 	hb          *hbState
 	lastReplays map[int]int
+	scrub       *scrubState
+	// integrity logs damage-related events (findings, read-repairs, EIOs,
+	// heals) for time-to-detect / time-to-repair accounting. Append-only,
+	// and only damage appends, so clean runs stay bit-identical.
+	integrity []IntegrityEvent
 
 	// replies recycles ack/read replies between the OSDs and clients.
 	replies *osd.ReplyPool
@@ -193,6 +202,24 @@ func New(params Params) *Cluster {
 	c.Net.SeedFaults(params.Seed ^ 0x6e65746661756c74)
 	if params.HeartbeatInterval > 0 {
 		c.startHeartbeats()
+	}
+	if params.Scrub.Interval > 0 {
+		c.startScrub()
+	}
+	// Integrity hooks: OSD read-repair events land in the cluster log.
+	// Installing the hook alone perturbs nothing — it fires only on damage.
+	for i := range c.osds {
+		id := i
+		c.osds[i].SetIntegrityNote(func(p *sim.Proc, oid string, kind int) {
+			ik := IntegrityReadRepair
+			switch kind {
+			case osd.NoteRepaired:
+				ik = IntegrityRepaired
+			case osd.NoteEIO:
+				ik = IntegrityEIO
+			}
+			c.noteIntegrity(p.Now(), id, oid, ik)
+		})
 	}
 
 	// Placement: each OSD, asked about a PG it is primary for, returns the

@@ -21,6 +21,19 @@ func (c *Cluster) Perf() *metrics.Registry {
 	for _, o := range c.osds {
 		o.RegisterMetrics(r)
 	}
+	if c.scrub != nil {
+		s := r.Sub("scrub")
+		st := &c.scrub.stats
+		s.Counter("rounds", &st.Rounds)
+		s.Counter("pgs_scrubbed", &st.PGsScrubbed)
+		s.Counter("objects_scrubbed", &st.ObjectsScrubbed)
+		s.Counter("deep_reads", &st.DeepReads)
+		s.Counter("bytes_read", &st.BytesRead)
+		s.Counter("yields", &st.Yields)
+		s.Counter("findings", &st.Findings)
+		s.Counter("repairs", &st.Repairs)
+		s.Counter("deferred", &st.Deferred)
+	}
 	return r
 }
 

@@ -272,8 +272,8 @@ func (c *Cluster) RecoverOSDIn(p *sim.Proc, id int) RecoveryStats {
 // after a push that raced ongoing writes; that is scrub-visible and
 // converged by Repair.
 func (c *Cluster) recoverPG(p *sim.Proc, pg uint32, srcID, dstID int, missed map[string]bool, st *RecoveryStats) int {
-	src := c.osds[srcID].FileStore()
-	dst := c.osds[dstID].FileStore()
+	src := c.osds[srcID].Store()
+	dst := c.osds[dstID].Store()
 	var todo []string
 	for _, oid := range src.ObjectNames() {
 		if crush.ObjectToPG(oid, c.Params.PGs) != pg {
@@ -297,20 +297,16 @@ func (c *Cluster) recoverPG(p *sim.Proc, pg uint32, srcID, dstID int, missed map
 		if !ok {
 			continue
 		}
-		dstState, dstOK := dst.ExportObject(oid)
-		var state filestore.ObjectState
-		switch {
-		case dstOK && dstState.Damaged:
-			// The destination's copy failed its checksum; its scrambled
-			// stamps must not survive into the union.
-			state = srcState
-		case srcState.Damaged:
-			// A damaged source cannot be trusted to overwrite a clean copy;
-			// scrub will flag the source and Repair heals it later.
+		if srcState.Damaged && len(srcState.Rot) == 0 {
+			// Coarsely corrupted source: no extent of this copy can be
+			// trusted to overwrite anything. Scrub flags it; Repair heals.
 			continue
-		default:
-			state = unionState(srcState, dstState)
 		}
+		dstState, _ := dst.ExportObject(oid)
+		// Cleanse both sides before the union: rotten extents contribute
+		// nothing, but the clean extents of a damaged copy — including an
+		// acked degraded write that landed after the rot — always survive.
+		state := filestore.UnionState(srcState.Cleansed(), dstState.Cleansed())
 		size := state.Size
 		if size <= 0 {
 			size = 4096
@@ -326,6 +322,13 @@ func (c *Cluster) recoverPG(p *sim.Proc, pg uint32, srcID, dstID int, missed map
 			pp.Sleep(c.Params.NetParams.Propagation +
 				sim.Time(size*int64(sim.Second)/c.Params.NetParams.BytesPerSec))
 			dst.IngestObject(pp, oid, state)
+			if dstState.Damaged {
+				// Backfill just overwrote a rotten copy with the cleansed
+				// union: a detection and a heal, on the integrity log like
+				// any other so time-to-repair accounting stays complete.
+				c.noteIntegrity(pp.Now(), dstID, oid, IntegrityFinding)
+				c.noteIntegrity(pp.Now(), dstID, oid, IntegrityRepaired)
+			}
 		})
 	}
 	done.Wait(p)

@@ -18,21 +18,23 @@ type Inconsistency struct {
 
 // ScrubAll is the cluster's consistency check (Ceph's deep scrub, run at
 // host level after the simulation quiesces): every object known to any
-// filestore must live on exactly the CRUSH-computed replica set, and all
+// backend must live on exactly the CRUSH-computed replica set, and all
 // replicas must agree on the object's version (mutation count). A clean
 // scrub after a randomized workload shows that the optimization profiles
-// preserved replication semantics; a tampered filestore must be caught.
+// preserved replication semantics; a tampered store must be caught. All
+// object queries go through the store.Backend seam, so both backends are
+// scrubbed through the same door.
 func (c *Cluster) ScrubAll() []Inconsistency {
 	var out []Inconsistency
 	// Collect the union of object names.
 	names := map[string]bool{}
 	for _, o := range c.osds {
-		for _, n := range o.FileStore().ObjectNames() {
+		for _, n := range o.Store().ObjectNames() {
 			names[n] = true
 		}
 	}
 	sorted := make([]string, 0, len(names))
-	for n := range names {
+	for n := range names { //afvet:allow determinism keys are sorted before use
 		sorted = append(sorted, n)
 	}
 	sort.Strings(sorted)
@@ -46,7 +48,7 @@ func (c *Cluster) ScrubAll() []Inconsistency {
 		}
 		var versions []uint64
 		for id, o := range c.osds {
-			v := o.FileStore().ObjectVersion(oid)
+			v := o.Store().ObjectVersion(oid)
 			if v > 0 && !inSet[id] {
 				out = append(out, Inconsistency{OID: oid, PG: pg,
 					Detail: fmt.Sprintf("stray copy on osd.%d", id)})
@@ -75,13 +77,14 @@ func (c *Cluster) ScrubAll() []Inconsistency {
 				if c.down[id] {
 					continue
 				}
-				st, ok := c.osds[id].FileStore().ExportObject(oid)
+				st, ok := c.osds[id].Store().ExportObject(oid)
 				if !ok {
 					continue
 				}
 				if st.Damaged {
 					out = append(out, Inconsistency{OID: oid, PG: pg,
 						Detail: fmt.Sprintf("checksum mismatch on osd.%d", id)})
+					c.noteIntegrity(c.K.Now(), id, oid, IntegrityFinding)
 				}
 				if refID < 0 {
 					ref, refID = st, id
@@ -101,7 +104,7 @@ func sameStamps(a, b map[int64]uint64) bool {
 	if len(a) != len(b) {
 		return false
 	}
-	for off, v := range a {
+	for off, v := range a { //afvet:allow determinism order-independent equality check
 		if b[off] != v {
 			return false
 		}
@@ -109,40 +112,13 @@ func sameStamps(a, b map[int64]uint64) bool {
 	return true
 }
 
-// unionState merges two copies of an object extent-wise: the higher stamp
-// wins per offset (stamps are client-monotonic per extent, and every stamp
-// present on any replica belongs to a client attempt that was — or after
-// retry will be — acked with the same data), and size/version take the
-// maximum. Used by recovery and repair to converge copies that drifted
-// through failover without ever discarding acked extents.
-func unionState(a, b filestore.ObjectState) filestore.ObjectState {
-	out := filestore.ObjectState{Size: a.Size, Version: a.Version}
-	if b.Size > out.Size {
-		out.Size = b.Size
-	}
-	if b.Version > out.Version {
-		out.Version = b.Version
-	}
-	if len(a.Stamps)+len(b.Stamps) > 0 {
-		out.Stamps = make(map[int64]uint64, len(a.Stamps)+len(b.Stamps))
-		for k, v := range a.Stamps {
-			out.Stamps[k] = v
-		}
-		for k, v := range b.Stamps {
-			if v > out.Stamps[k] {
-				out.Stamps[k] = v
-			}
-		}
-	}
-	return out
-}
-
 // Repair heals what ScrubAll finds, modelling Ceph's `pg repair`: for each
-// inconsistent object the healed state is the stamp-wise union of every
-// clean up in-set copy (checksum-damaged copies are excluded and rebuilt
-// from the clean ones), pushed over the network to every divergent member;
-// stray copies outside the CRUSH set are deleted. Quiescent-cluster
-// wrapper around RepairIn. Returns the number of copies healed.
+// inconsistent object the healed state is the stamp-wise union of every up
+// in-set copy's trustworthy extents (damaged copies contribute the extents
+// the rot did not touch), pushed over the network to every divergent
+// member; stray copies outside the CRUSH set are deleted.
+// Quiescent-cluster wrapper around RepairIn. Returns the number of copies
+// healed.
 func (c *Cluster) Repair() int {
 	var n int
 	c.K.Go("scrub.repair", func(p *sim.Proc) { n = c.RepairIn(p) })
@@ -167,71 +143,91 @@ func (c *Cluster) RepairIn(p *sim.Proc) int {
 	sort.Strings(oids)
 	healed := 0
 	for _, oid := range oids {
-		pg := crush.ObjectToPG(oid, c.Params.PGs)
-		want := c.cmap.PGToOSDs(pg, c.Params.Replicas)
-		inSet := map[int]bool{}
-		for _, id := range want {
-			inSet[id] = true
-		}
-		for id, o := range c.osds {
-			if !inSet[id] && o.FileStore().DeleteObject(oid) {
-				healed++
-			}
-		}
-		// The healed state is the stamp-wise union of every clean (not
-		// checksum-damaged) up in-set copy: copies that drifted apart
-		// through failover recovery each may hold acked extents the others
-		// miss, and the union discards none of them (stamps are
-		// client-monotonic per extent, so the max wins ties at the same
-		// offset). Damaged copies contribute nothing and are re-ingested
-		// wholesale — bit rot healed from the surviving clean replicas.
-		type memberState struct {
-			id int
-			st filestore.ObjectState
-			ok bool
-		}
-		var ms []memberState
-		auth := -1
-		var best uint64
-		var target filestore.ObjectState
-		clean := 0
-		for _, id := range want {
-			if c.down[id] {
-				continue
-			}
-			st, ok := c.osds[id].FileStore().ExportObject(oid)
-			ms = append(ms, memberState{id: id, st: st, ok: ok})
-			if !ok || st.Damaged {
-				continue
-			}
-			if clean == 0 {
-				target = st
-			} else {
-				target = unionState(target, st)
-			}
-			clean++
-			if st.Version > best {
-				best, auth = st.Version, id
-			}
-		}
-		if auth < 0 {
-			continue // no clean copy survives; nothing to heal from
-		}
-		size := target.Size
-		if size <= 0 {
-			size = 4096
-		}
-		for _, m := range ms {
-			if m.ok && !m.st.Damaged && m.st.Version == target.Version && sameStamps(m.st.Stamps, target.Stamps) {
-				continue
-			}
-			// Same data motion as recovery: peer read, network push, install.
-			c.osds[auth].FileStore().Read(p, oid, 0, size)
-			p.Sleep(c.Params.NetParams.Propagation +
-				sim.Time(size*int64(sim.Second)/c.Params.NetParams.BytesPerSec))
-			c.osds[m.id].FileStore().IngestObject(p, oid, target)
+		healed += c.repairObject(p, oid)
+	}
+	return healed
+}
+
+// repairObject converges every copy of one object: strays outside the
+// CRUSH set are deleted, then the union of the up in-set copies' clean
+// extents is pushed to every member that diverges from it. Damaged copies
+// are cleansed before entering the union — their rotten extents contribute
+// nothing, but a clean extent (say, an acked write that landed while the
+// copy was already rotten elsewhere) is never discarded. The authoritative
+// read source is the clean copy with the highest version; with no fully
+// clean copy the object is unrepairable and left for the EIO path. Used by
+// RepairIn (offline repair) and the background scrub scheduler
+// (AutoRepair). Returns copies healed.
+func (c *Cluster) repairObject(p *sim.Proc, oid string) int {
+	pg := crush.ObjectToPG(oid, c.Params.PGs)
+	want := c.cmap.PGToOSDs(pg, c.Params.Replicas)
+	inSet := map[int]bool{}
+	for _, id := range want {
+		inSet[id] = true
+	}
+	healed := 0
+	for id, o := range c.osds {
+		if !inSet[id] && o.Store().DeleteObject(oid) {
 			healed++
 		}
+	}
+	type memberState struct {
+		id int
+		st filestore.ObjectState
+		ok bool
+	}
+	var ms []memberState
+	auth := -1
+	var best uint64
+	var target filestore.ObjectState
+	contributed := 0
+	for _, id := range want {
+		if c.down[id] || c.osds[id].Crashed() {
+			continue
+		}
+		st, ok := c.osds[id].Store().ExportObject(oid)
+		ms = append(ms, memberState{id: id, st: st, ok: ok})
+		if !ok {
+			continue
+		}
+		if st.Damaged && len(st.Rot) == 0 {
+			continue // coarse corruption: no extent of this copy is trustworthy
+		}
+		cl := st.Cleansed()
+		if contributed == 0 {
+			target = cl
+		} else {
+			target = filestore.UnionState(target, cl)
+		}
+		contributed++
+		if !st.Damaged && (auth < 0 || st.Version > best) {
+			best, auth = st.Version, id
+		}
+	}
+	if auth < 0 {
+		return healed // no clean copy survives; nothing to heal from
+	}
+	size := target.Size
+	if size <= 0 {
+		size = 4096
+	}
+	for _, m := range ms {
+		if m.ok && !m.st.Damaged && m.st.Version == target.Version && sameStamps(m.st.Stamps, target.Stamps) {
+			continue
+		}
+		// Same data motion as recovery: peer read, network push, install.
+		c.osds[auth].Store().Read(p, oid, 0, size)
+		p.Sleep(c.Params.NetParams.Propagation +
+			sim.Time(size*int64(sim.Second)/c.Params.NetParams.BytesPerSec))
+		// Re-merge against the member's live state at install time: a
+		// client write acked during the push above must survive the heal.
+		st := target
+		if live, ok := c.osds[m.id].Store().ExportObject(oid); ok {
+			st = filestore.UnionState(live.Cleansed(), target)
+		}
+		c.osds[m.id].Store().IngestObject(p, oid, st)
+		c.noteIntegrity(p.Now(), m.id, oid, IntegrityRepaired)
+		healed++
 	}
 	return healed
 }

@@ -8,6 +8,8 @@
 package fault
 
 import (
+	"sort"
+
 	"repro/internal/rng"
 	"repro/internal/sim"
 )
@@ -90,7 +92,9 @@ type OpKind int
 
 // Thrash operations. Crash/Restart/Recover target an OSD; PartitionClient/
 // HealClient isolate a client from the public network; SlowDisk/ReadErrors/
-// ClearDisk drive a DiskFaults hook.
+// ClearDisk drive a DiskFaults hook; BitRot silently corrupts one stored
+// object copy on an OSD (the driver picks which, so placement-aware
+// policies stay in the harness).
 const (
 	Crash OpKind = iota
 	Restart
@@ -100,6 +104,7 @@ const (
 	SlowDisk
 	ReadErrors
 	ClearDisk
+	BitRot
 )
 
 // Op is one scheduled fault action. At is an absolute simulated time;
@@ -122,6 +127,9 @@ type Plan struct {
 	CycleGap    sim.Time // spacing between cycle phases
 	Partition   bool     // include one client partition window
 	DiskFaults  bool     // include one slow-disk and one read-error window
+	// BitRotCount scatters silent single-copy corruptions across the
+	// schedule window (interleaved with the other faults, sorted by time).
+	BitRotCount int
 }
 
 // Generate derives a deterministic fault schedule from the plan and seed.
@@ -156,6 +164,25 @@ func Generate(p Plan, seed uint64) []Op {
 			Op{At: t + p.CycleGap, Kind: ReadErrors, Target: victim, Factor: 0.05 + 0.1*r.Float64()},
 			Op{At: t + 2*p.CycleGap, Kind: ClearDisk, Target: victim},
 		)
+		t += 2 * p.CycleGap
+	}
+	if p.BitRotCount > 0 {
+		// Spread the corruptions over the window covered so far so they
+		// interleave with crashes and partitions rather than queueing at
+		// the end; insertion keeps the schedule time-sorted. The Target is
+		// advisory (victim OSD hint) — the driver re-picks against live
+		// placement to honor its clean-peer policy.
+		window := t - p.Start
+		if window <= 0 {
+			window = p.CycleGap * sim.Time(p.BitRotCount)
+		}
+		var rot []Op
+		for i := 0; i < p.BitRotCount; i++ {
+			at := p.Start + sim.Time(r.Int63n(int64(window)+1))
+			rot = append(rot, Op{At: at, Kind: BitRot, Target: r.Intn(p.OSDs)})
+		}
+		ops = append(ops, rot...)
+		sort.SliceStable(ops, func(i, j int) bool { return ops[i].At < ops[j].At })
 	}
 	return ops
 }

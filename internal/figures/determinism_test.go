@@ -53,6 +53,7 @@ var goldenFigures = []struct {
 	{"fig12", func(o Options) Report { return Fig12(o, []int{2, 4}) }},
 	{"breakdown", LatencyBreakdown},
 	{"backends", func(o Options) Report { return Backends(o, nil) }},
+	{"scrub", Scrub},
 }
 
 // TestFigureDeterminism is the golden gate behind every benchmark

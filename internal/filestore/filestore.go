@@ -126,8 +126,29 @@ type object struct {
 	stamps  map[int64]uint64
 	// damaged marks latent media corruption that a deep scrub's checksum
 	// comparison would identify on this copy (set by CorruptObject,
-	// cleared when clean data is ingested over it).
+	// cleared when clean data is ingested over it or when every rotten
+	// extent has been overwritten by fresh writes).
 	damaged bool
+	// rot records which extents (by start offset) the corruption hit, so
+	// the read path can serve clean extents of a damaged object and repair
+	// can keep them. Empty while damaged means coarse corruption: every
+	// extent is suspect.
+	rot map[int64]bool
+}
+
+// overwritten clears an extent's rot record: fresh data just landed at off,
+// so that extent is trustworthy again. A damaged object whose last rotten
+// extent is overwritten is clean. Coarse corruption (no per-extent record)
+// is not cleared by a single write.
+func (o *object) overwritten(off int64) {
+	if !o.damaged || len(o.rot) == 0 {
+		return
+	}
+	delete(o.rot, off)
+	if len(o.rot) == 0 {
+		o.damaged = false
+		o.rot = nil
+	}
 }
 
 // extentSize is the device address space reserved per object (the RBD
@@ -300,11 +321,14 @@ func (f *FileStore) Apply(p *sim.Proc, tx *Transaction) {
 		obj.size = end
 	}
 	obj.version++
-	if f.cfg.VerifyData && tx.Len > 0 {
-		if obj.stamps == nil {
-			obj.stamps = make(map[int64]uint64)
+	if tx.Len > 0 {
+		if f.cfg.VerifyData {
+			if obj.stamps == nil {
+				obj.stamps = make(map[int64]uint64)
+			}
+			obj.stamps[tx.Off] = tx.Stamp
 		}
-		obj.stamps[tx.Off] = tx.Stamp
+		obj.overwritten(tx.Off)
 	}
 }
 
@@ -325,11 +349,14 @@ func (f *FileStore) CommitObject(oid string, off, length int64, stamp uint64) {
 		obj.size = end
 	}
 	obj.version++
-	if f.cfg.VerifyData && length > 0 {
-		if obj.stamps == nil {
-			obj.stamps = make(map[int64]uint64)
+	if length > 0 {
+		if f.cfg.VerifyData {
+			if obj.stamps == nil {
+				obj.stamps = make(map[int64]uint64)
+			}
+			obj.stamps[off] = stamp
 		}
-		obj.stamps[off] = stamp
+		obj.overwritten(off)
 	}
 }
 
@@ -428,9 +455,13 @@ func (f *FileStore) CorruptObject(oid string) bool {
 	if !ok {
 		return false
 	}
+	if len(o.stamps) > 0 {
+		o.rot = make(map[int64]bool, len(o.stamps))
+	}
 	//afvet:allow determinism per-key XOR of every entry; order cannot matter
 	for off := range o.stamps {
 		o.stamps[off] ^= 0xdeadbeef
+		o.rot[off] = true
 	}
 	o.damaged = true
 	return true
@@ -444,13 +475,79 @@ func (f *FileStore) ObjectDamaged(oid string) bool {
 	return false
 }
 
+// ExtentDamaged reports whether the stored copy of the extent starting at
+// off is rotten. A damaged object without a per-extent record (coarse
+// corruption, e.g. VerifyData off) counts every extent as damaged.
+func (f *FileStore) ExtentDamaged(oid string, off int64) bool {
+	o, ok := f.objects[oid]
+	if !ok || !o.damaged {
+		return false
+	}
+	if len(o.rot) == 0 {
+		return true
+	}
+	return o.rot[off]
+}
+
 // ObjectState is a recoverable snapshot of one object's metadata.
 type ObjectState struct {
 	Size    int64
 	Version uint64
 	Stamps  map[int64]uint64
-	// Damaged carries the copy's corruption flag (checksum-mismatch state).
+	// Damaged carries the copy's corruption flag (checksum-mismatch state);
+	// Rot identifies the affected extents when the damage is per-extent.
 	Damaged bool
+	Rot     map[int64]bool
+}
+
+// Cleansed strips the rotten extents out of a snapshot: what remains is
+// the trustworthy portion of the copy, safe to contribute to a repair
+// union. A damaged copy without a per-extent record keeps only its size
+// and version (every extent is suspect); a clean copy comes back as-is
+// minus the (false) damage flags.
+func (st ObjectState) Cleansed() ObjectState {
+	out := ObjectState{Size: st.Size, Version: st.Version}
+	if st.Damaged && len(st.Rot) == 0 {
+		return out
+	}
+	if st.Stamps != nil {
+		out.Stamps = make(map[int64]uint64, len(st.Stamps))
+		for k, v := range st.Stamps { //afvet:allow determinism map-to-map copy is order-insensitive
+			if !st.Rot[k] {
+				out.Stamps[k] = v
+			}
+		}
+	}
+	return out
+}
+
+// UnionState merges two snapshots of an object extent-wise: the higher
+// stamp wins per offset (stamps are client-monotonic per extent, and every
+// stamp present on any replica belongs to a client attempt that was — or
+// after retry will be — acked with the same data), and size/version take
+// the maximum. Recovery, repair and read-repair converge copies through
+// this union so no acked extent is ever discarded. Callers pass Cleansed
+// snapshots when an input may carry rotten extents.
+func UnionState(a, b ObjectState) ObjectState {
+	out := ObjectState{Size: a.Size, Version: a.Version}
+	if b.Size > out.Size {
+		out.Size = b.Size
+	}
+	if b.Version > out.Version {
+		out.Version = b.Version
+	}
+	if len(a.Stamps)+len(b.Stamps) > 0 {
+		out.Stamps = make(map[int64]uint64, len(a.Stamps)+len(b.Stamps))
+		for k, v := range a.Stamps { //afvet:allow determinism map-to-map copy is order-insensitive
+			out.Stamps[k] = v
+		}
+		for k, v := range b.Stamps { //afvet:allow determinism per-key max is order-insensitive
+			if v > out.Stamps[k] {
+				out.Stamps[k] = v
+			}
+		}
+	}
+	return out
 }
 
 // ExportObject snapshots an object's state for recovery. It charges no
@@ -465,6 +562,12 @@ func (f *FileStore) ExportObject(oid string) (ObjectState, bool) {
 		st.Stamps = make(map[int64]uint64, len(o.stamps))
 		for k, v := range o.stamps { //afvet:allow determinism map-to-map copy is order-insensitive
 			st.Stamps[k] = v
+		}
+	}
+	if o.rot != nil {
+		st.Rot = make(map[int64]bool, len(o.rot))
+		for k, v := range o.rot { //afvet:allow determinism map-to-map copy is order-insensitive
+			st.Rot[k] = v
 		}
 	}
 	return st, true
@@ -492,6 +595,13 @@ func (f *FileStore) IngestObject(p *sim.Proc, oid string, st ObjectState) {
 	obj.size = st.Size
 	obj.version = st.Version
 	obj.damaged = st.Damaged
+	obj.rot = nil
+	if st.Rot != nil {
+		obj.rot = make(map[int64]bool, len(st.Rot))
+		for k, v := range st.Rot { //afvet:allow determinism map-to-map copy is order-insensitive
+			obj.rot[k] = v
+		}
+	}
 	if f.cfg.VerifyData && st.Stamps != nil {
 		obj.stamps = make(map[int64]uint64, len(st.Stamps))
 		for k, v := range st.Stamps { //afvet:allow determinism map-to-map copy is order-insensitive

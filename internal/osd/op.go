@@ -1,6 +1,7 @@
 package osd
 
 import (
+	"repro/internal/filestore"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/store"
@@ -8,11 +9,13 @@ import (
 
 // Network message kinds used by the storage protocol.
 const (
-	MsgWrite     = iota // client -> primary OSD
-	MsgRead             // client -> primary OSD
-	MsgRepOp            // primary -> replica OSD
-	MsgRepCommit        // replica -> primary OSD
-	MsgReply            // OSD -> client (write ack / read reply)
+	MsgWrite        = iota // client -> primary OSD
+	MsgRead                // client -> primary OSD
+	MsgRepOp               // primary -> replica OSD
+	MsgRepCommit           // replica -> primary OSD
+	MsgReply               // OSD -> client (write ack / read reply)
+	MsgRepRead             // primary -> replica: read-repair fetch
+	MsgRepReadReply        // replica -> primary: read-repair result
 )
 
 // OpKind distinguishes client operations.
@@ -55,6 +58,9 @@ type Reply struct {
 	// Stamp echoes the filestore extent stamp for read verification.
 	Stamp  uint64
 	Exists bool
+	// EIO fails a read whose every replica copy is damaged: corrupt data
+	// is never returned, so the only honest answer is an I/O error.
+	EIO bool
 }
 
 // repOp is a replication sub-op sent to a replica OSD.
@@ -74,11 +80,33 @@ type repCommit struct {
 	parent *ClientOp
 }
 
+// repRead asks a replica for a healthy copy of an extent whose local copy
+// failed verification at the primary. tried indexes into the primary's
+// replica list so a damaged replica forwards the hunt to the next one.
+type repRead struct {
+	op      *ClientOp // the stalled client read (primary-owned; read-only here)
+	primary *netsim.Endpoint
+	tried   int
+	gen     int // primary generation that started the repair
+}
+
+// repReadReply carries a replica's answer back to the primary. When the
+// replica's copy is clean, ok is true and state snapshots the copy for the
+// primary's asynchronous overwrite of its damaged extent.
+type repReadReply struct {
+	rr     *repRead
+	stamp  uint64
+	exists bool
+	ok     bool
+	state  filestore.ObjectState
+}
+
 // workItem is a PG-queue entry (exactly one field set).
 type workItem struct {
 	cop *ClientOp
 	rop *repOp
 	rc  *repCommit
+	rr  *repRead
 }
 
 // jEntry is a commit-queue record carrying the store transaction that must

@@ -26,6 +26,7 @@ const (
 	siteApplied
 	siteAck
 	siteRead
+	siteScrub
 )
 
 // finisher event kinds (community completion path).
@@ -56,7 +57,26 @@ type Metrics struct {
 	// restart.
 	Crashes        stats.Counter
 	JournalReplays stats.Counter
+	// Read-path integrity: ReadRepairs counts client reads that hit a
+	// damaged local extent and were redirected to a replica; RepReads
+	// counts repair fetches served for a peer; RepairWrites counts
+	// asynchronous overwrites that healed a damaged local copy; EIOs
+	// counts reads failed because no healthy replica existed.
+	ReadRepairs  stats.Counter
+	RepReads     stats.Counter
+	RepairWrites stats.Counter
+	EIOs         stats.Counter
 }
+
+// Integrity-event kinds reported through the note hook (SetIntegrityNote).
+const (
+	// NoteReadRepair: a client read detected a damaged local extent.
+	NoteReadRepair = iota
+	// NoteRepaired: the asynchronous overwrite healed the local copy.
+	NoteRepaired
+	// NoteEIO: a read failed because every replica copy was damaged.
+	NoteEIO
+)
 
 // engine is the per-process-generation half of an OSD: everything that dies
 // with the daemon on a crash and is rebuilt on restart. Durable state (the
@@ -112,6 +132,12 @@ type OSD struct {
 	dirty   bool
 
 	placer func(pg uint32) []*netsim.Endpoint
+
+	// integrityNote reports damage events (read-repair, heal, EIO) to the
+	// cluster's integrity log; nil when nobody listens. repairing dedups
+	// concurrent read-repairs of the same object.
+	integrityNote func(p *sim.Proc, oid string, kind int)
+	repairing     map[string]bool
 
 	pgSeq   map[uint32]uint64
 	pglogs  map[uint32]*pgLog
@@ -278,6 +304,14 @@ func (o *OSD) spawnWorkers() {
 // (excluding this OSD, which is the primary for PGs it receives writes on).
 func (o *OSD) SetPlacer(f func(pg uint32) []*netsim.Endpoint) { o.placer = f }
 
+// SetIntegrityNote installs the cluster's integrity-event listener; fn is
+// called (from simulation context) on read-repair, heal and EIO events.
+func (o *OSD) SetIntegrityNote(fn func(p *sim.Proc, oid string, kind int)) { o.integrityNote = fn }
+
+// LogScrub charges one scrub-site debug-log line (the scrub trace site);
+// called by the cluster scrub scheduler per scrubbed object.
+func (o *OSD) LogScrub(p *sim.Proc) { o.logger.Log(p, siteScrub, o.cfg.LogPerStage) }
+
 // Endpoint returns the OSD's public (client-facing) network identity.
 func (o *OSD) Endpoint() *netsim.Endpoint { return o.ep }
 
@@ -357,6 +391,19 @@ func (o *OSD) handleMessage(p *sim.Proc, m *netsim.Message) {
 		rop := m.Payload.(*repOp)
 		rop.parent.tr.Stamp(StageRepReceived, p.Now())
 		o.enqueue(p, eng, workItem{rop: rop})
+	case MsgRepRead:
+		// Repair fetch from a peer's primary: rides the PG queue like a
+		// replication sub-op (no client-message throttle).
+		o.enqueue(p, eng, workItem{rr: m.Payload.(*repRead)})
+	case MsgRepReadReply:
+		rrr := m.Payload.(*repReadReply)
+		if rrr.rr.gen != o.gen {
+			return // repair started before a crash; the client retries
+		}
+		// Like the fast ack: handled in messenger context. The client op is
+		// still parked on the primary (its read never replied), so serving
+		// it here re-uses the msgCap token acquired at arrival.
+		o.handleRepReadReply(p, rrr)
 	case MsgRepCommit:
 		rc := m.Payload.(*repCommit)
 		if rc.parent.gen != o.gen {
@@ -395,6 +442,8 @@ func (o *OSD) itemPG(it workItem) uint32 {
 		return it.rop.pg
 	case it.rc != nil:
 		return it.rc.parent.PG
+	case it.rr != nil:
+		return it.rr.op.PG
 	}
 	panic("osd: empty work item")
 }
@@ -447,6 +496,8 @@ func (o *OSD) processItem(p *sim.Proc, eng *engine, shard int, it workItem) {
 		o.processRead(p, eng, it.cop)
 	case it.rop != nil:
 		o.processRepOp(p, eng, it.rop)
+	case it.rr != nil:
+		o.processRepRead(p, eng, it.rr)
 	case it.rc != nil:
 		if it.rc.parent.gen != o.gen {
 			return
@@ -513,6 +564,13 @@ func (o *OSD) processRead(p *sim.Proc, eng *engine, op *ClientOp) {
 	st, exists := o.store.Read(p, op.OID, op.Off, op.Len)
 	if o.gen != eng.gen {
 		return // crashed mid-read: no reply, client retries elsewhere
+	}
+	if exists && o.store.ExtentDamaged(op.OID, op.Off) {
+		// The local copy failed verification: corrupt data is never
+		// returned. Fetch the extent from a replica (read-repair), or fail
+		// the read with EIO when no healthy copy exists anywhere.
+		o.startReadRepair(p, eng, op)
+		return
 	}
 	o.logger.Log(p, siteAck, o.cfg.LogPerStage)
 	rep := o.newReply()

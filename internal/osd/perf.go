@@ -21,6 +21,10 @@ func (o *OSD) RegisterMetrics(r *metrics.Registry) {
 	s.Counter("acks_sent", &o.metrics.AcksSent)
 	s.Counter("crashes", &o.metrics.Crashes)
 	s.Counter("journal_replays", &o.metrics.JournalReplays)
+	s.Counter("read_repairs", &o.metrics.ReadRepairs)
+	s.Counter("rep_reads", &o.metrics.RepReads)
+	s.Counter("repair_writes", &o.metrics.RepairWrites)
+	s.Counter("eios", &o.metrics.EIOs)
 
 	s.Histogram("opq_delay", o.eng.disp.QueueDelay)
 	s.Histogram("journal_q_delay", o.JournalQDelay)

@@ -1,0 +1,144 @@
+package osd
+
+import (
+	"fmt"
+
+	"repro/internal/filestore"
+	"repro/internal/sim"
+)
+
+// Read-path integrity (read-repair). When processRead finds the local
+// extent damaged, the primary never serves it: it asks its replicas — one
+// at a time, in acting-set order — for a healthy copy, replies to the
+// client from the first clean answer, and queues an asynchronous overwrite
+// that heals the local copy. If every replica's copy is damaged too, the
+// read fails with EIO; corrupt bytes never reach a client either way.
+//
+// The protocol mirrors replication: MsgRepRead rides the replica's PG
+// queue like a replication sub-op; MsgRepReadReply is handled in messenger
+// context at the primary like a fast ack. The stalled ClientOp stays
+// parked on the primary throughout, holding its msgCap token until the
+// substitute reply (or the EIO) releases it. A replica that crashed before
+// answering simply drops the fetch — the client recovers by timeout and
+// retry against the new acting set.
+
+// startReadRepair begins the replica hunt for op's extent.
+func (o *OSD) startReadRepair(p *sim.Proc, eng *engine, op *ClientOp) {
+	o.metrics.ReadRepairs.Inc()
+	o.logger.Log(p, siteScrub, o.cfg.LogPerStage)
+	if o.integrityNote != nil {
+		o.integrityNote(p, op.OID, NoteReadRepair)
+	}
+	o.sendRepRead(p, eng, &repRead{op: op, primary: o.cep, gen: eng.gen})
+}
+
+// sendRepRead forwards the repair fetch to the next untried replica, or
+// fails the client read with EIO when none are left.
+func (o *OSD) sendRepRead(p *sim.Proc, eng *engine, rr *repRead) {
+	reps := o.placer(rr.op.PG)
+	if rr.tried >= len(reps) {
+		o.sendEIO(p, eng, rr.op)
+		return
+	}
+	target := reps[rr.tried]
+	rr.tried++
+	o.node.Use(p, o.cfg.Costs.RepSendCPU)
+	o.cep.Send(p, target, 200, MsgRepRead, rr)
+}
+
+// processRepRead serves a peer primary's repair fetch on this replica,
+// under the PG lock. A clean local copy is returned with a state snapshot
+// (the payload for the primary's overwrite); a damaged or missing copy
+// sends the hunt onward.
+func (o *OSD) processRepRead(p *sim.Proc, eng *engine, rr *repRead) {
+	o.metrics.RepReads.Inc()
+	c := &o.cfg.Costs
+	o.logger.Log(p, siteRead, o.cfg.LogPerStage)
+	o.node.UseWithAllocs(p, c.OpSetupCPU, c.OpSetupAllocs)
+	o.node.Use(p, c.ReadCPU)
+	op := rr.op
+	st, exists := o.store.Read(p, op.OID, op.Off, op.Len)
+	if o.gen != eng.gen {
+		return // crashed mid-read: the fetch dies with this daemon
+	}
+	reply := &repReadReply{rr: rr, stamp: st, exists: exists}
+	if exists && !o.store.ExtentDamaged(op.OID, op.Off) {
+		if state, ok := o.store.ExportObject(op.OID); ok {
+			reply.state, reply.ok = state, true
+		}
+	}
+	o.cep.Send(p, rr.primary, op.Len+c.ReadReplyOverhead, MsgRepReadReply, reply)
+}
+
+// handleRepReadReply resumes the stalled client read at the primary: a
+// clean replica copy answers the client and queues the local heal; a
+// damaged one forwards the hunt to the next replica.
+func (o *OSD) handleRepReadReply(p *sim.Proc, rrr *repReadReply) {
+	eng := o.eng
+	rr := rrr.rr
+	if !rrr.ok {
+		o.sendRepRead(p, eng, rr)
+		return
+	}
+	op := rr.op
+	oid := op.OID
+	c := &o.cfg.Costs
+	o.node.Use(p, c.ReadCPU)
+	o.logger.Log(p, siteAck, o.cfg.LogPerStage)
+	rep := o.newReply()
+	rep.Op, rep.Stamp, rep.Exists = op, rrr.stamp, rrr.exists
+	o.ep.Send(p, op.Client, op.Len+c.ReadReplyOverhead, MsgReply, rep)
+	eng.msgCap.Release(1)
+	// The client is served; heal the local copy off the read path. op must
+	// not be referenced past this point (the client may recycle it).
+	o.queueRepair(rrr.state, oid)
+}
+
+// queueRepair spawns the asynchronous overwrite of a damaged local copy
+// from a replica's clean snapshot, deduplicating concurrent repairs of the
+// same object. The overwrite merges with (a cleansed export of) the live
+// local state rather than replacing it, so a write that lands between the
+// snapshot and the heal is never erased.
+func (o *OSD) queueRepair(st filestore.ObjectState, oid string) {
+	if o.repairing == nil {
+		o.repairing = make(map[string]bool)
+	}
+	if o.repairing[oid] {
+		return
+	}
+	o.repairing[oid] = true
+	gen := o.gen
+	o.k.Go(fmt.Sprintf("osd%d.readrepair.%s", o.cfg.ID, oid), func(p *sim.Proc) {
+		defer delete(o.repairing, oid)
+		if o.gen != gen || o.crashed {
+			return // the daemon died before the heal ran
+		}
+		target := st.Cleansed()
+		if local, ok := o.store.ExportObject(oid); ok {
+			target = filestore.UnionState(local.Cleansed(), target)
+		}
+		o.store.IngestObject(p, oid, target)
+		if o.gen != gen {
+			return // crashed mid-ingest: no bookkeeping for a dead daemon
+		}
+		o.metrics.RepairWrites.Inc()
+		if o.integrityNote != nil {
+			o.integrityNote(p, oid, NoteRepaired)
+		}
+	})
+}
+
+// sendEIO fails a client read: every replica copy of the extent is
+// damaged, so no honest data exists to return.
+func (o *OSD) sendEIO(p *sim.Proc, eng *engine, op *ClientOp) {
+	o.metrics.EIOs.Inc()
+	c := &o.cfg.Costs
+	o.logger.Log(p, siteAck, o.cfg.LogPerStage)
+	if o.integrityNote != nil {
+		o.integrityNote(p, op.OID, NoteEIO)
+	}
+	rep := o.newReply()
+	rep.Op, rep.EIO = op, true
+	o.ep.Send(p, op.Client, c.AckBytes, MsgReply, rep)
+	eng.msgCap.Release(1)
+}

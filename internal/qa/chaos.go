@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"repro/internal/cluster"
+	"repro/internal/crush"
 	"repro/internal/fault"
 	"repro/internal/osd"
 	"repro/internal/rng"
@@ -40,6 +41,16 @@ type ChaosConfig struct {
 	CrashCycles int
 	Partition   bool
 	DiskFaults  bool
+	// BitRot scatters that many silent single-copy corruptions across the
+	// schedule. Every injection targets an object whose whole replica set
+	// is up and clean, so a healthy peer always exists and the self-healing
+	// invariant (detect and repair every corruption, never serve damaged
+	// data) is checkable without caveats.
+	BitRot int
+	// Scrub runs the background scrub scheduler during the chaos phase
+	// (deep scrubs, throttled, auto-repair) — the online detection path
+	// for the injected rot.
+	Scrub bool
 	// Backend overrides the object-store backend on every OSD when
 	// non-empty ("filestore" / "directstore").
 	Backend string
@@ -63,6 +74,8 @@ func DefaultChaos() ChaosConfig {
 		CrashCycles:  3,
 		Partition:    true,
 		DiskFaults:   true,
+		BitRot:       3,
+		Scrub:        true,
 		Seed:         1,
 	}
 }
@@ -80,8 +93,16 @@ type ChaosResult struct {
 	Recovered      int // objects copied by recovery
 	Repaired       int // objects healed by the final repair pass
 	NetDropped     uint64
-	SimulatedTime  sim.Time
-	Violations     []string
+	// Self-healing accounting.
+	BitRots       int    // corruptions actually injected
+	RotDetected   int    // injections with a detection event (scrub finding or read-repair)
+	RotRepaired   int    // injections with a repair event after injection
+	ReadRepairs   uint64 // primary reads served from a replica after damage
+	EIOs          uint64 // reads failed for want of any healthy copy
+	ScrubFindings uint64 // background scrub findings
+	ScrubRepairs  uint64 // copies healed by background auto-repair
+	SimulatedTime sim.Time
+	Violations    []string
 	// Fingerprint digests the run's observable history; identical seeds
 	// must produce identical fingerprints.
 	Fingerprint uint64
@@ -119,6 +140,18 @@ func RunChaos(cfg ChaosConfig) *ChaosResult {
 	p.ClientOpTimeout = 50 * sim.Millisecond
 	p.HeartbeatInterval = 25 * sim.Millisecond
 	p.HeartbeatGrace = 100 * sim.Millisecond
+	if cfg.Scrub {
+		// Deep scrubs throttled to a fraction of device bandwidth, two PGs
+		// at a time, healing what they find — the online detection path.
+		p.Scrub = cluster.ScrubParams{
+			Interval:         50 * sim.Millisecond,
+			DeepEvery:        1,
+			BytesPerSec:      512 << 20,
+			MaxConcurrentPGs: 2,
+			AutoRepair:       true,
+			SettleDelay:      10 * sim.Millisecond,
+		}
+	}
 	c := cluster.New(p)
 	res := &ChaosResult{}
 	touched := make(map[string]bool)
@@ -153,8 +186,15 @@ func RunChaos(cfg ChaosConfig) *ChaosResult {
 							off = cfg.ImageSize - bs
 						}
 					}
-					cc.bd.ReadAt(pp, off, bs)
+					got, _ := cc.bd.ReadAt(pp, off, bs)
 					res.Reads++
+					// No acked read may ever return damaged data. Legitimate
+					// stamps from this image carry this client's index in the
+					// high word and a counter no later than the last issued;
+					// rot XORs the low word into the billions.
+					if got != 0 && (got>>32 != uint64(ci) || got&0xffffffff > stamp&0xffffffff) {
+						res.violate("client %d read damaged data at off=%d: stamp %#x", ci, off, got)
+					}
 				} else {
 					stamp++
 					cc.bd.WriteAt(pp, off, bs, stamp)
@@ -187,8 +227,16 @@ func RunChaos(cfg ChaosConfig) *ChaosResult {
 		CycleGap:    200 * sim.Millisecond,
 		Partition:   cfg.Partition,
 		DiskFaults:  cfg.DiskFaults,
+		BitRotCount: cfg.BitRot,
 	}
 	sched := fault.Generate(plan, cfg.Seed^0x5eedfa51)
+	type rotInject struct {
+		oid string
+		osd int
+		at  sim.Time
+	}
+	var injected []rotInject
+	rotRng := rng.New(cfg.Seed ^ 0xb17b07)
 	driver := sim.NewWaitGroup(c.K)
 	driver.Add(1)
 	c.K.Go("chaos.driver", func(pp *sim.Proc) {
@@ -232,6 +280,17 @@ func RunChaos(cfg ChaosConfig) *ChaosResult {
 				c.DiskFaults(op.Target).SetReadErrors(op.Factor, 5*sim.Millisecond)
 			case fault.ClearDisk:
 				c.DiskFaults(op.Target).Clear()
+			case fault.BitRot:
+				// The schedule's target is only a hint; re-pick against live
+				// placement so the whole replica set is up and clean (one
+				// healthy peer must survive the corruption). Scanning the
+				// sorted name space from a seeded start keeps the choice
+				// deterministic yet varied.
+				if oid, victim, ok := pickRotVictim(c, rotRng); ok {
+					c.OSDs()[victim].Store().CorruptObject(oid)
+					injected = append(injected, rotInject{oid: oid, osd: victim, at: pp.Now()})
+					res.BitRots++
+				}
 			}
 		}
 	})
@@ -256,6 +315,7 @@ func RunChaos(cfg ChaosConfig) *ChaosResult {
 				res.DegradedPGs += st.DegradedPGs
 			}
 		}
+		c.StopScrub()            // in-flight PG scrubs drain during the settle below
 		pp.Sleep(2 * sim.Second) // drain in-flight applies
 		res.Repaired = c.RepairIn(pp)
 		c.StopHeartbeats()
@@ -268,6 +328,50 @@ func RunChaos(cfg ChaosConfig) *ChaosResult {
 	res.NetDropped = c.Net.Dropped.Value()
 	for _, cc := range clients {
 		res.Retries += cc.cl.Retries()
+		res.EIOs += cc.cl.EIOs()
+	}
+	for _, o := range c.OSDs() {
+		res.ReadRepairs += o.Metrics().ReadRepairs.Value()
+	}
+	res.ScrubFindings = c.ScrubStats().Findings.Value()
+	res.ScrubRepairs = c.ScrubStats().Repairs.Value()
+
+	// Self-healing invariants: no damage survives the run, and every
+	// injected corruption was detected (scrub finding or read-repair) and
+	// repaired after its injection instant. The final RepairIn's scrub pass
+	// backstops detection, so an injection the online paths missed still
+	// counts — but only through the same integrity log everyone else uses.
+	events := c.IntegrityEvents()
+	for _, inj := range injected {
+		detected, repaired := false, false
+		for _, ev := range events {
+			if ev.OID != inj.oid || ev.At < inj.at {
+				continue
+			}
+			switch ev.Kind {
+			case cluster.IntegrityFinding, cluster.IntegrityReadRepair:
+				detected = true
+			case cluster.IntegrityRepaired:
+				repaired = true
+			}
+		}
+		if detected {
+			res.RotDetected++
+		} else {
+			res.violate("injected corruption of %s on osd.%d never detected", inj.oid, inj.osd)
+		}
+		if repaired {
+			res.RotRepaired++
+		} else {
+			res.violate("injected corruption of %s on osd.%d never repaired", inj.oid, inj.osd)
+		}
+	}
+	for id, o := range c.OSDs() {
+		for _, oid := range o.Store().ObjectNames() {
+			if o.Store().ObjectDamaged(oid) {
+				res.violate("osd.%d still holds damaged copy of %s after repair", id, oid)
+			}
+		}
 	}
 
 	// Drain and consistency invariants.
@@ -323,6 +427,45 @@ func RunChaos(cfg ChaosConfig) *ChaosResult {
 	return res
 }
 
+// pickRotVictim selects a (object, OSD) pair for bit-rot injection whose
+// whole replica set is up, uncrashed and clean — guaranteeing a healthy
+// peer survives, so detection and repair are always possible. The sorted
+// name space is scanned from a seeded start for deterministic variety; the
+// victim copy is drawn from the set. Returns ok=false when nothing
+// qualifies (e.g. the whole window is degraded).
+func pickRotVictim(c *cluster.Cluster, r *rng.Rand) (string, int, bool) {
+	names := map[string]bool{}
+	for _, o := range c.OSDs() {
+		for _, n := range o.Store().ObjectNames() {
+			names[n] = true
+		}
+	}
+	sorted := sortedOIDs(names)
+	if len(sorted) == 0 {
+		return "", -1, false
+	}
+	start := r.Intn(len(sorted))
+	for k := 0; k < len(sorted); k++ {
+		oid := sorted[(start+k)%len(sorted)]
+		pg := crush.ObjectToPG(oid, c.Params.PGs)
+		set := c.Map().PGToOSDs(pg, c.Params.Replicas)
+		eligible := true
+		for _, id := range set {
+			o := c.OSDs()[id]
+			if c.Down(id) || o.Crashed() ||
+				o.Store().ObjectVersion(oid) == 0 || o.Store().ObjectDamaged(oid) {
+				eligible = false
+				break
+			}
+		}
+		if !eligible {
+			continue
+		}
+		return oid, set[r.Intn(len(set))], true
+	}
+	return "", -1, false
+}
+
 // fingerprint digests the observable run history for bit-for-bit
 // reproducibility checks.
 func (r *ChaosResult) fingerprint(c *cluster.Cluster, touched map[string]bool) uint64 {
@@ -348,6 +491,13 @@ func (r *ChaosResult) fingerprint(c *cluster.Cluster, touched map[string]bool) u
 	mix(uint64(r.Recovered))
 	mix(uint64(r.Repaired))
 	mix(r.NetDropped)
+	mix(uint64(r.BitRots))
+	mix(uint64(r.RotDetected))
+	mix(uint64(r.RotRepaired))
+	mix(r.ReadRepairs)
+	mix(r.EIOs)
+	mix(r.ScrubFindings)
+	mix(r.ScrubRepairs)
 	mix(uint64(len(r.Violations)))
 	for _, o := range c.OSDs() {
 		m := o.Metrics()

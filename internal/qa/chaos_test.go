@@ -23,9 +23,21 @@ func TestChaosSingleSeed(t *testing.T) {
 	if res.ReadVerified == 0 {
 		t.Error("readback verified nothing")
 	}
-	t.Logf("writes=%d reads=%d verified=%d retries=%d replays=%d recovered=%d repaired=%d dropped=%d simT=%v fp=%#x",
+	if res.BitRots != cfg.BitRot {
+		t.Errorf("bit-rot injections = %d, want %d", res.BitRots, cfg.BitRot)
+	}
+	if res.RotDetected != res.BitRots || res.RotRepaired != res.BitRots {
+		t.Errorf("self-healing incomplete: %d injected, %d detected, %d repaired",
+			res.BitRots, res.RotDetected, res.RotRepaired)
+	}
+	if res.ScrubFindings == 0 {
+		t.Error("background scrub found nothing despite injected rot")
+	}
+	t.Logf("writes=%d reads=%d verified=%d retries=%d replays=%d recovered=%d repaired=%d dropped=%d rot=%d/%d/%d rr=%d eio=%d scrub=%d/%d simT=%v fp=%#x",
 		res.Writes, res.Reads, res.ReadVerified, res.Retries, res.JournalReplays,
-		res.Recovered, res.Repaired, res.NetDropped, res.SimulatedTime, res.Fingerprint)
+		res.Recovered, res.Repaired, res.NetDropped,
+		res.BitRots, res.RotDetected, res.RotRepaired, res.ReadRepairs, res.EIOs,
+		res.ScrubFindings, res.ScrubRepairs, res.SimulatedTime, res.Fingerprint)
 }
 
 // TestChaosSeedSweep runs the thrasher across many seeds; the zero-lost-

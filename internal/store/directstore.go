@@ -257,6 +257,43 @@ func (d *DirectStore) WALFullStalls() uint64 { return d.db.Stats().Stalls.Value(
 // FileStore returns the shared object table/read engine.
 func (d *DirectStore) FileStore() *filestore.FileStore { return d.fs }
 
+// Integrity surface — object bookkeeping lives in the shared filestore
+// table, so the direct backend's copy state is scrubbed and repaired
+// through the same door.
+
+// ObjectNames lists every stored object in sorted order.
+func (d *DirectStore) ObjectNames() []string { return d.fs.ObjectNames() }
+
+// ObjectVersion returns oid's mutation count.
+func (d *DirectStore) ObjectVersion(oid string) uint64 { return d.fs.ObjectVersion(oid) }
+
+// ObjectSize returns oid's current size.
+func (d *DirectStore) ObjectSize(oid string) int64 { return d.fs.ObjectSize(oid) }
+
+// ObjectDamaged reports the copy's corruption flag.
+func (d *DirectStore) ObjectDamaged(oid string) bool { return d.fs.ObjectDamaged(oid) }
+
+// ExtentDamaged reports whether the extent at off is rotten on this copy.
+func (d *DirectStore) ExtentDamaged(oid string, off int64) bool {
+	return d.fs.ExtentDamaged(oid, off)
+}
+
+// CorruptObject injects media corruption into the stored copy.
+func (d *DirectStore) CorruptObject(oid string) bool { return d.fs.CorruptObject(oid) }
+
+// ExportObject snapshots oid's state for recovery and repair.
+func (d *DirectStore) ExportObject(oid string) (filestore.ObjectState, bool) {
+	return d.fs.ExportObject(oid)
+}
+
+// IngestObject installs a recovered or repaired copy of oid.
+func (d *DirectStore) IngestObject(p *sim.Proc, oid string, st filestore.ObjectState) {
+	d.fs.IngestObject(p, oid, st)
+}
+
+// DeleteObject removes a stray copy.
+func (d *DirectStore) DeleteObject(oid string) bool { return d.fs.DeleteObject(oid) }
+
 // RegisterMetrics publishes the direct, filestore and KV subsystems.
 func (d *DirectStore) RegisterMetrics(r *metrics.Registry, prefix string) {
 	s := r.Sub(prefix + ".direct")

@@ -110,6 +110,41 @@ func (b *FileStoreBackend) WALFullStalls() uint64 { return b.jrnl.Stats().FullSt
 // FileStore returns the object store.
 func (b *FileStoreBackend) FileStore() *filestore.FileStore { return b.fs }
 
+// Integrity surface — object bookkeeping lives in the filestore table.
+
+// ObjectNames lists every stored object in sorted order.
+func (b *FileStoreBackend) ObjectNames() []string { return b.fs.ObjectNames() }
+
+// ObjectVersion returns oid's mutation count.
+func (b *FileStoreBackend) ObjectVersion(oid string) uint64 { return b.fs.ObjectVersion(oid) }
+
+// ObjectSize returns oid's current size.
+func (b *FileStoreBackend) ObjectSize(oid string) int64 { return b.fs.ObjectSize(oid) }
+
+// ObjectDamaged reports the copy's corruption flag.
+func (b *FileStoreBackend) ObjectDamaged(oid string) bool { return b.fs.ObjectDamaged(oid) }
+
+// ExtentDamaged reports whether the extent at off is rotten on this copy.
+func (b *FileStoreBackend) ExtentDamaged(oid string, off int64) bool {
+	return b.fs.ExtentDamaged(oid, off)
+}
+
+// CorruptObject injects media corruption into the stored copy.
+func (b *FileStoreBackend) CorruptObject(oid string) bool { return b.fs.CorruptObject(oid) }
+
+// ExportObject snapshots oid's state for recovery and repair.
+func (b *FileStoreBackend) ExportObject(oid string) (filestore.ObjectState, bool) {
+	return b.fs.ExportObject(oid)
+}
+
+// IngestObject installs a recovered or repaired copy of oid.
+func (b *FileStoreBackend) IngestObject(p *sim.Proc, oid string, st filestore.ObjectState) {
+	b.fs.IngestObject(p, oid, st)
+}
+
+// DeleteObject removes a stray copy.
+func (b *FileStoreBackend) DeleteObject(oid string) bool { return b.fs.DeleteObject(oid) }
+
 // RegisterMetrics publishes the journal, filestore and KV subsystems.
 func (b *FileStoreBackend) RegisterMetrics(r *metrics.Registry, prefix string) {
 	b.jrnl.RegisterMetrics(r.Sub(prefix + ".journal"))

@@ -111,6 +111,34 @@ type Backend interface {
 	// backends keep object bookkeeping in the filestore so scrub,
 	// recovery and verification see one source of truth.
 	FileStore() *filestore.FileStore
+
+	// Integrity surface: scrub, recovery and read-repair talk to the
+	// object table through these so they stay backend-neutral — a backend
+	// that moved bookkeeping out of the shared filestore would implement
+	// them against its own state.
+
+	// ObjectNames lists every stored object in sorted order.
+	ObjectNames() []string
+	// ObjectVersion returns oid's mutation count (0 if absent).
+	ObjectVersion(oid string) uint64
+	// ObjectSize returns oid's current size (0 if absent).
+	ObjectSize(oid string) int64
+	// ObjectDamaged reports whether the stored copy of oid carries latent
+	// corruption a checksum verify would catch.
+	ObjectDamaged(oid string) bool
+	// ExtentDamaged reports whether the extent starting at off of oid is
+	// corrupt on this copy (object-granular damage counts every extent).
+	ExtentDamaged(oid string, off int64) bool
+	// CorruptObject injects media corruption into the stored copy (fault
+	// injection); reports whether the object existed.
+	CorruptObject(oid string) bool
+	// ExportObject snapshots oid's state for recovery and repair.
+	ExportObject(oid string) (filestore.ObjectState, bool)
+	// IngestObject installs a recovered or repaired copy of oid, charging
+	// the device writes of a recovery push.
+	IngestObject(p *sim.Proc, oid string, st filestore.ObjectState)
+	// DeleteObject removes a stray copy; reports whether it existed.
+	DeleteObject(oid string) bool
 	// RegisterMetrics publishes the backend's subsystems under
 	// prefix (e.g. "osd.3"), perf-dump style.
 	RegisterMetrics(r *metrics.Registry, prefix string)

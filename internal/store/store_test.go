@@ -100,6 +100,92 @@ func TestBackendContract(t *testing.T) {
 	}
 }
 
+// TestBackendIntegrityContract pins the integrity surface of the seam on
+// both backends: enumeration, version/size/damage queries, corruption,
+// per-extent damage, export/ingest round-trips and stray deletion must all
+// behave identically — scrub, repair and recovery depend on it.
+func TestBackendIntegrityContract(t *testing.T) {
+	for _, name := range []string{BackendFileStore, BackendDirectStore} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			w := newWorld()
+			var b Backend
+			if name == BackendFileStore {
+				b = NewFileStoreBackend(w.k, w.fs, w.nvram, 8<<20)
+			} else {
+				b = NewDirectStore(w.k, w.fs, w.node, DirectConfig{})
+			}
+			b.Reopen("g0")
+			w.k.Go("io", func(p *sim.Proc) {
+				for i := uint64(1); i <= 3; i++ {
+					commitApplyCycle(p, b, txn(i, fmt.Sprintf("obj%d", i), 4096, 100+i))
+				}
+			})
+			w.k.Run(sim.Forever)
+
+			names := b.ObjectNames()
+			if len(names) != 3 {
+				t.Fatalf("ObjectNames = %v, want 3 objects", names)
+			}
+			for i, n := range names {
+				if want := fmt.Sprintf("obj%d", i+1); n != want {
+					t.Fatalf("ObjectNames[%d] = %q, want %q (sorted)", i, n, want)
+				}
+			}
+			if v := b.ObjectVersion("obj1"); v != 1 {
+				t.Fatalf("ObjectVersion = %d, want 1", v)
+			}
+			if s := b.ObjectSize("obj1"); s != 4096 {
+				t.Fatalf("ObjectSize = %d, want 4096", s)
+			}
+			if b.ObjectDamaged("obj1") || b.ExtentDamaged("obj1", 0) {
+				t.Fatal("fresh object reports damage")
+			}
+
+			if !b.CorruptObject("obj1") {
+				t.Fatal("CorruptObject failed on existing object")
+			}
+			if !b.ObjectDamaged("obj1") || !b.ExtentDamaged("obj1", 0) {
+				t.Fatal("corruption not visible through the seam")
+			}
+			if b.ExtentDamaged("obj1", 8192) {
+				t.Fatal("extent never written reports rot")
+			}
+
+			// Export the healthy copy, ingest it over the damaged one: the
+			// repair path in one motion.
+			healthy, ok := b.ExportObject("obj2")
+			if !ok {
+				t.Fatal("ExportObject missed obj2")
+			}
+			rotten, _ := b.ExportObject("obj1")
+			if !rotten.Damaged || len(rotten.Rot) == 0 {
+				t.Fatalf("export dropped damage state: %+v", rotten)
+			}
+			w.k.Go("heal", func(p *sim.Proc) {
+				st := rotten.Cleansed()
+				st.Stamps = healthy.Stamps
+				st.Version = rotten.Version
+				b.IngestObject(p, "obj1", st)
+			})
+			w.k.Run(sim.Forever)
+			if b.ObjectDamaged("obj1") || b.ExtentDamaged("obj1", 0) {
+				t.Fatal("ingest did not clear the damage")
+			}
+
+			if !b.DeleteObject("obj3") {
+				t.Fatal("DeleteObject failed on existing object")
+			}
+			if b.DeleteObject("obj3") {
+				t.Fatal("DeleteObject succeeded twice")
+			}
+			if got := len(b.ObjectNames()); got != 2 {
+				t.Fatalf("objects after delete = %d, want 2", got)
+			}
+		})
+	}
+}
+
 // TestBackendReplay commits writes without applying them (the crash
 // window), then replays: every entry must land, in commit order, and the
 // write-ahead state must drain.
