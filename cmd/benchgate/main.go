@@ -24,10 +24,18 @@
 //     simulator outputs — IOPS, latencies — and must not move at all for a
 //     fixed seed and scale; a drift here is a determinism bug, not noise.
 //   - sim-wall-x (simulated/wall time ratio) and B/op: recorded but not
-//     gated; the ratio is hardware-bound, bytes track allocs closely.
+//     gated exactly; the ratio is hardware-bound, bytes track allocs
+//     closely.
+//   - "min" entries: authored per-metric lower bounds. A baseline
+//     benchmark may carry {"min": {"sim-wall-x": 0.25}} and the gate fails
+//     if the measured metric drops below the floor — the mechanism that
+//     keeps hardware-bound ratios from silently collapsing while leaving
+//     them free to improve.
 //
 // -update rewrites the baseline from the parsed results instead of
-// comparing (see EXPERIMENTS.md for when that is legitimate).
+// comparing (see EXPERIMENTS.md for when that is legitimate). Min floors
+// are authored, not measured, so -update carries them over from the old
+// baseline unchanged.
 package main
 
 import (
@@ -48,7 +56,10 @@ type Bench struct {
 	AllocsOp float64            `json:"allocs_op,omitempty"`
 	BytesOp  float64            `json:"bytes_op,omitempty"`
 	Metrics  map[string]float64 `json:"metrics,omitempty"`
-	runs     int
+	// Min holds authored per-metric lower bounds: the gate fails when a
+	// measured metric falls below its floor. Floors survive -update.
+	Min  map[string]float64 `json:"min,omitempty"`
+	runs int
 }
 
 // File is the BENCH_results.json / BENCH_baseline.json schema.
@@ -94,6 +105,9 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgate: wrote %s (%d benchmarks)\n", *out, len(res.Benchmarks))
 	}
 	if *update {
+		if old, err := readJSON(*baseline); err == nil {
+			carryMin(old, res)
+		}
 		res.Note = "benchmark baseline; update only via scripts/bench.sh -update (see EXPERIMENTS.md)"
 		if err := writeJSON(*baseline, res); err != nil {
 			fatal(err)
@@ -227,8 +241,39 @@ func gate(base, res *File, nsTol, allocsTol float64, allowSubset bool) []string 
 					name, m, got, want))
 			}
 		}
+		fnames := make([]string, 0, len(b.Min))
+		for m := range b.Min {
+			fnames = append(fnames, m)
+		}
+		sort.Strings(fnames)
+		for _, m := range fnames {
+			floor := b.Min[m]
+			got, ok := r.Metrics[m]
+			if !ok {
+				fails = append(fails, fmt.Sprintf("%s: floor metric %q missing from results", name, m))
+				continue
+			}
+			if got < floor {
+				fails = append(fails, fmt.Sprintf("%s: metric %q = %v below floor %v",
+					name, m, got, floor))
+			}
+		}
 	}
 	return fails
+}
+
+// carryMin copies the authored Min floors of the old baseline onto the
+// freshly measured results, so -update never drops a floor. Floors whose
+// benchmark vanished from the run are dropped with it.
+func carryMin(old, res *File) {
+	for name, ob := range old.Benchmarks {
+		if len(ob.Min) == 0 {
+			continue
+		}
+		if nb := res.Benchmarks[name]; nb != nil {
+			nb.Min = ob.Min
+		}
+	}
 }
 
 // closeEnough is exact equality modulo float formatting noise.

@@ -41,6 +41,65 @@ func TestGateAllowSubsetSkipsMissing(t *testing.T) {
 	}
 }
 
+func TestGateMinFloor(t *testing.T) {
+	base := &File{Benchmarks: map[string]*Bench{
+		"Backends/4K-randwrite": {
+			NsOp: 100, AllocsOp: 10,
+			Metrics: map[string]float64{"sim-wall-x": 0.32},
+			Min:     map[string]float64{"sim-wall-x": 0.25},
+		},
+	}}
+
+	// At or above the floor: passes even though the exact value moved
+	// (sim-wall-x is exempt from the exact-metric comparison).
+	res := &File{Benchmarks: map[string]*Bench{
+		"Backends/4K-randwrite": bench(100, 10, map[string]float64{"sim-wall-x": 0.40}),
+	}}
+	if fails := gate(base, res, 1.0, 0.10, false); len(fails) != 0 {
+		t.Fatalf("above-floor run failed the gate: %v", fails)
+	}
+
+	// Below the floor: fails with an actionable message.
+	res = &File{Benchmarks: map[string]*Bench{
+		"Backends/4K-randwrite": bench(100, 10, map[string]float64{"sim-wall-x": 0.10}),
+	}}
+	fails := gate(base, res, 1.0, 0.10, false)
+	if len(fails) != 1 ||
+		!strings.Contains(fails[0], "sim-wall-x") ||
+		!strings.Contains(fails[0], "below floor") {
+		t.Fatalf("below-floor run: fails = %v, want one floor failure", fails)
+	}
+
+	// Floor metric absent from the results entirely: also a failure — a
+	// silently unreported metric must not satisfy its floor.
+	res = &File{Benchmarks: map[string]*Bench{
+		"Backends/4K-randwrite": bench(100, 10, nil),
+	}}
+	fails = gate(base, res, 1.0, 0.10, false)
+	if len(fails) != 1 || !strings.Contains(fails[0], "floor metric") {
+		t.Fatalf("missing floor metric: fails = %v, want one failure", fails)
+	}
+}
+
+func TestUpdateCarriesMinFloors(t *testing.T) {
+	old := &File{Benchmarks: map[string]*Bench{
+		"Fig1":    {NsOp: 100, Min: map[string]float64{"sim-wall-x": 0.25}},
+		"Fig3":    {NsOp: 100},
+		"Retired": {NsOp: 100, Min: map[string]float64{"sim-wall-x": 0.5}},
+	}}
+	res := &File{Benchmarks: map[string]*Bench{
+		"Fig1": bench(90, 9, map[string]float64{"sim-wall-x": 0.33}),
+		"Fig3": bench(90, 9, nil),
+	}}
+	carryMin(old, res)
+	if got := res.Benchmarks["Fig1"].Min["sim-wall-x"]; got != 0.25 {
+		t.Fatalf("Fig1 floor = %v after update, want 0.25 carried over", got)
+	}
+	if res.Benchmarks["Fig3"].Min != nil {
+		t.Fatalf("Fig3 grew a floor it never had: %v", res.Benchmarks["Fig3"].Min)
+	}
+}
+
 func TestGateRegressionsStillCaught(t *testing.T) {
 	base := &File{Benchmarks: map[string]*Bench{
 		"Fig1": bench(100, 10, map[string]float64{"iops": 5000}),

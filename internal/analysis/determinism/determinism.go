@@ -25,6 +25,17 @@ var forbiddenImports = map[string]bool{
 	"crypto/rand":  true,
 }
 
+// concurrencyImports are shared-memory concurrency primitives. They are
+// not forbidden outright — the sim worker pool is built on them — but in
+// audited packages every use is a channel through which host scheduling
+// could reach simulated state, so each import must carry an
+// //afvet:allow annotation naming why it cannot (barrier-only use,
+// index-owned result slots, a commutative atomic meter, ...).
+var concurrencyImports = map[string]bool{
+	"sync":        true,
+	"sync/atomic": true,
+}
+
 // forbiddenCalls are wall-clock and process-identity reads, keyed by
 // package path then function name.
 var forbiddenCalls = map[string]map[string]bool{
@@ -57,6 +68,11 @@ func run(pass *driver.Pass) error {
 			if forbiddenImports[path] {
 				pass.Reportf(imp.Pos(),
 					"import %q is forbidden in deterministic package %q: use repro/internal/rng (seeded, forkable streams) instead",
+					path, pass.Pkg.Name())
+			}
+			if concurrencyImports[path] {
+				pass.Reportf(imp.Pos(),
+					"import %q brings shared-memory concurrency into deterministic package %q; annotate //afvet:allow determinism <why host scheduling cannot reach simulated state>",
 					path, pass.Pkg.Name())
 			}
 		}

@@ -35,3 +35,14 @@ func sumAllowed(m map[string]int) int {
 	}
 	return s
 }
+
+// poolState proves the shared-memory concurrency rule: bare sync imports
+// are flagged in audited packages, annotated ones are allowed. (The
+// imports live in sync.go alongside this file.)
+func poolState(m map[int]int) int {
+	n := 0
+	for k := range m { //afvet:allow determinism counting keys is order-insensitive
+		n += k
+	}
+	return n
+}

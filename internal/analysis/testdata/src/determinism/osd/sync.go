@@ -1,0 +1,16 @@
+package osd
+
+import (
+	"sync"        // want `import "sync" brings shared-memory concurrency into deterministic package "osd"`
+	"sync/atomic" //afvet:allow determinism index-owned slots fixture: host scheduling cannot reach simulated state
+)
+
+var mu sync.Mutex
+
+var ctr atomic.Int64
+
+func bump() int64 {
+	mu.Lock()
+	defer mu.Unlock()
+	return ctr.Add(1)
+}

@@ -63,10 +63,22 @@ func Backends(opt Options, panels []string) Report {
 	for _, p := range panels {
 		want[p] = true
 	}
-	for _, pn := range backendPanels {
+	backends := []string{store.BackendFileStore, store.BackendDirectStore}
+	type bkCell struct {
+		panel   int
+		backend string
+	}
+	var cells []bkCell
+	for pi, pn := range backendPanels {
 		if len(want) > 0 && !want[pn.Name] {
 			continue
 		}
+		for _, backend := range backends {
+			cells = append(cells, bkCell{panel: pi, backend: backend})
+		}
+	}
+	rows := parallelPoints(opt.Workers, len(cells), func(i int) []string {
+		pn, backend := backendPanels[cells[i].panel], cells[i].backend
 		vms, depth := opt.scaleLoad(20, pn.Depth)
 		spec := workload.Spec{
 			Pattern:   pn.Pattern,
@@ -77,29 +89,28 @@ func Backends(opt Options, panels []string) Report {
 			Ramp:      opt.rampWrite(),
 			Seed:      opt.Seed,
 		}
-		for _, backend := range []string{store.BackendFileStore, store.BackendDirectStore} {
-			p := profileParams(opt, withJournal(osd.AFCephConfig, opt.JournalMB), cpumodel.JEMalloc, true, true)
-			p.Backend = backend
-			res, c := runBackendPoint(p, vms, spec)
-			jbytes, dbytes := deviceWriteBytes(c)
-			// Replicated client write bytes: every primary and replica write
-			// op carries one BlockSize payload to its OSD.
-			var logical uint64
-			for _, o := range c.OSDs() {
-				logical += (o.Metrics().WriteOps.Value() + o.Metrics().RepOps.Value()) * uint64(pn.BS)
-			}
-			amp := 0.0
-			if logical > 0 {
-				amp = float64(jbytes+dbytes) / float64(logical)
-			}
-			rep.Rows = append(rep.Rows, []string{
-				pn.Name, backend,
-				f0(res.IOPS), f1(res.Lat.Mean),
-				f1(float64(jbytes) / (1 << 20)), f1(float64(dbytes) / (1 << 20)),
-				f2(amp),
-			})
+		p := profileParams(opt, withJournal(osd.AFCephConfig, opt.JournalMB), cpumodel.JEMalloc, true, true)
+		p.Backend = backend
+		res, c := runBackendPoint(p, vms, spec)
+		jbytes, dbytes := deviceWriteBytes(c)
+		// Replicated client write bytes: every primary and replica write
+		// op carries one BlockSize payload to its OSD.
+		var logical uint64
+		for _, o := range c.OSDs() {
+			logical += (o.Metrics().WriteOps.Value() + o.Metrics().RepOps.Value()) * uint64(pn.BS)
 		}
-	}
+		amp := 0.0
+		if logical > 0 {
+			amp = float64(jbytes+dbytes) / float64(logical)
+		}
+		return []string{
+			pn.Name, backend,
+			f0(res.IOPS), f1(res.Lat.Mean),
+			f1(float64(jbytes) / (1 << 20)), f1(float64(dbytes) / (1 << 20)),
+			f2(amp),
+		}
+	})
+	rep.Rows = append(rep.Rows, rows...)
 	rep.Notes = append(rep.Notes,
 		"write-amp = (journal NVRAM bytes + data-array bytes) / replicated client write bytes;",
 		"the direct backend zeroes the journal column and drops large-write amplification toward 1x,",

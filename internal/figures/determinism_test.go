@@ -58,11 +58,13 @@ var goldenFigures = []struct {
 
 // TestFigureDeterminism is the golden gate behind every benchmark
 // comparison and EXPERIMENTS.md claim: a figure rendered twice from the
-// same options hashes identically, and rendering with GOMAXPROCS=1 hashes
-// identically too — the simulation must not observe host parallelism.
+// same options hashes identically, and rendering under deliberately
+// different host parallelism — one point-pool worker, eight workers, and
+// the whole runtime pinned to GOMAXPROCS=1 — hashes identically too. The
+// simulation must not observe host parallelism in any form.
 func TestFigureDeterminism(t *testing.T) {
 	if testing.Short() {
-		t.Skip("renders every figure three times")
+		t.Skip("renders every figure five times")
 	}
 	opt := Options{Scale: 0.04, RuntimeSec: 0.6, RampSec: 0.2, JournalMB: 32, Seed: 1}
 	for _, fig := range goldenFigures {
@@ -72,6 +74,13 @@ func TestFigureDeterminism(t *testing.T) {
 			if again := reportHash(fig.run(opt)); again != first {
 				t.Fatalf("same options diverged: %s then %s", first, again)
 			}
+			for _, workers := range []int{1, 8} {
+				wopt := opt
+				wopt.Workers = workers
+				if h := reportHash(fig.run(wopt)); h != first {
+					t.Fatalf("%d point workers diverged: %s vs %s", workers, h, first)
+				}
+			}
 			prev := runtime.GOMAXPROCS(1)
 			serial := reportHash(fig.run(opt))
 			runtime.GOMAXPROCS(prev)
@@ -79,5 +88,44 @@ func TestFigureDeterminism(t *testing.T) {
 				t.Fatalf("GOMAXPROCS=1 diverged: %s vs %s", serial, first)
 			}
 		})
+	}
+}
+
+// TestParallelPointsDifferentialShort is the -short/-race slice of the
+// differential harness: one multi-point figure at minuscule scale rendered
+// with 1 and 8 point workers must hash identically. scripts/check.sh runs
+// this package under -race -short, so the race detector watches concurrent
+// whole-cluster simulations through this test on every tier-1 run.
+func TestParallelPointsDifferentialShort(t *testing.T) {
+	opt := Options{Scale: 0.02, RuntimeSec: 0.3, RampSec: 0.1, JournalMB: 16, Seed: 1}
+	opt.Workers = 1
+	first := reportHash(Fig9(opt))
+	opt.Workers = 8
+	if h := reportHash(Fig9(opt)); h != first {
+		t.Fatalf("point-parallel Fig9 diverged: %s vs %s", h, first)
+	}
+}
+
+// TestPerfDumpDeterminism extends the gate to the perf-dump JSON surface
+// (the afbench/afsim -perf-dump hook): the full dump of a rendered
+// cluster must be byte-identical across repeated runs and under
+// GOMAXPROCS=1.
+func TestPerfDumpDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("renders the breakdown cluster three times")
+	}
+	opt := Options{Scale: 0.04, RuntimeSec: 0.6, RampSec: 0.2, JournalMB: 32, Seed: 1}
+	_, first := LatencyBreakdownWithPerf(opt)
+	if first == "" {
+		t.Fatal("perf dump empty")
+	}
+	if _, again := LatencyBreakdownWithPerf(opt); again != first {
+		t.Fatal("perf dump diverged across identical runs")
+	}
+	prev := runtime.GOMAXPROCS(1)
+	_, serial := LatencyBreakdownWithPerf(opt)
+	runtime.GOMAXPROCS(prev)
+	if serial != first {
+		t.Fatal("perf dump diverged under GOMAXPROCS=1")
 	}
 }

@@ -35,6 +35,10 @@ type Options struct {
 	JournalMB int
 	// Seed makes runs reproducible.
 	Seed uint64
+	// Workers bounds the pool running a figure's independent data points
+	// concurrently; 0 means sim.DefaultWorkers(). Reports are bit-identical
+	// for every value — the differential determinism tests enforce it.
+	Workers int
 }
 
 // DefaultOptions returns bench-friendly sizing.
@@ -165,10 +169,11 @@ func Fig1(opt Options) Report {
 		Header: []string{"threads", "wr-iops", "wr-lat(ms)", "rd-iops", "rd-lat(ms)"},
 	}
 	threads := []int{4, 8, 16, 32, 64, 128, 256}
-	for _, th := range threads {
+	type wrRd struct{ wr, rd workload.Result }
+	points := parallelPoints(opt.Workers, len(threads), func(i int) wrRd {
 		spec := workload.Spec{
 			BlockSize: 4096,
-			IODepth:   th / 4,
+			IODepth:   threads[i] / 4,
 			Runtime:   opt.runtime(),
 			Ramp:      opt.ramp(),
 			Seed:      opt.Seed,
@@ -181,10 +186,13 @@ func Fig1(opt Options) Report {
 		wr := runPoint(p, 4, 512<<20, spec, false)
 		spec.Pattern = workload.RandRead
 		rd := runPoint(p, 4, 512<<20, spec, true)
+		return wrRd{wr: wr, rd: rd}
+	})
+	for i, th := range threads {
 		rep.Rows = append(rep.Rows, []string{
 			fmt.Sprintf("%d", th),
-			f0(wr.IOPS), f1(wr.Lat.Mean),
-			f0(rd.IOPS), f1(rd.Lat.Mean),
+			f0(points[i].wr.IOPS), f1(points[i].wr.Lat.Mean),
+			f0(points[i].rd.IOPS), f1(points[i].rd.Lat.Mean),
 		})
 	}
 	rep.Notes = append(rep.Notes,
@@ -304,8 +312,11 @@ func Fig4(opt Options) Report {
 			Seed:      opt.Seed,
 		}, false)
 	}
-	withLog := run(oslog.Sync)
-	noLog := run(oslog.Off)
+	modes := []oslog.Mode{oslog.Sync, oslog.Off}
+	points := parallelPoints(opt.Workers, len(modes), func(i int) workload.Result {
+		return run(modes[i])
+	})
+	withLog, noLog := points[0], points[1]
 	rep := Report{
 		Title:  "Figure 4: log vs no-log, 4K randwrite IOPS over time (locks+tuning, heavy tx)",
 		Header: []string{"config", "early-iops(A)", "late-iops", "late-CV(B)"},
@@ -391,9 +402,10 @@ func Fig9(opt Options) Report {
 	}
 	var base float64
 	vms, depth := opt.scaleLoad(20, 8)
-	for _, step := range fig9Steps() {
-		p := profileParams(opt, step.Prof, step.Alloc, step.NoDelay, false)
-		res := runPoint(p, vms, 512<<20, workload.Spec{
+	steps := fig9Steps()
+	points := parallelPoints(opt.Workers, len(steps), func(i int) workload.Result {
+		p := profileParams(opt, steps[i].Prof, steps[i].Alloc, steps[i].NoDelay, false)
+		return runPoint(p, vms, 512<<20, workload.Spec{
 			Pattern:   workload.RandWrite,
 			BlockSize: 4096,
 			IODepth:   depth,
@@ -401,6 +413,9 @@ func Fig9(opt Options) Report {
 			Ramp:      opt.ramp(),
 			Seed:      opt.Seed,
 		}, false)
+	})
+	for i, step := range steps {
+		res := points[i]
 		if base == 0 {
 			base = res.IOPS
 		}

@@ -42,40 +42,54 @@ func Fig10(opt Options, vmCounts []int, panels []string) Report {
 	for _, p := range panels {
 		want[p] = true
 	}
-	for _, wl := range fig10Workloads {
+	type f10Cell struct {
+		wl      int
+		vmsFull int
+	}
+	var cells []f10Cell
+	for wi, wl := range fig10Workloads {
 		if len(want) > 0 && !want[wl.Name] {
 			continue
 		}
 		for _, vmsFull := range vmCounts {
-			vms, depth := opt.scaleLoad(vmsFull, wl.Depth)
-			ramp := opt.ramp()
-			if wl.Pattern.IsWrite() {
-				ramp = opt.rampWrite()
-			}
-			spec := workload.Spec{
-				Pattern:   wl.Pattern,
-				BlockSize: wl.BS,
-				IODepth:   depth,
-				Runtime:   opt.runtime(),
-				Ramp:      ramp,
-				Seed:      opt.Seed,
-			}
-			prefill := !wl.Pattern.IsWrite()
-			commP := profileParams(opt, withJournal(osd.CommunityConfig, opt.JournalMB), cpumodel.TCMalloc, false, true)
-			comm := runPoint(commP, vms, 512<<20, spec, prefill)
-			afcP := profileParams(opt, withJournal(osd.AFCephConfig, opt.JournalMB), cpumodel.JEMalloc, true, true)
-			afc := runPoint(afcP, vms, 512<<20, spec, prefill)
-			ratio := 0.0
-			if comm.IOPS > 0 {
-				ratio = afc.IOPS / comm.IOPS
-			}
-			rep.Rows = append(rep.Rows, []string{
-				wl.Name, fmt.Sprintf("%d", vmsFull),
-				f0(comm.IOPS), f1(comm.Lat.Mean),
-				f0(afc.IOPS), f1(afc.Lat.Mean),
-				f2(ratio),
-			})
+			cells = append(cells, f10Cell{wl: wi, vmsFull: vmsFull})
 		}
+	}
+	type f10Res struct{ comm, afc workload.Result }
+	points := parallelPoints(opt.Workers, len(cells), func(i int) f10Res {
+		wl, vmsFull := fig10Workloads[cells[i].wl], cells[i].vmsFull
+		vms, depth := opt.scaleLoad(vmsFull, wl.Depth)
+		ramp := opt.ramp()
+		if wl.Pattern.IsWrite() {
+			ramp = opt.rampWrite()
+		}
+		spec := workload.Spec{
+			Pattern:   wl.Pattern,
+			BlockSize: wl.BS,
+			IODepth:   depth,
+			Runtime:   opt.runtime(),
+			Ramp:      ramp,
+			Seed:      opt.Seed,
+		}
+		prefill := !wl.Pattern.IsWrite()
+		commP := profileParams(opt, withJournal(osd.CommunityConfig, opt.JournalMB), cpumodel.TCMalloc, false, true)
+		comm := runPoint(commP, vms, 512<<20, spec, prefill)
+		afcP := profileParams(opt, withJournal(osd.AFCephConfig, opt.JournalMB), cpumodel.JEMalloc, true, true)
+		afc := runPoint(afcP, vms, 512<<20, spec, prefill)
+		return f10Res{comm: comm, afc: afc}
+	})
+	for i, cell := range cells {
+		comm, afc := points[i].comm, points[i].afc
+		ratio := 0.0
+		if comm.IOPS > 0 {
+			ratio = afc.IOPS / comm.IOPS
+		}
+		rep.Rows = append(rep.Rows, []string{
+			fig10Workloads[cell.wl].Name, fmt.Sprintf("%d", cell.vmsFull),
+			f0(comm.IOPS), f1(comm.Lat.Mean),
+			f0(afc.IOPS), f1(afc.Lat.Mean),
+			f2(ratio),
+		})
 	}
 	rep.Notes = append(rep.Notes,
 		"paper headline: 4K randwrite 22K/58.2ms (community) vs 81K/7.9ms (AFCeph) at 80 VMs;",
@@ -135,7 +149,9 @@ func Fig11(opt Options) Report {
 		Title:  "Figure 11: SolidFire vs AFCeph vs community (max performance)",
 		Header: []string{"workload", "sf-iops", "sf-lat", "afc-iops", "afc-lat", "comm-iops", "comm-lat", "sf-MB/s", "afc-MB/s", "comm-MB/s"},
 	}
-	for _, pn := range fig11Panels {
+	type f11Res struct{ sf, afc, comm workload.Result }
+	points := parallelPoints(opt.Workers, len(fig11Panels), func(i int) f11Res {
+		pn := fig11Panels[i]
 		vms, depth := opt.scaleLoad(40, pn.Depth)
 		ramp := opt.ramp()
 		if pn.Pattern.IsWrite() {
@@ -168,6 +184,10 @@ func Fig11(opt Options) Report {
 		afc := runPoint(afcP, vms, 512<<20, spec, prefill)
 		commP := profileParams(opt, osd.CommunityConfig, cpumodel.TCMalloc, false, true)
 		comm := runPoint(commP, vms, 512<<20, spec, prefill)
+		return f11Res{sf: sf, afc: afc, comm: comm}
+	})
+	for i, pn := range fig11Panels {
+		sf, afc, comm := points[i].sf, points[i].afc, points[i].comm
 		rep.Rows = append(rep.Rows, []string{
 			pn.Name,
 			f0(sf.IOPS), f1(sf.Lat.Mean),
@@ -204,21 +224,25 @@ func Fig12(opt Options, nodeCounts []int) Report {
 		{"seq-write", workload.SeqWrite, 1 << 20, 4},
 		{"seq-read", workload.SeqRead, 1 << 20, 4},
 	}
-	for _, wl := range wls {
+	points := parallelPoints(opt.Workers, len(wls)*len(nodeCounts), func(i int) workload.Result {
+		wl, nodes := wls[i/len(nodeCounts)], nodeCounts[i%len(nodeCounts)]
+		p := profileParams(opt, osd.AFCephConfig, cpumodel.JEMalloc, true, false)
+		p.OSDNodes = nodes
+		vms, depth := opt.scaleLoad(10*nodes, wl.Depth)
+		spec := workload.Spec{
+			Pattern:   wl.Pattern,
+			BlockSize: wl.BS,
+			IODepth:   depth,
+			Runtime:   opt.runtime(),
+			Ramp:      opt.ramp(),
+			Seed:      opt.Seed,
+		}
+		return runPoint(p, vms, 512<<20, spec, !wl.Pattern.IsWrite())
+	})
+	for wi, wl := range wls {
 		var base float64
-		for _, nodes := range nodeCounts {
-			p := profileParams(opt, osd.AFCephConfig, cpumodel.JEMalloc, true, false)
-			p.OSDNodes = nodes
-			vms, depth := opt.scaleLoad(10*nodes, wl.Depth)
-			spec := workload.Spec{
-				Pattern:   wl.Pattern,
-				BlockSize: wl.BS,
-				IODepth:   depth,
-				Runtime:   opt.runtime(),
-				Ramp:      opt.ramp(),
-				Seed:      opt.Seed,
-			}
-			res := runPoint(p, vms, 512<<20, spec, !wl.Pattern.IsWrite())
+		for ni, nodes := range nodeCounts {
+			res := points[wi*len(nodeCounts)+ni]
 			if base == 0 {
 				base = res.IOPS
 			}
@@ -241,10 +265,11 @@ func LatencyVsLoad(opt Options, tuningName string, prof func(int) osd.Config, al
 		Title:  fmt.Sprintf("latency vs load (%s, 4K randwrite, sustained)", tuningName),
 		Header: []string{"vms", "iops", "lat(ms)", "p99(ms)"},
 	}
-	for _, vmsFull := range []int{5, 10, 20, 40, 80} {
-		vms, depth := opt.scaleLoad(vmsFull, 8)
+	loads := []int{5, 10, 20, 40, 80}
+	points := parallelPoints(opt.Workers, len(loads), func(i int) workload.Result {
+		vms, depth := opt.scaleLoad(loads[i], 8)
 		p := profileParams(opt, prof, alloc, noDelay, true)
-		res := runPoint(p, vms, 512<<20, workload.Spec{
+		return runPoint(p, vms, 512<<20, workload.Spec{
 			Pattern:   workload.RandWrite,
 			BlockSize: 4096,
 			IODepth:   depth,
@@ -252,6 +277,9 @@ func LatencyVsLoad(opt Options, tuningName string, prof func(int) osd.Config, al
 			Ramp:      opt.ramp(),
 			Seed:      opt.Seed,
 		}, false)
+	})
+	for i, vmsFull := range loads {
+		res := points[i]
 		rep.Rows = append(rep.Rows, []string{
 			fmt.Sprintf("%d", vmsFull), f0(res.IOPS), f1(res.Lat.Mean), f1(res.Lat.P99),
 		})
@@ -306,9 +334,21 @@ func DropIn(opt Options) Report {
 			Seed:      opt.Seed,
 		}, false)
 	}
-	hdd := run(osd.CommunityConfig, cpumodel.TCMalloc, false, true)
-	ssd := run(osd.CommunityConfig, cpumodel.TCMalloc, false, false)
-	afc := run(osd.AFCephConfig, cpumodel.JEMalloc, true, false)
+	configs := []struct {
+		prof    func(int) osd.Config
+		alloc   cpumodel.Allocator
+		noDelay bool
+		hdd     bool
+	}{
+		{osd.CommunityConfig, cpumodel.TCMalloc, false, true},
+		{osd.CommunityConfig, cpumodel.TCMalloc, false, false},
+		{osd.AFCephConfig, cpumodel.JEMalloc, true, false},
+	}
+	points := parallelPoints(opt.Workers, len(configs), func(i int) workload.Result {
+		c := configs[i]
+		return run(c.prof, c.alloc, c.noDelay, c.hdd)
+	})
+	hdd, ssd, afc := points[0], points[1], points[2]
 	base := hdd.IOPS
 	if base <= 0 {
 		base = 1
@@ -336,11 +376,12 @@ func MixedRW(opt Options, readPcts []int) Report {
 		Header: []string{"read%", "comm-iops", "comm-lat(ms)", "afc-iops", "afc-lat(ms)", "afc/comm"},
 	}
 	vms, depth := opt.scaleLoad(40, 8)
-	for _, rp := range readPcts {
+	type mixRes struct{ comm, afc workload.Result }
+	points := parallelPoints(opt.Workers, len(readPcts), func(i int) mixRes {
 		spec := workload.Spec{
 			Pattern:   workload.RandRW,
 			BlockSize: 4096,
-			ReadPct:   rp,
+			ReadPct:   readPcts[i],
 			IODepth:   depth,
 			Runtime:   opt.runtime(),
 			Ramp:      opt.rampWrite(),
@@ -350,6 +391,10 @@ func MixedRW(opt Options, readPcts []int) Report {
 		comm := runPoint(commP, vms, 512<<20, spec, true)
 		afcP := profileParams(opt, osd.AFCephConfig, cpumodel.JEMalloc, true, true)
 		afc := runPoint(afcP, vms, 512<<20, spec, true)
+		return mixRes{comm: comm, afc: afc}
+	})
+	for i, rp := range readPcts {
+		comm, afc := points[i].comm, points[i].afc
 		ratio := 0.0
 		if comm.IOPS > 0 {
 			ratio = afc.IOPS / comm.IOPS

@@ -50,7 +50,8 @@ func Scrub(opt Options) Report {
 		}},
 	}
 	const rotCount = 3
-	for _, m := range modes {
+	rows := parallelPoints(opt.Workers, len(modes), func(mi int) []string {
+		m := modes[mi]
 		p := profileParams(opt, withJournal(osd.AFCephConfig, opt.JournalMB), cpumodel.JEMalloc, true, true)
 		p.Scrub = m.sp
 		vms, depth := opt.scaleLoad(8, 8)
@@ -165,7 +166,7 @@ func Scrub(opt Options) Report {
 			ttrCell = f1(float64(ttr) / float64(healed) / 1e6)
 		}
 		st := c.ScrubStats()
-		rep.Rows = append(rep.Rows, []string{
+		return []string{
 			m.name, f0(res.IOPS), f2(res.Lat.Mean), f2(res.Lat.P99),
 			fmt.Sprintf("%d", st.ObjectsScrubbed.Value()),
 			fmt.Sprintf("%d", st.Findings.Value()),
@@ -174,8 +175,9 @@ func Scrub(opt Options) Report {
 			fmt.Sprintf("%d", eios),
 			fmt.Sprintf("%d", detected),
 			ttdCell, ttrCell,
-		})
-	}
+		}
+	})
+	rep.Rows = append(rep.Rows, rows...)
 	rep.Notes = append(rep.Notes,
 		fmt.Sprintf("%d cold primary copies corrupted during the ramp of every mode; the run continues", rotCount),
 		"past the client window until scrub heals them (or a 3s deadline for modes that cannot);",

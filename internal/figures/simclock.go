@@ -1,7 +1,7 @@
 package figures
 
 import (
-	"sync/atomic"
+	"sync/atomic" //afvet:allow determinism commutative wall-meter only: a sum of per-point clocks, never read by simulated state
 
 	"repro/internal/sim"
 )

@@ -138,6 +138,12 @@ type DB struct {
 	compacting bool
 	flushing   bool
 
+	// valFree pools value-copy buffers by power-of-two size class. A buffer
+	// is recycled only when its entry is overwritten in the ACTIVE memtable
+	// — the one point where nothing else can reference it (immutable
+	// memtables and sstables share entries with in-flight readers).
+	valFree map[int][][]byte
+
 	devOff int64 // monotonically advancing write cursor
 	rnd    *rng.Rand
 
@@ -214,12 +220,20 @@ func (db *DB) Apply(p *sim.Proc, ops []Op) {
 	// WAL write under the writer lock (LevelDB single-writer discipline).
 	db.dev.Write(p, db.alloc(walBytes), walBytes)
 	db.stats.WALBytes.Add(uint64(walBytes))
-	// Memtable inserts.
+	// Memtable inserts. Value payloads are copied into pooled buffers; the
+	// copy replaced in the active memtable by an overwrite (the omap-info
+	// update pattern) or a tombstone (a deferred-write WAL delete) is
+	// recycled on the spot.
 	db.node.UseWithAllocs(p, db.params.PutCPU*sim.Time(len(ops)), db.params.PutAllocs*len(ops))
 	for _, op := range ops {
-		e := entry{key: op.Key, value: append([]byte(nil), op.Value...), tombstone: op.Delete}
+		e := entry{key: op.Key, tombstone: op.Delete}
+		if len(op.Value) > 0 {
+			e.value = db.getVal(len(op.Value))
+			copy(e.value, op.Value)
+		}
 		if old, ok := db.mem.data[op.Key]; ok {
 			db.mem.bytes -= int64(len(old.key) + len(old.value) + int(db.params.EntryOverhead))
+			db.putVal(old.value)
 		}
 		db.mem.data[op.Key] = e
 		db.mem.bytes += int64(len(op.Key) + len(op.Value) + int(db.params.EntryOverhead))
@@ -234,6 +248,42 @@ func (db *DB) Apply(p *sim.Proc, ops []Op) {
 		db.rotateMemtable()
 	}
 	db.mu.Unlock(p)
+}
+
+// valClass rounds a value length up to its pool size class.
+func valClass(n int) int {
+	c := 64
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// getVal returns an n-byte value buffer, reusing a pooled copy when one of
+// the right class is free.
+func (db *DB) getVal(n int) []byte {
+	c := valClass(n)
+	if s := db.valFree[c]; len(s) > 0 {
+		b := s[len(s)-1]
+		s[len(s)-1] = nil
+		db.valFree[c] = s[:len(s)-1]
+		return b[:n]
+	}
+	return make([]byte, n, c)
+}
+
+// putVal recycles a value buffer whose memtable entry was just replaced.
+// Only buffers with an exact class capacity are kept (anything else came
+// from outside the pool).
+func (db *DB) putVal(b []byte) {
+	c := cap(b)
+	if c == 0 || c != valClass(c) {
+		return
+	}
+	if db.valFree == nil {
+		db.valFree = make(map[int][][]byte)
+	}
+	db.valFree[c] = append(db.valFree[c], b[:0])
 }
 
 // alloc advances the device write cursor (log-structured layout).
@@ -384,7 +434,9 @@ func (db *DB) merge(inputs []*sstable) *sstable {
 }
 
 // Get returns the newest value for key, reading table blocks from the
-// device as needed. ok is false for missing or deleted keys.
+// device as needed. ok is false for missing or deleted keys. The returned
+// slice aliases the store's pooled copy: it is valid until the next write
+// to the same key and must not be retained past that.
 func (db *DB) Get(p *sim.Proc, key string) (value []byte, ok bool) {
 	db.mu.Lock(p)
 	db.node.UseWithAllocs(p, db.params.GetCPU, db.params.GetAllocs)

@@ -1,0 +1,239 @@
+package sim
+
+// Sharded parallel simulation: conservative-lookahead synchronization over
+// per-shard kernels.
+//
+// A ShardGroup partitions a model into shards — one per simulated node
+// (an OSD host, a client, a netsim endpoint domain) — each owning a full
+// Kernel and everything scheduled on it. Shards interact ONLY through
+// Shard.Send, whose delivery latency must be at least the group's
+// lookahead bound (for the cluster model that bound is the minimum netsim
+// link latency: nothing crosses the fabric faster than the propagation
+// delay, see netsim.Params.LookaheadBound).
+//
+// Run advances the group in windows of exactly one lookahead: within the
+// window [base, base+L) every shard executes independently — in parallel,
+// on the bounded worker pool — because no event sent during the window can
+// be delivered before base+L. At the window barrier the coordinator
+// gathers every cross-shard send, sorts the batch by its canonical XKey
+// encoding (delivery time, sending shard, send sequence), and injects the
+// events into their destination kernels in that order. Each shard's
+// execution is deterministic, the merge order is deterministic, and
+// injection happens only at barriers — so the interleaving the model
+// observes is a pure function of the model and the seed. GOMAXPROCS=1,
+// workers=1, and full parallelism produce bit-identical runs; the
+// differential harness in shard_test.go and the figure/qa gates hold that
+// line.
+//
+// The only nondeterminism in the whole construction — which worker runs
+// which shard, and in what wall-clock order — is quarantined behind the
+// barrier + sorted merge and cannot reach simulated state.
+
+import (
+	"sort"
+	"sync/atomic" //afvet:allow determinism Stop latch only: read at window barriers, never feeds simulated state
+)
+
+// xev is one cross-shard event awaiting delivery.
+type xev struct {
+	key XKey           // (deliver time, src shard, send seq)
+	enc [XKeySize]byte // canonical encoding; the merge sorts on this
+	to  int            // destination shard
+	fn  func(any)
+	arg any
+}
+
+// Shard is one deterministic partition of a sharded simulation.
+type Shard struct {
+	g       *ShardGroup
+	idx     int
+	k       *Kernel
+	outbox  []xev // sends made during the current window; drained at the barrier
+	sendSeq uint64
+}
+
+// Index returns the shard's index within its group.
+func (s *Shard) Index() int { return s.idx }
+
+// Kernel returns the shard's private kernel. All model state owned by the
+// shard must be scheduled here and only here.
+func (s *Shard) Kernel() *Kernel { return s.k }
+
+// Send schedules fn(arg) on shard `to` after `delay` nanoseconds of
+// virtual time. delay must be at least the group's lookahead bound —
+// that bound is the contract that lets other shards run a full window
+// ahead without waiting for this one. Sends are buffered until the next
+// window barrier and delivered in (time, source shard, sequence) order.
+// Send must be called from the shard's own execution context (one of its
+// events or processes).
+func (s *Shard) Send(to int, delay Time, fn func(any), arg any) {
+	if delay < s.g.lookahead {
+		panic("sim: cross-shard Send below the lookahead bound")
+	}
+	if to < 0 || to >= len(s.g.shards) {
+		panic("sim: cross-shard Send to unknown shard")
+	}
+	key := XKey{T: s.k.Now() + delay, Src: uint32(s.idx), Seq: s.sendSeq}
+	s.sendSeq++
+	s.outbox = append(s.outbox, xev{key: key, enc: key.Encode(), to: to, fn: fn, arg: arg})
+}
+
+// ShardGroup is a parallel simulation executive over per-node shards.
+type ShardGroup struct {
+	shards    []*Shard
+	lookahead Time
+	workers   int
+	stopped   atomic.Bool
+	inRun     bool
+	merged    uint64 // cross-shard events delivered so far
+	windows   uint64 // synchronization windows executed
+	batch     []xev  // merge scratch, reused across barriers
+}
+
+// NewShardGroup creates a group of n shards synchronized with the given
+// conservative lookahead (the minimum cross-shard delivery latency; must
+// be positive). workers bounds the worker pool; <= 0 means DefaultWorkers.
+func NewShardGroup(n int, lookahead Time, workers int) *ShardGroup {
+	if n <= 0 {
+		panic("sim: NewShardGroup needs at least one shard")
+	}
+	if lookahead <= 0 {
+		panic("sim: NewShardGroup needs a positive lookahead")
+	}
+	g := &ShardGroup{lookahead: lookahead, workers: workers}
+	for i := 0; i < n; i++ {
+		g.shards = append(g.shards, &Shard{g: g, idx: i, k: NewKernel()})
+	}
+	return g
+}
+
+// Shards returns the number of shards.
+func (g *ShardGroup) Shards() int { return len(g.shards) }
+
+// Shard returns shard i.
+func (g *ShardGroup) Shard(i int) *Shard { return g.shards[i] }
+
+// Lookahead returns the group's conservative lookahead bound.
+func (g *ShardGroup) Lookahead() Time { return g.lookahead }
+
+// Merged returns the number of cross-shard events delivered so far.
+func (g *ShardGroup) Merged() uint64 { return g.merged }
+
+// Windows returns the number of synchronization windows executed so far.
+func (g *ShardGroup) Windows() uint64 { return g.windows }
+
+// Stop makes Run return at the next window barrier. Unlike Kernel.Stop it
+// is safe to call from any shard's execution context mid-window: the latch
+// is atomic (two shards may stop the run in the same window) and the
+// coordinator acts on it only between windows, so stopping cannot perturb
+// simulated state — the run ends at a deterministic barrier.
+func (g *ShardGroup) Stop() { g.stopped.Store(true) }
+
+// Stopped reports whether Stop has been called.
+func (g *ShardGroup) Stopped() bool { return g.stopped.Load() }
+
+// nextTime returns the earliest pending event time across all shards, or
+// (0, false) when the group is drained.
+func (g *ShardGroup) nextTime() (Time, bool) {
+	var min Time
+	found := false
+	for _, s := range g.shards {
+		if ev, _ := s.k.peekEvent(); ev != nil {
+			if !found || ev.t < min {
+				min, found = ev.t, true
+			}
+		}
+	}
+	return min, found
+}
+
+// Run executes the group until every shard drains, Stop is called, or
+// virtual time would exceed `until` (Forever for no limit). It returns the
+// total number of events dispatched across all shards by this call.
+// Run must not be re-entered.
+func (g *ShardGroup) Run(until Time) uint64 {
+	if g.inRun {
+		panic("sim: ShardGroup.Run re-entered")
+	}
+	g.inRun = true
+	defer func() { g.inRun = false }()
+
+	var dispatched uint64
+	jobs := make([]func(), len(g.shards))
+	counts := make([]uint64, len(g.shards))
+	for !g.stopped.Load() {
+		base, ok := g.nextTime()
+		if !ok {
+			break // drained: no pending events, and barriers flushed all sends
+		}
+		if until != Forever && base > until {
+			break
+		}
+		// The window [base, base+L): no send made inside it can deliver
+		// before base+L, so every shard may run to base+L-1 without hearing
+		// from its peers. Kernel.Run's horizon is inclusive, hence the -1.
+		end := base + g.lookahead - 1
+		if until != Forever && end > until {
+			end = until
+		}
+		for i, s := range g.shards {
+			i, s := i, s
+			jobs[i] = func() { counts[i] = s.k.Run(end) }
+		}
+		RunParallel(g.workers, jobs)
+		g.windows++
+		for i := range counts {
+			dispatched += counts[i]
+		}
+		g.barrier(end)
+	}
+	// Fast-forward every shard clock to the horizon, mirroring Kernel.Run.
+	if until != Forever {
+		for _, s := range g.shards {
+			if s.k.now < until {
+				s.k.now = until
+			}
+		}
+	}
+	return dispatched
+}
+
+// barrier merges every shard's outbox in canonical XKey order and injects
+// the events into their destination kernels. windowEnd is the inclusive
+// horizon the window just ran to; every delivery must land strictly after
+// it or the lookahead contract was broken.
+func (g *ShardGroup) barrier(windowEnd Time) {
+	batch := g.batch[:0]
+	for _, s := range g.shards {
+		batch = append(batch, s.outbox...)
+		for i := range s.outbox {
+			s.outbox[i] = xev{}
+		}
+		s.outbox = s.outbox[:0]
+	}
+	if len(batch) == 0 {
+		g.batch = batch
+		return
+	}
+	// Sort on the canonical byte encoding: its bytes order equals the
+	// logical (time, src, seq) order, a property FuzzXKeyCodec pins.
+	sort.Slice(batch, func(i, j int) bool {
+		a, b := &batch[i].enc, &batch[j].enc
+		for k := 0; k < XKeySize; k++ {
+			if a[k] != b[k] {
+				return a[k] < b[k]
+			}
+		}
+		return false
+	})
+	for i := range batch {
+		ev := &batch[i]
+		if ev.key.T <= windowEnd {
+			panic("sim: lookahead violation: cross-shard event would deliver inside its send window")
+		}
+		g.shards[ev.to].k.AtCall(ev.key.T, ev.fn, ev.arg)
+		g.merged++
+		*ev = xev{}
+	}
+	g.batch = batch[:0]
+}

@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// Property tests for the conservative-lookahead invariant. Each trial draws
+// a random shard topology (shard count, lookahead bound, message fan-out,
+// per-hop latencies >= the bound) and floods it with message chains whose
+// routing is a pure function of the message payload — so no execution-order
+// tie can change any chain's future, and a commutative per-shard digest is
+// comparable across executives. Every trial checks, on the sharded run:
+//
+//  1. no shard ever executes an event earlier than an in-flight cross-shard
+//     delivery: each delivery fires at exactly its (send time + latency)
+//     instant and every shard's clock is non-decreasing across all events;
+//  2. worker count is unobservable: 1 worker and many workers produce
+//     bit-identical ordered per-shard traces, window counts, merge counts;
+//  3. the merged global event order matches the sequential single-kernel
+//     executive: same events, same per-shard digests, same dispatch totals.
+
+// propMsg is one hop of a message chain.
+type propMsg struct {
+	deliverAt Time   // the instant the hop must execute at
+	sentAt    Time   // when the hop was sent (0 for seed hops)
+	cross     bool   // true if the hop crossed a shard boundary
+	hops      int    // remaining forwards
+	h         uint64 // chain digest; routing derives from this alone
+}
+
+// propTopo is one randomly drawn trial configuration.
+type propTopo struct {
+	shards    int
+	lookahead Time
+	seeds     int // initial chains per shard
+	hops      int
+}
+
+func drawTopo(r *rng.Rand) propTopo {
+	return propTopo{
+		shards:    1 + r.Intn(6),
+		lookahead: Time(1+r.Intn(5000)) * Nanosecond * 10,
+		seeds:     1 + r.Intn(12),
+		hops:      1 + r.Intn(6),
+	}
+}
+
+// route derives the next hop from the chain digest alone: destination,
+// extra latency above the lookahead bound, and whether to stop early.
+func route(h uint64, topo propTopo) (dst int, delay Time, stop bool) {
+	x := mix(h, 0x9e3779b97f4a7c15)
+	dst = int(x % uint64(topo.shards))
+	delay = topo.lookahead + Time((x>>20)%uint64(topo.lookahead)+1) - 1
+	stop = (x>>40)%8 == 0
+	return
+}
+
+// propState accumulates one shard's observations. All fields are owned by
+// the shard that indexes them; nothing is shared across goroutines.
+type propState struct {
+	sum      uint64 // commutative digest: + mix(now, h) per event
+	count    uint64
+	last     Time   // last execution instant; must be non-decreasing
+	trace    uint64 // ordered digest, for worker-count differentials
+	violated string // first invariant violation, if any
+}
+
+func (st *propState) observe(now Time, m *propMsg, lookahead Time) {
+	if m.deliverAt != now {
+		st.violated = fmt.Sprintf("hop executed at %v, scheduled for %v", now, m.deliverAt)
+	}
+	if m.cross && now-m.sentAt < lookahead {
+		st.violated = fmt.Sprintf("cross-shard hop delivered %v after send, below lookahead %v", now-m.sentAt, lookahead)
+	}
+	if now < st.last {
+		st.violated = fmt.Sprintf("shard clock went backwards: %v after %v", now, st.last)
+	}
+	st.last = now
+	st.sum += mix(uint64(now), m.h)
+	st.count++
+	st.trace = mix(mix(st.trace, uint64(now)), m.h)
+}
+
+// seedChains returns the deterministic initial hops for every shard.
+func seedChains(seed uint64, topo propTopo) [][]propMsg {
+	r := rng.New(seed)
+	out := make([][]propMsg, topo.shards)
+	for s := 0; s < topo.shards; s++ {
+		for i := 0; i < topo.seeds; i++ {
+			t := Time(r.Intn(20000)) * Nanosecond
+			out[s] = append(out[s], propMsg{
+				deliverAt: t,
+				hops:      topo.hops,
+				h:         r.Uint64(),
+			})
+		}
+	}
+	return out
+}
+
+// runShardedProp executes a trial on a ShardGroup.
+func runShardedProp(seed uint64, topo propTopo, workers int) ([]propState, uint64, uint64) {
+	g := NewShardGroup(topo.shards, topo.lookahead, workers)
+	states := make([]propState, topo.shards)
+	var handler func(s *Shard) func(any)
+	handlers := make([]func(any), topo.shards)
+	handler = func(s *Shard) func(any) {
+		st := &states[s.Index()]
+		return func(a any) {
+			m := a.(*propMsg)
+			now := s.Kernel().Now()
+			st.observe(now, m, topo.lookahead)
+			if m.hops == 0 {
+				return
+			}
+			dst, delay, stop := route(m.h, topo)
+			if stop {
+				return
+			}
+			next := &propMsg{
+				deliverAt: now + delay,
+				sentAt:    now,
+				cross:     dst != s.Index(),
+				hops:      m.hops - 1,
+				h:         mix(m.h, uint64(dst)),
+			}
+			s.Send(dst, delay, handlers[dst], next)
+		}
+	}
+	for s := 0; s < topo.shards; s++ {
+		handlers[s] = handler(g.Shard(s))
+	}
+	for s, chain := range seedChains(seed, topo) {
+		k := g.Shard(s).Kernel()
+		for i := range chain {
+			m := chain[i]
+			k.AtCall(m.deliverAt, handlers[s], &m)
+		}
+	}
+	dispatched := g.Run(Forever)
+	return states, dispatched, g.Windows()
+}
+
+// runSequentialProp executes the same trial on one plain kernel — the
+// reference executive the sharded kernel must be indistinguishable from.
+func runSequentialProp(seed uint64, topo propTopo) ([]propState, uint64) {
+	k := NewKernel()
+	states := make([]propState, topo.shards)
+	handlers := make([]func(any), topo.shards)
+	for s := 0; s < topo.shards; s++ {
+		s := s
+		st := &states[s]
+		handlers[s] = func(a any) {
+			m := a.(*propMsg)
+			now := k.Now()
+			st.observe(now, m, topo.lookahead)
+			if m.hops == 0 {
+				return
+			}
+			dst, delay, stop := route(m.h, topo)
+			if stop {
+				return
+			}
+			next := &propMsg{
+				deliverAt: now + delay,
+				sentAt:    now,
+				cross:     dst != s,
+				hops:      m.hops - 1,
+				h:         mix(m.h, uint64(dst)),
+			}
+			k.AfterCall(delay, handlers[dst], next)
+		}
+	}
+	for s, chain := range seedChains(seed, topo) {
+		for i := range chain {
+			m := chain[i]
+			k.AtCall(m.deliverAt, handlers[s], &m)
+		}
+	}
+	dispatched := k.Run(Forever)
+	return states, dispatched
+}
+
+func TestShardGroupProperties(t *testing.T) {
+	trials := 60
+	if testing.Short() {
+		trials = 12
+	}
+	r := rng.New(20260808)
+	for trial := 0; trial < trials; trial++ {
+		topo := drawTopo(r)
+		seed := r.Uint64()
+		name := fmt.Sprintf("trial=%d/shards=%d/lookahead=%v", trial, topo.shards, topo.lookahead)
+
+		one, d1, w1 := runShardedProp(seed, topo, 1)
+		many, dN, wN := runShardedProp(seed, topo, 8)
+		for s := range one {
+			if one[s].violated != "" {
+				t.Fatalf("%s: lookahead invariant violated on shard %d: %s", name, s, one[s].violated)
+			}
+			if many[s].violated != "" {
+				t.Fatalf("%s: lookahead invariant violated on shard %d (8 workers): %s", name, s, many[s].violated)
+			}
+			if one[s].trace != many[s].trace || one[s].count != many[s].count {
+				t.Fatalf("%s: shard %d diverged across worker counts: trace %#x/%d vs %#x/%d",
+					name, s, one[s].trace, one[s].count, many[s].trace, many[s].count)
+			}
+		}
+		if d1 != dN || w1 != wN {
+			t.Fatalf("%s: dispatch/window counts diverged across worker counts: %d/%d vs %d/%d", name, d1, w1, dN, wN)
+		}
+
+		seq, dS := runSequentialProp(seed, topo)
+		if d1 != dS {
+			t.Fatalf("%s: sharded dispatched %d events, sequential kernel %d", name, d1, dS)
+		}
+		for s := range one {
+			if one[s].sum != seq[s].sum || one[s].count != seq[s].count {
+				t.Fatalf("%s: shard %d digest diverged from sequential kernel: %#x/%d vs %#x/%d",
+					name, s, one[s].sum, one[s].count, seq[s].sum, seq[s].count)
+			}
+		}
+	}
+}
+
+// TestShardGroupPropertyReplay pins that a trial replays bit-identically:
+// the same seed and topology always produce the same ordered traces.
+func TestShardGroupPropertyReplay(t *testing.T) {
+	topo := propTopo{shards: 5, lookahead: 7 * Microsecond, seeds: 8, hops: 5}
+	a, da, _ := runShardedProp(99, topo, 4)
+	b, db, _ := runShardedProp(99, topo, 4)
+	if da != db {
+		t.Fatalf("replay dispatched %d then %d events", da, db)
+	}
+	for s := range a {
+		if a[s].trace != b[s].trace {
+			t.Fatalf("shard %d replay diverged: %#x vs %#x", s, a[s].trace, b[s].trace)
+		}
+	}
+}

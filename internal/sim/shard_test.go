@@ -1,0 +1,362 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+)
+
+// mix folds v into an fnv-1a style accumulator.
+func mix(h, v uint64) uint64 {
+	h ^= v
+	h *= 1099511628211
+	return h
+}
+
+// shardNet is the differential test model: n shards, each ticking on its
+// own residue class of virtual time (shard s acts at times ≡ s+1 mod n
+// microseconds) so every event in the whole system has a globally unique
+// timestamp and the sharded run is comparable event-for-event with a
+// single-kernel reference run. On each tick a shard records a local event
+// and sends a payload to each of its neighbours with a latency that is an
+// exact multiple of the tick period — preserving the residue classes.
+type shardNet struct {
+	n       int
+	ticks   int
+	period  Time
+	latency Time
+}
+
+func newShardNet(n, ticks int) *shardNet {
+	period := Time(n) * Microsecond
+	return &shardNet{
+		n:       n,
+		ticks:   ticks,
+		period:  period,
+		latency: 2 * period,
+	}
+}
+
+// runSharded executes the model on a ShardGroup and returns per-shard
+// ordered trace hashes plus the normalized global trace hash.
+func (m *shardNet) runSharded(workers int) (perShard []uint64, global uint64, dispatched uint64) {
+	g := NewShardGroup(m.n, m.latency, workers)
+	traces := make([][][2]uint64, m.n)
+	for s := 0; s < m.n; s++ {
+		s := s
+		sh := g.Shard(s)
+		k := sh.Kernel()
+		var tick func(any)
+		left := m.ticks
+		tick = func(any) {
+			now := k.Now()
+			traces[s] = append(traces[s], [2]uint64{uint64(now), mix(14695981039346656037, uint64(s))})
+			for d := 1; d <= 2 && m.n > 1; d++ {
+				dst := (s + d) % m.n
+				if dst == s {
+					continue
+				}
+				payload := mix(uint64(now), uint64(s)<<32|uint64(dst))
+				sh.Send(dst, m.latency, func(a any) {
+					p := a.(uint64)
+					traces[dst] = append(traces[dst], [2]uint64{uint64(g.Shard(dst).Kernel().Now()), p})
+				}, payload)
+			}
+			left--
+			if left > 0 {
+				k.After(m.period, func() { tick(nil) })
+			}
+		}
+		k.At(Time(s+1)*Microsecond, func() { tick(nil) })
+	}
+	dispatched = g.Run(Forever)
+	return hashTraces(traces), hashGlobal(traces), dispatched
+}
+
+// runReference executes the same model on one kernel, the pre-shard
+// global event loop: sends become plain AfterCall events with the same
+// latency. Timestamps are globally unique by construction, so both
+// executions must produce identical per-shard traces and an identical
+// time-ordered global trace.
+func (m *shardNet) runReference() (perShard []uint64, global uint64) {
+	k := NewKernel()
+	traces := make([][][2]uint64, m.n)
+	for s := 0; s < m.n; s++ {
+		s := s
+		var tick func(any)
+		left := m.ticks
+		tick = func(any) {
+			now := k.Now()
+			traces[s] = append(traces[s], [2]uint64{uint64(now), mix(14695981039346656037, uint64(s))})
+			for d := 1; d <= 2 && m.n > 1; d++ {
+				dst := (s + d) % m.n
+				if dst == s {
+					continue
+				}
+				payload := mix(uint64(now), uint64(s)<<32|uint64(dst))
+				k.AfterCall(m.latency, func(a any) {
+					p := a.(uint64)
+					traces[dst] = append(traces[dst], [2]uint64{uint64(k.Now()), p})
+				}, payload)
+			}
+			left--
+			if left > 0 {
+				k.After(m.period, func() { tick(nil) })
+			}
+		}
+		k.At(Time(s+1)*Microsecond, func() { tick(nil) })
+	}
+	k.Run(Forever)
+	return hashTraces(traces), hashGlobal(traces)
+}
+
+func hashTraces(traces [][][2]uint64) []uint64 {
+	out := make([]uint64, len(traces))
+	for s, tr := range traces {
+		h := uint64(14695981039346656037)
+		for _, e := range tr {
+			h = mix(mix(h, e[0]), e[1])
+		}
+		out[s] = h
+	}
+	return out
+}
+
+// hashGlobal merges the per-shard traces by timestamp (unique by model
+// construction) into the global event order and hashes it.
+func hashGlobal(traces [][][2]uint64) uint64 {
+	idx := make([]int, len(traces))
+	h := uint64(14695981039346656037)
+	for {
+		best, bestT := -1, uint64(0)
+		for s, tr := range traces {
+			if idx[s] >= len(tr) {
+				continue
+			}
+			if t := tr[idx[s]][0]; best < 0 || t < bestT {
+				best, bestT = s, t
+			}
+		}
+		if best < 0 {
+			return h
+		}
+		e := traces[best][idx[best]]
+		idx[best]++
+		h = mix(mix(mix(h, uint64(best)), e[0]), e[1])
+	}
+}
+
+// TestShardGroupDifferential is the kernel-level differential determinism
+// gate: the same model run on 1 worker, 4 workers, and the single-kernel
+// reference produces bit-identical per-shard traces and the identical
+// merged global event order.
+func TestShardGroupDifferential(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 5, 8} {
+		n := n
+		t.Run(fmt.Sprintf("shards=%d", n), func(t *testing.T) {
+			m1 := newShardNet(n, 40)
+			seq, seqGlobal, d1 := m1.runSharded(1)
+			m4 := newShardNet(n, 40)
+			par, parGlobal, d4 := m4.runSharded(4)
+			for s := range seq {
+				if seq[s] != par[s] {
+					t.Fatalf("shard %d trace diverged between 1 and 4 workers: %#x vs %#x", s, seq[s], par[s])
+				}
+			}
+			if seqGlobal != parGlobal {
+				t.Fatalf("global order diverged between 1 and 4 workers")
+			}
+			if d1 != d4 {
+				t.Fatalf("dispatched diverged: %d vs %d", d1, d4)
+			}
+			mr := newShardNet(n, 40)
+			ref, refGlobal := mr.runReference()
+			for s := range seq {
+				if seq[s] != ref[s] {
+					t.Fatalf("shard %d: sharded trace %#x != single-kernel reference %#x", s, seq[s], ref[s])
+				}
+			}
+			if seqGlobal != refGlobal {
+				t.Fatalf("sharded global order != single-kernel reference order")
+			}
+		})
+	}
+}
+
+func TestShardGroupCountsAndClocks(t *testing.T) {
+	m := newShardNet(4, 10)
+	g := NewShardGroup(4, m.latency, 2)
+	done := 0
+	for s := 0; s < 4; s++ {
+		s := s
+		g.Shard(s).Kernel().At(Time(s+1)*Microsecond, func() { done++ })
+	}
+	if got := g.Run(Forever); got != 4 {
+		t.Fatalf("dispatched %d events, want 4", got)
+	}
+	if done != 4 {
+		t.Fatalf("ran %d callbacks, want 4", done)
+	}
+	if g.Windows() == 0 {
+		t.Fatal("no synchronization windows recorded")
+	}
+	if g.Merged() != 0 {
+		t.Fatalf("merged %d cross-shard events, want 0", g.Merged())
+	}
+}
+
+func TestShardGroupRunUntilClamps(t *testing.T) {
+	g := NewShardGroup(2, Microsecond, 1)
+	fired := false
+	g.Shard(0).Kernel().At(10*Microsecond, func() { fired = true })
+	g.Run(5 * Microsecond)
+	if fired {
+		t.Fatal("event beyond the horizon fired")
+	}
+	for i := 0; i < 2; i++ {
+		if now := g.Shard(i).Kernel().Now(); now != 5*Microsecond {
+			t.Fatalf("shard %d clock %v, want 5us", i, now)
+		}
+	}
+	g.Run(Forever)
+	if !fired {
+		t.Fatal("event never fired after extending the horizon")
+	}
+}
+
+func TestShardSendBelowLookaheadPanics(t *testing.T) {
+	g := NewShardGroup(2, 10*Microsecond, 1)
+	g.Shard(0).Kernel().At(0, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Send below the lookahead bound did not panic")
+			}
+		}()
+		g.Shard(0).Send(1, 9*Microsecond, func(any) {}, nil)
+	})
+	g.Run(Forever)
+}
+
+// TestShardGroupStarvation runs one hot shard against idle peers: the
+// worker pool must neither deadlock nor let the idle shards' no-op windows
+// distort the hot shard's execution.
+func TestShardGroupStarvation(t *testing.T) {
+	g := NewShardGroup(8, Microsecond, 4)
+	k := g.Shard(3).Kernel()
+	const n = 50000
+	count := 0
+	var tick func(any)
+	tick = func(any) {
+		count++
+		if count < n {
+			k.AfterCall(100*Nanosecond, tick, nil)
+		}
+	}
+	k.AfterCall(0, tick, nil)
+	g.Run(Forever)
+	if count != n {
+		t.Fatalf("hot shard ran %d events, want %d", count, n)
+	}
+}
+
+// TestShardGroupStopDuringDrain stops the group from inside a shard's
+// event mid-run: the run must end at the next window barrier with the
+// remaining events still queued, and the latch must hold for later Runs.
+func TestShardGroupStopDuringDrain(t *testing.T) {
+	g := NewShardGroup(4, Microsecond, 4)
+	ran := make([]int, 4)
+	for s := 0; s < 4; s++ {
+		s := s
+		k := g.Shard(s).Kernel()
+		var tick func(any)
+		tick = func(any) {
+			ran[s]++
+			if s == 0 && ran[0] == 10 {
+				g.Stop()
+			}
+			k.AfterCall(10*Microsecond, tick, nil)
+		}
+		k.AfterCall(0, tick, nil)
+	}
+	g.Run(Forever)
+	if !g.Stopped() {
+		t.Fatal("Stop did not latch")
+	}
+	if ran[0] < 10 {
+		t.Fatalf("stopper ran %d events, want >= 10", ran[0])
+	}
+	pending := 0
+	for s := 0; s < 4; s++ {
+		pending += g.Shard(s).Kernel().Pending()
+	}
+	if pending == 0 {
+		t.Fatal("drain continued past Stop: no events left queued")
+	}
+	before := ran[0]
+	g.Run(Forever) // latched: must return without dispatching
+	if ran[0] != before {
+		t.Fatal("Run dispatched events after Stop latched")
+	}
+}
+
+// TestShardGroupPanicTeardown kills one shard mid-window: the barrier
+// must complete (no leaked workers, no deadlock) and the panic must
+// surface from Run exactly once, deterministically.
+func TestShardGroupPanicTeardown(t *testing.T) {
+	g := NewShardGroup(4, Microsecond, 4)
+	survivors := 0
+	for s := 1; s < 4; s++ {
+		g.Shard(s).Kernel().At(Microsecond, func() { survivors++ })
+	}
+	g.Shard(0).Kernel().At(Microsecond, func() { panic("shard 0 died") })
+	defer func() {
+		r := recover()
+		if r != "shard 0 died" {
+			t.Fatalf("recovered %v, want shard 0's panic", r)
+		}
+		if survivors != 3 {
+			t.Fatalf("%d surviving shards finished their window, want 3", survivors)
+		}
+	}()
+	g.Run(Forever)
+}
+
+// TestRunParallelOrderIndependence pins the pool's contract directly:
+// results land in index-owned slots no matter the worker count.
+func TestRunParallelOrderIndependence(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 32} {
+		out := make([]int, 100)
+		jobs := make([]func(), len(out))
+		for i := range jobs {
+			i := i
+			jobs[i] = func() { out[i] = i * i }
+		}
+		RunParallel(workers, jobs)
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestRunParallelPanicIsDeterministic(t *testing.T) {
+	jobs := make([]func(), 20)
+	for i := range jobs {
+		i := i
+		jobs[i] = func() {
+			if i%3 == 1 {
+				panic(fmt.Sprintf("job %d", i))
+			}
+		}
+	}
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				if r := recover(); r != "job 1" {
+					t.Fatalf("workers=%d: recovered %v, want lowest-index panic \"job 1\"", workers, r)
+				}
+			}()
+			RunParallel(workers, jobs)
+		}()
+	}
+}

@@ -1,0 +1,89 @@
+package sim
+
+// Cross-shard tiebreak keys. Every event that crosses a shard boundary is
+// sequenced by an XKey: delivery time first, then the sending shard, then
+// the send sequence within that shard. Sorting cross-shard events by XKey
+// at a window barrier yields one total order that no amount of worker
+// parallelism can perturb — each component is assigned by deterministic
+// shard-local execution, never by goroutine scheduling.
+//
+// The key also has a canonical 20-byte big-endian encoding whose
+// bytes.Compare order equals the logical (T, Src, Seq) order. The merge
+// path sorts on the encoded form, so the codec is load-bearing: an
+// order-breaking codec bug would reorder deliveries, which is exactly what
+// FuzzXKeyCodec hunts for.
+
+// XKeySize is the length of an encoded XKey.
+const XKeySize = 20
+
+// XKey orders one cross-shard event against every other.
+type XKey struct {
+	T   Time   // virtual delivery time
+	Src uint32 // sending shard index
+	Seq uint64 // per-shard send sequence number
+}
+
+// Less reports whether k orders before o: by time, then source shard,
+// then send sequence.
+func (k XKey) Less(o XKey) bool {
+	if k.T != o.T {
+		return k.T < o.T
+	}
+	if k.Src != o.Src {
+		return k.Src < o.Src
+	}
+	return k.Seq < o.Seq
+}
+
+// Encode renders the key in its canonical order-preserving byte form:
+// big-endian fields, with the time's sign bit flipped so negative times
+// (not produced by the kernel, but representable) still compare below
+// positive ones under bytes.Compare.
+func (k XKey) Encode() [XKeySize]byte {
+	var b [XKeySize]byte
+	t := uint64(k.T) ^ (1 << 63) // order-preserving map of int64 onto uint64
+	putU64(b[0:8], t)
+	putU32(b[8:12], k.Src)
+	putU64(b[12:20], k.Seq)
+	return b
+}
+
+// DecodeXKey inverts Encode.
+func DecodeXKey(b [XKeySize]byte) XKey {
+	return XKey{
+		T:   Time(getU64(b[0:8]) ^ (1 << 63)),
+		Src: getU32(b[8:12]),
+		Seq: getU64(b[12:20]),
+	}
+}
+
+func putU64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v >> 56)
+	b[1] = byte(v >> 48)
+	b[2] = byte(v >> 40)
+	b[3] = byte(v >> 32)
+	b[4] = byte(v >> 24)
+	b[5] = byte(v >> 16)
+	b[6] = byte(v >> 8)
+	b[7] = byte(v)
+}
+
+func putU32(b []byte, v uint32) {
+	_ = b[3]
+	b[0] = byte(v >> 24)
+	b[1] = byte(v >> 16)
+	b[2] = byte(v >> 8)
+	b[3] = byte(v)
+}
+
+func getU64(b []byte) uint64 {
+	_ = b[7]
+	return uint64(b[0])<<56 | uint64(b[1])<<48 | uint64(b[2])<<40 | uint64(b[3])<<32 |
+		uint64(b[4])<<24 | uint64(b[5])<<16 | uint64(b[6])<<8 | uint64(b[7])
+}
+
+func getU32(b []byte) uint32 {
+	_ = b[3]
+	return uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+}

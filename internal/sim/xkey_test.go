@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestXKeyCodecRoundTrip(t *testing.T) {
+	keys := []XKey{
+		{},
+		{T: 1, Src: 0, Seq: 0},
+		{T: -1, Src: 3, Seq: 9},
+		{T: 1<<62 + 12345, Src: ^uint32(0), Seq: ^uint64(0)},
+		{T: Forever, Src: 7, Seq: 42},
+	}
+	for _, k := range keys {
+		if got := DecodeXKey(k.Encode()); got != k {
+			t.Fatalf("round trip: %+v -> %+v", k, got)
+		}
+	}
+}
+
+func TestXKeyEncodingPreservesOrder(t *testing.T) {
+	r := rng.New(7)
+	randKey := func() XKey {
+		return XKey{
+			T:   Time(r.Uint64() >> uint(r.Intn(40))),
+			Src: uint32(r.Intn(64)),
+			Seq: r.Uint64() >> uint(r.Intn(50)),
+		}
+	}
+	for i := 0; i < 20000; i++ {
+		a, b := randKey(), randKey()
+		ea, eb := a.Encode(), b.Encode()
+		cmp := bytes.Compare(ea[:], eb[:])
+		switch {
+		case a.Less(b) && cmp >= 0:
+			t.Fatalf("%+v < %+v but encodings compare %d", a, b, cmp)
+		case b.Less(a) && cmp <= 0:
+			t.Fatalf("%+v > %+v but encodings compare %d", a, b, cmp)
+		case a == b && cmp != 0:
+			t.Fatalf("%+v == %+v but encodings compare %d", a, b, cmp)
+		}
+	}
+}
+
+// FuzzXKeyCodec hunts for codec bugs that would reorder cross-shard
+// deliveries: the encoding must round-trip exactly and its byte order must
+// equal the logical key order — the window barrier sorts on the bytes.
+func FuzzXKeyCodec(f *testing.F) {
+	f.Add(int64(0), uint32(0), uint64(0), int64(1), uint32(1), uint64(1))
+	f.Add(int64(-5), uint32(9), uint64(1<<40), int64(-5), uint32(9), uint64(1<<40))
+	f.Add(int64(1<<62), ^uint32(0), ^uint64(0), int64(-1<<62), uint32(0), uint64(0))
+	f.Fuzz(func(t *testing.T, at int64, asrc uint32, aseq uint64, bt int64, bsrc uint32, bseq uint64) {
+		a := XKey{T: Time(at), Src: asrc, Seq: aseq}
+		b := XKey{T: Time(bt), Src: bsrc, Seq: bseq}
+		if got := DecodeXKey(a.Encode()); got != a {
+			t.Fatalf("round trip: %+v -> %+v", a, got)
+		}
+		ea, eb := a.Encode(), b.Encode()
+		cmp := bytes.Compare(ea[:], eb[:])
+		want := 0
+		if a.Less(b) {
+			want = -1
+		} else if b.Less(a) {
+			want = 1
+		}
+		if cmp != want {
+			t.Fatalf("order mismatch: %+v vs %+v logical %d, bytes %d", a, b, want, cmp)
+		}
+	})
+}

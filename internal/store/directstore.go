@@ -111,12 +111,16 @@ func (d *DirectStore) putOps(s []kvstore.Op) {
 func (d *DirectStore) getVal(n int64) []byte {
 	if m := len(d.valFree); m > 0 {
 		b := d.valFree[m-1]
-		d.valFree = d.valFree[:m-1]
 		if int64(cap(b)) >= n {
+			d.valFree[m-1] = nil
+			d.valFree = d.valFree[:m-1]
 			return b[:n]
 		}
+		// Too small for this write: leave it pooled for the next caller
+		// instead of leaking it, and size the new buffer to the largest
+		// payload the WAL path can carry so it never goes stale.
 	}
-	return make([]byte, n, max64(n, 4096))
+	return make([]byte, n, max64(n, d.cfg.WALThreshold))
 }
 
 func (d *DirectStore) putVal(b []byte) { d.valFree = append(d.valFree, b) }

@@ -196,19 +196,25 @@ func (l *replayLog) retain(t *Txn) *retained {
 }
 
 // compact drops the applied prefix, matching the write-ahead trim order
-// (commit order == retained order).
+// (commit order == retained order). Survivors are copied down in place so
+// the backing array keeps being reused — reslicing forward would strand
+// the freed prefix and force retain into a fresh allocation every cycle.
 func (l *replayLog) compact() {
 	i := 0
 	for i < len(l.entries) && l.entries[i].applied {
 		// Applied entries have exactly one writer (the worker that
 		// applied them), which has finished; safe to recycle.
 		l.put(l.entries[i])
-		l.entries[i] = nil
 		i++
 	}
-	if i > 0 {
-		l.entries = l.entries[i:]
+	if i == 0 {
+		return
 	}
+	n := copy(l.entries, l.entries[i:])
+	for j := n; j < len(l.entries); j++ {
+		l.entries[j] = nil
+	}
+	l.entries = l.entries[:n]
 }
 
 // unapplied visits every pending entry's PG sequence.

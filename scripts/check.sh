@@ -41,7 +41,7 @@ run_race() {
 
     echo "== go test -race -short (engine packages)"
     go test -race -short ./internal/osd/ ./internal/core/ \
-        ./internal/cluster/ ./internal/qa/
+        ./internal/cluster/ ./internal/qa/ ./internal/figures/
 }
 
 case "${1:-all}" in
