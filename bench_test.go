@@ -62,6 +62,17 @@ func cellByRowName(rep figures.Report, name string, col int) float64 {
 	panic(fmt.Sprintf("no row %q in %s", name, rep.Title))
 }
 
+// cellByRowPair parses a numeric cell in the row keyed by its first two
+// columns (figures whose rows are scenario x tenant).
+func cellByRowPair(rep figures.Report, c0, c1 string, col int) float64 {
+	for i, row := range rep.Rows {
+		if row[0] == c0 && row[1] == c1 {
+			return cell(rep, i, col)
+		}
+	}
+	panic(fmt.Sprintf("no row %q/%q in %s", c0, c1, rep.Title))
+}
+
 func BenchmarkFig1_ThreadSweep(b *testing.B) {
 	start := simWallStart()
 	for i := 0; i < b.N; i++ {
@@ -292,6 +303,33 @@ func BenchmarkScrub(b *testing.B) {
 		b.ReportMetric(cellByRowName(rep, "throttled", 9), "throttled-detected")
 		b.ReportMetric(cellByRowName(rep, "unthrottled", 9), "unthrottled-detected")
 		b.ReportMetric(cellByRowName(rep, "unthrottled", 10), "unthrottled-ttd-ms")
+		if i == 0 {
+			b.Log("\n" + rep.String())
+		}
+	}
+	reportSimWall(b, start)
+}
+
+// BenchmarkScenarios gates the multi-tenant scenario engine: the
+// noisy-neighbor steady tenant's p99 with admission control off vs on, the
+// rejected-op count that buys the improvement, and the Jain fairness index
+// both ways. The off-row rejected metric must stay exactly zero — with
+// admission disabled nothing may be refused — and the on-row p99 must stay
+// below the off-row p99 (authored as a min floor on the headline ratio).
+func BenchmarkScenarios(b *testing.B) {
+	start := simWallStart()
+	for i := 0; i < b.N; i++ {
+		rep := figures.Scenarios(benchOptions())
+		offP99 := cellByRowPair(rep, "noisy-adm-off", "steady-gold", 8)
+		onP99 := cellByRowPair(rep, "noisy-adm-on", "steady-gold", 8)
+		b.ReportMetric(offP99, "noisy-off-steady-p99-ms")
+		b.ReportMetric(onP99, "noisy-on-steady-p99-ms")
+		b.ReportMetric(offP99/onP99, "noisy-p99-protection-x")
+		b.ReportMetric(cellByRowPair(rep, "noisy-adm-off", "TOTAL", 5), "noisy-off-rejected")
+		b.ReportMetric(cellByRowPair(rep, "noisy-adm-on", "TOTAL", 5), "noisy-on-rejected")
+		b.ReportMetric(cellByRowPair(rep, "noisy-adm-off", "TOTAL", 9), "noisy-off-fairness")
+		b.ReportMetric(cellByRowPair(rep, "noisy-adm-on", "TOTAL", 9), "noisy-on-fairness")
+		b.ReportMetric(cellByRowPair(rep, "failover", "TOTAL", 4), "failover-accepted")
 		if i == 0 {
 			b.Log("\n" + rep.String())
 		}

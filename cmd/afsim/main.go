@@ -8,6 +8,7 @@
 //	afsim -profile community -rw randread -bs 32768 -prefill
 //	afsim -profile afceph -no-light-tx    # ablation: AFCeph minus light tx
 //	afsim -fail-at 500 -recover-at 1500   # crash osd.0 mid-run, watch the dip
+//	afsim -scenario examples/scenarios/noisy-neighbor.json   # multi-tenant scenario
 package main
 
 import (
@@ -18,6 +19,7 @@ import (
 	"repro/afceph"
 	"repro/internal/cluster"
 	"repro/internal/prof"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
@@ -82,6 +84,10 @@ func main() {
 		sweep     = flag.Bool("sweep", false, "sweep iodepths and report the best point (the paper's methodology)")
 		maxLat    = flag.Float64("max-lat", 0, "with -sweep: discard points above this mean latency (ms)")
 
+		scenFile    = flag.String("scenario", "", "run a declarative multi-tenant scenario file instead of a fio workload")
+		scenScale   = flag.Float64("scenario-scale", 1.0, "with -scenario: multiply every scenario duration")
+		noAdmission = flag.Bool("no-admission", false, "with -scenario: force admission control off (comparison arm)")
+
 		scrubMs     = flag.Float64("scrub-ms", 0, "background scrub round interval in ms (0 = scrub off)")
 		scrubMBps   = flag.Float64("scrub-mbps", 128, "deep-scrub read bandwidth budget in MB/s (0 = unthrottled)")
 		scrubPGs    = flag.Int("scrub-pgs", 1, "max concurrently scrubbed PGs")
@@ -104,6 +110,33 @@ func main() {
 	flag.Parse()
 	stopProf := prof.Start(*cpuProf, *memProf)
 	defer stopProf()
+
+	if *scenFile != "" {
+		data, err := os.ReadFile(*scenFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "afsim:", err)
+			os.Exit(1)
+		}
+		sc, err := scenario.Parse(data)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "afsim:", err)
+			os.Exit(1)
+		}
+		res, err := scenario.Run(sc, scenario.Options{
+			Scale:            *scenScale,
+			DisableAdmission: *noAdmission,
+			Perf:             *perfDump,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "afsim:", err)
+			os.Exit(1)
+		}
+		fmt.Print(res.Table())
+		if *perfDump {
+			fmt.Println(res.PerfJSON)
+		}
+		return
+	}
 
 	cfg := afceph.DefaultConfig()
 	cfg.Nodes = *nodes

@@ -28,6 +28,11 @@ type Client struct {
 	rnd     *rng.Rand
 	retries uint64
 	eios    uint64
+	// tenant stamps every op for per-tenant admission control; empty (the
+	// NewClient default) bypasses admission entirely. rejects counts ops
+	// the cluster refused at the messenger.
+	tenant  string
+	rejects uint64
 
 	// Free lists for op and pending records. Recycling is safe only without
 	// the retry timeout: a timeout timer retains the done event past the
@@ -62,8 +67,25 @@ func (c *Cluster) NewClient() *Client {
 	return cl
 }
 
+// NewClientTenant creates a client whose every op carries a tenant name,
+// making it subject to the cluster's per-tenant admission control. Use the
+// Try* ops to observe rejections; the plain ops panic on one (a tenanted
+// caller that cannot handle rejection is a model bug).
+func (c *Cluster) NewClientTenant(tenant string) *Client {
+	cl := c.NewClient()
+	cl.tenant = tenant
+	return cl
+}
+
 // Endpoint returns the client's network identity.
 func (cl *Client) Endpoint() *netsim.Endpoint { return cl.ep }
+
+// Tenant returns the tenant name stamped on this client's ops ("" for a
+// plain client).
+func (cl *Client) Tenant() string { return cl.tenant }
+
+// Rejects reports how many ops admission control refused.
+func (cl *Client) Rejects() uint64 { return cl.rejects }
 
 // Retries reports how many attempts were resent after a timeout or an
 // epoch change.
@@ -110,16 +132,35 @@ func (cl *Client) noteEpoch() {
 // the cluster acks (journaled on primary and all replicas). stamp is stored
 // for verification when the cluster runs with VerifyData.
 func (cl *Client) WriteObject(p *sim.Proc, oid string, off, size int64, stamp uint64) {
-	cl.doOp(p, osd.OpWrite, oid, off, size, stamp)
+	if _, _, admitted := cl.doOp(p, osd.OpWrite, oid, off, size, stamp); !admitted {
+		panic("cluster: tenanted write rejected; use TryWriteObject")
+	}
 }
 
 // ReadObject reads [off, off+size) of the named object, returning the
 // stamp of the extent (when VerifyData is on) and object existence.
 func (cl *Client) ReadObject(p *sim.Proc, oid string, off, size int64) (stamp uint64, exists bool) {
+	st, ex, admitted := cl.doOp(p, osd.OpRead, oid, off, size, 0)
+	if !admitted {
+		panic("cluster: tenanted read rejected; use TryReadObject")
+	}
+	return st, ex
+}
+
+// TryWriteObject is WriteObject for tenanted clients: admission control may
+// refuse the op, reported as admitted=false (the write did no work).
+func (cl *Client) TryWriteObject(p *sim.Proc, oid string, off, size int64, stamp uint64) (admitted bool) {
+	_, _, admitted = cl.doOp(p, osd.OpWrite, oid, off, size, stamp)
+	return admitted
+}
+
+// TryReadObject is ReadObject for tenanted clients; on admitted=false the
+// read was refused by admission control and stamp/exists are meaningless.
+func (cl *Client) TryReadObject(p *sim.Proc, oid string, off, size int64) (stamp uint64, exists, admitted bool) {
 	return cl.doOp(p, osd.OpRead, oid, off, size, 0)
 }
 
-func (cl *Client) doOp(p *sim.Proc, kind osd.OpKind, oid string, off, size int64, stamp uint64) (uint64, bool) {
+func (cl *Client) doOp(p *sim.Proc, kind osd.OpKind, oid string, off, size int64, stamp uint64) (uint64, bool, bool) {
 	pg := crush.ObjectToPG(oid, cl.c.Params.PGs)
 	timeout := cl.c.Params.ClientOpTimeout
 	pool := timeout <= 0
@@ -138,6 +179,7 @@ func (cl *Client) doOp(p *sim.Proc, kind osd.OpKind, oid string, off, size int64
 		op := cl.getOp(pool)
 		op.Kind, op.OID, op.PG, op.Off, op.Len = kind, oid, pg, off, size
 		op.Stamp, op.Client, op.ID = stamp, cl.ep, cl.nextID
+		op.Tenant = cl.tenant
 		pend := cl.getPend(pool)
 		pend.target = acting[0]
 		// The reply and timeout paths both delete this map entry before the
@@ -157,6 +199,14 @@ func (cl *Client) doOp(p *sim.Proc, kind osd.OpKind, oid string, off, size int64
 		pend.done.Wait(p)
 		if rep := pend.reply; rep != nil {
 			st, ex := rep.Stamp, rep.Exists
+			admitted := !rep.Rejected
+			if !admitted {
+				// Admission control refused the op at the messenger. The
+				// rejection is the answer — retrying would charge the bucket
+				// again — so surface it instead of looping.
+				cl.rejects++
+				st, ex = 0, false
+			}
 			if rep.EIO {
 				// The cluster has no healthy copy of the extent; retrying
 				// would not help. Surface the failure as a missing read.
@@ -174,7 +224,7 @@ func (cl *Client) doOp(p *sim.Proc, kind osd.OpKind, oid string, off, size int64
 				*op = osd.ClientOp{}
 				cl.opFree = append(cl.opFree, op)
 			}
-			return st, ex
+			return st, ex, admitted
 		}
 		// Timed out, or the target was marked down. Drop the attempt (a
 		// late reply is tolerated by handleReply) and resend.

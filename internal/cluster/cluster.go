@@ -8,6 +8,7 @@ package cluster
 import (
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/cpumodel"
 	"repro/internal/crush"
 	"repro/internal/device"
@@ -74,6 +75,11 @@ type Params struct {
 	// scrubs with read throttling and optional auto-repair); the zero
 	// value keeps it off.
 	Scrub ScrubParams
+	// Admission, when it lists tenants, enables per-tenant token-bucket
+	// admission control on every OSD. Rates are cluster-wide; New divides
+	// them evenly across OSDs so enforcement stays shard-local. Ops from
+	// tenantless clients (every pre-existing caller) bypass it entirely.
+	Admission core.AdmissionConfig
 }
 
 // DefaultParams returns the paper's testbed shape with community OSDs.
@@ -146,6 +152,8 @@ func New(params Params) *Cluster {
 		actCache: make(map[uint32][]int),
 	}
 
+	perOSDAdmission := params.Admission.PerOSD(params.OSDNodes * params.OSDsPerNode)
+
 	var hosts []crush.Host
 	id := 0
 	for n := 0; n < params.OSDNodes; n++ {
@@ -178,6 +186,9 @@ func New(params Params) *Cluster {
 			cfg.FStore.VerifyData = params.VerifyData
 			if params.Backend != "" {
 				cfg.Backend = params.Backend
+			}
+			if perOSDAdmission.Enabled() {
+				cfg.Admission = perOSDAdmission
 			}
 			// All OSDs on a server share the server's two physical NICs:
 			// public (clients) and cluster (replication), as in Figure 8.
@@ -301,6 +312,18 @@ func (c *Cluster) TotalOSDWrites() uint64 {
 		n += o.Metrics().WriteOps.Value() + o.Metrics().RepOps.Value()
 	}
 	return n
+}
+
+// AdmissionTotals sums admission decisions over all OSD enforcement points
+// (zeros when admission control is off).
+func (c *Cluster) AdmissionTotals() (accepted, rejected uint64) {
+	for _, o := range c.osds {
+		if a := o.Admission(); a != nil {
+			accepted += a.Stats().Accepted.Value()
+			rejected += a.Stats().Rejected.Value()
+		}
+	}
+	return accepted, rejected
 }
 
 // AggregateLockStats sums PG lock contention across the cluster.

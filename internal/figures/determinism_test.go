@@ -54,6 +54,7 @@ var goldenFigures = []struct {
 	{"breakdown", LatencyBreakdown},
 	{"backends", func(o Options) Report { return Backends(o, nil) }},
 	{"scrub", Scrub},
+	{"scenarios", Scenarios},
 }
 
 // TestFigureDeterminism is the golden gate behind every benchmark

@@ -16,6 +16,10 @@ var simNanos atomic.Int64
 // noteSim credits a finished point's kernel clock to the accumulator.
 func noteSim(k *sim.Kernel) { simNanos.Add(int64(k.Now())) }
 
+// noteSimNanos credits an externally run simulation (a scenario engine
+// point reports its final kernel clock rather than the kernel itself).
+func noteSimNanos(ns int64) { simNanos.Add(ns) }
+
 // TakeSimNanos returns the accumulated simulated nanoseconds and resets
 // the accumulator.
 func TakeSimNanos() int64 { return simNanos.Swap(0) }

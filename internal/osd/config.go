@@ -83,6 +83,11 @@ type Config struct {
 	NumFilestoreWorkers int
 	// Throttles (§3.2).
 	Throttles core.ThrottleConfig
+	// Admission, when it has tenant entries, enables per-tenant token-bucket
+	// admission control at the messenger: over-limit tenanted ops are
+	// rejected before they take a message-cap token or PG-queue slot. The
+	// zero value (every profile's default) changes nothing.
+	Admission core.AdmissionConfig
 	// JournalQueueCap bounds ops queued toward the journal writer.
 	JournalQueueCap int
 	// JournalSize is the NVRAM ring size in bytes (paper: 2 GB per OSD).

@@ -38,6 +38,10 @@ type ClientOp struct {
 	// Client is the reply-to endpoint; ID correlates the reply.
 	Client *netsim.Endpoint
 	ID     uint64
+	// Tenant names the multi-tenant scenario tenant the op belongs to;
+	// empty (the default for every plain client) bypasses admission
+	// control entirely, keeping pre-existing runs bit-identical.
+	Tenant string
 
 	// Primary-side completion state (guarded by the PG lock in community
 	// mode, by DES atomicity plus the OP-level discipline in AFCeph mode).
@@ -61,6 +65,11 @@ type Reply struct {
 	// EIO fails a read whose every replica copy is damaged: corrupt data
 	// is never returned, so the only honest answer is an I/O error.
 	EIO bool
+	// Rejected reports that per-tenant admission control refused the op at
+	// the messenger before it consumed a message-cap token or queue slot.
+	// The op did no work; the client must not retry (the rejection is the
+	// answer, not a transient failure).
+	Rejected bool
 }
 
 // repOp is a replication sub-op sent to a replica OSD.

@@ -66,6 +66,10 @@ type Metrics struct {
 	RepReads     stats.Counter
 	RepairWrites stats.Counter
 	EIOs         stats.Counter
+	// Admission control: AdmitRejected counts tenanted client ops refused
+	// at the messenger by the per-tenant token bucket (the matching accepts
+	// are WriteOps/ReadOps; core.Admission keeps its own decision pair).
+	AdmitRejected stats.Counter
 }
 
 // Integrity-event kinds reported through the note hook (SetIntegrityNote).
@@ -138,6 +142,11 @@ type OSD struct {
 	// concurrent read-repairs of the same object.
 	integrityNote func(p *sim.Proc, oid string, kind int)
 	repairing     map[string]bool
+
+	// adm is the per-tenant admission-control enforcement point; nil unless
+	// Config.Admission lists tenants. It lives on the OSD (not the engine)
+	// so bucket state survives crash/restart like any throttle setting.
+	adm *core.Admission
 
 	pgSeq   map[uint32]uint64
 	pglogs  map[uint32]*pgLog
@@ -228,6 +237,9 @@ func NewSplit(k *sim.Kernel, cfg Config, node *cpumodel.Node, ep, cep *netsim.En
 		panic("osd: unknown backend " + cfg.Backend)
 	}
 	o.metaAtCommit = o.store.MetaAtCommit()
+	if cfg.Admission.Enabled() {
+		o.adm = core.NewAdmission(cfg.Admission, k.Now())
+	}
 
 	ep.SetHandler(o.handleMessage)
 	if cep != ep {
@@ -359,6 +371,10 @@ func (o *OSD) MsgCap() *sim.Semaphore { return o.eng.msgCap }
 // Config returns the active configuration.
 func (o *OSD) Config() Config { return o.cfg }
 
+// Admission exposes the per-tenant admission enforcement point; nil when
+// Config.Admission lists no tenants.
+func (o *OSD) Admission() *core.Admission { return o.adm }
+
 // handleMessage is the messenger dispatch: it runs on the per-connection
 // receiver process.
 func (o *OSD) handleMessage(p *sim.Proc, m *netsim.Message) {
@@ -371,6 +387,17 @@ func (o *OSD) handleMessage(p *sim.Proc, m *netsim.Message) {
 	switch m.Kind {
 	case MsgWrite, MsgRead:
 		cop := m.Payload.(*ClientOp)
+		if o.adm != nil && cop.Tenant != "" && !o.adm.Admit(p.Now(), cop.Tenant) {
+			// Over-limit tenant: refuse in messenger context, before the op
+			// costs a msgCap token, a trace, or a PG-queue slot. The reply is
+			// the cheap ack-sized frame; the client surfaces the rejection
+			// instead of retrying.
+			o.metrics.AdmitRejected.Inc()
+			rep := o.newReply()
+			rep.Op, rep.Rejected = cop, true
+			o.ep.Send(p, cop.Client, o.cfg.Costs.AckBytes, MsgReply, rep)
+			return
+		}
 		cop.received = p.Now()
 		if o.cfg.TraceSample > 0 && cop.Kind == OpWrite {
 			o.opCount++

@@ -25,6 +25,12 @@ func (o *OSD) RegisterMetrics(r *metrics.Registry) {
 	s.Counter("rep_reads", &o.metrics.RepReads)
 	s.Counter("repair_writes", &o.metrics.RepairWrites)
 	s.Counter("eios", &o.metrics.EIOs)
+	s.Counter("admit_rejected", &o.metrics.AdmitRejected)
+	if o.adm != nil {
+		as := o.adm.Stats()
+		s.Counter("admit_decisions_accepted", &as.Accepted)
+		s.Counter("admit_decisions_rejected", &as.Rejected)
+	}
 
 	s.Histogram("opq_delay", o.eng.disp.QueueDelay)
 	s.Histogram("journal_q_delay", o.JournalQDelay)

@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/osd"
+	"repro/internal/scenario"
 	"repro/internal/store"
 )
 
@@ -64,6 +65,38 @@ func TestChaosSweepDifferential(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestScenarioDifferential extends the differential harness to the
+// multi-tenant scenario engine: every canonical scenario run normally and
+// re-run with the whole runtime pinned to GOMAXPROCS=1 must produce the
+// same fingerprint (all counters, latency quantiles, admission decisions
+// and the simulated clock).
+func TestScenarioDifferential(t *testing.T) {
+	names := scenario.CanonNames
+	if testing.Short() {
+		names = names[:2]
+	}
+	run := func(name string) uint64 {
+		sc, err := scenario.Parse([]byte(scenario.Canon(name)))
+		if err != nil {
+			t.Fatalf("%s: parse: %v", name, err)
+		}
+		res, err := scenario.Run(sc, scenario.Options{Scale: 0.12})
+		if err != nil {
+			t.Fatalf("%s: run: %v", name, err)
+		}
+		return res.Fingerprint()
+	}
+	for _, name := range names {
+		wide := run(name)
+		prev := runtime.GOMAXPROCS(1)
+		narrow := run(name)
+		runtime.GOMAXPROCS(prev)
+		if wide != narrow {
+			t.Errorf("%s: fingerprint diverged under GOMAXPROCS=1: %#x vs %#x", name, wide, narrow)
+		}
 	}
 }
 

@@ -109,6 +109,60 @@ func (r *Rand) LogNormal(mu, sigma float64) float64 {
 	return math.Exp(r.Normal(mu, sigma))
 }
 
+// Gamma returns a Gamma(shape, scale) sample (shape > 0, scale > 0) via
+// Marsaglia–Tsang squeeze-rejection; shape < 1 uses the boost
+// Gamma(shape+1)·U^(1/shape). Gamma interarrivals model burstier-than-
+// Poisson (shape < 1) or smoother-than-Poisson (shape > 1) tenant traffic.
+func (r *Rand) Gamma(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("rng: Gamma needs shape > 0 and scale > 0")
+	}
+	if shape < 1 {
+		u := r.Float64()
+		if u < 1e-300 {
+			u = 1e-300
+		}
+		return r.Gamma(shape+1, scale) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		var x, v float64
+		for {
+			x = r.Normal(0, 1)
+			v = 1 + c*x
+			if v > 0 {
+				break
+			}
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x {
+			return d * v * scale
+		}
+		if u < 1e-300 {
+			u = 1e-300
+		}
+		if math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v * scale
+		}
+	}
+}
+
+// Weibull returns a Weibull(shape, scale) sample (shape > 0, scale > 0) by
+// inversion: scale·(-ln(1-U))^(1/shape). Shape < 1 gives heavy-tailed
+// interarrivals (flash-crowd-like clumping), shape > 1 near-periodic ones.
+func (r *Rand) Weibull(shape, scale float64) float64 {
+	if shape <= 0 || scale <= 0 {
+		panic("rng: Weibull needs shape > 0 and scale > 0")
+	}
+	u := r.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return scale * math.Pow(-math.Log(1-u), 1/shape)
+}
+
 // Pareto returns a Pareto(xm, alpha) sample (alpha > 0), used for rare
 // large stalls such as SSD GC pauses.
 func (r *Rand) Pareto(xm, alpha float64) float64 {

@@ -1,0 +1,128 @@
+package scenario
+
+import (
+	"math"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// sampler draws interarrival times for one client. The mean interarrival
+// is 1/rate seconds; the process shapes the coefficient of variation:
+//
+//	poisson  — exponential interarrivals, CV = 1 (memoryless baseline)
+//	gamma    — CV c via shape k = 1/c²: c < 1 smooths (paced clients),
+//	           c > 1 clumps (bursty clients)
+//	weibull  — CV c via the shape solved from
+//	           c² = Γ(1+2/k)/Γ(1+1/k)² − 1; heavy right tail for c > 1
+//
+// All draws come from the client's private xoshiro stream, so the event
+// sequence depends only on (seed, tenant index, client index) — never on
+// host scheduling.
+type sampler struct {
+	process string
+	mean    float64 // seconds
+	shape   float64
+	scale   float64
+}
+
+func newSampler(a ArrivalSpec) sampler {
+	s := sampler{process: a.Process, mean: 1 / a.RateOpsSec}
+	cv := a.CV
+	if cv == 0 {
+		cv = 1
+	}
+	switch a.Process {
+	case ProcGamma:
+		s.shape = 1 / (cv * cv)
+		s.scale = s.mean / s.shape
+	case ProcWeibull:
+		s.shape = weibullShapeForCV(cv)
+		s.scale = s.mean / math.Gamma(1+1/s.shape)
+	}
+	return s
+}
+
+// weibullShapeForCV inverts CV²(k) = Γ(1+2/k)/Γ(1+1/k)² − 1 by bisection.
+// CV is strictly decreasing in k on (0, ∞), so the bracket [0.08, 60]
+// (CV ≈ 66 down to CV ≈ 0.02) covers every CV Validate admits.
+func weibullShapeForCV(cv float64) float64 {
+	target := cv * cv
+	lo, hi := 0.08, 60.0
+	for i := 0; i < 80; i++ {
+		mid := (lo + hi) / 2
+		g1 := math.Gamma(1 + 1/mid)
+		c2 := math.Gamma(1+2/mid)/(g1*g1) - 1
+		if c2 > target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// next draws one interarrival at the given rate multiplier (diurnal ×
+// burst). Samples are clamped strictly positive — the simulator needs
+// time to advance — and the multiplier divides the interarrival, which
+// modulates the instantaneous rate without a thinning step (thinning
+// would consume a schedule-dependent number of random draws).
+func (s sampler) next(r *rng.Rand, mult float64) sim.Time {
+	var sec float64
+	switch s.process {
+	case ProcGamma:
+		sec = r.Gamma(s.shape, s.scale)
+	case ProcWeibull:
+		sec = r.Weibull(s.shape, s.scale)
+	default: // poisson
+		sec = r.Exp(s.mean)
+	}
+	if mult < 0.05 {
+		mult = 0.05
+	}
+	sec /= mult
+	d := sim.Time(sec * float64(sim.Second))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// rateMult is the deterministic rate modulation at scenario time t (seconds
+// from run start): the diurnal sinusoid times the burst multiplier when t
+// falls inside the storm window. Both windows are pre-scaled by the engine.
+type rateMult struct {
+	diurnalPeriod float64 // seconds; 0 = off
+	diurnalAmp    float64
+	burstAt       float64 // seconds; burst off when burstDur == 0
+	burstDur      float64
+	burstMult     float64
+}
+
+func newRateMult(t *TenantSpec, scale float64) rateMult {
+	var m rateMult
+	if d := t.Diurnal; d != nil {
+		m.diurnalPeriod = d.PeriodSec * scale
+		m.diurnalAmp = d.Amplitude
+	}
+	if b := t.Burst; b != nil {
+		m.burstAt = b.AtSec * scale
+		m.burstDur = b.DurationSec * scale
+		m.burstMult = b.Multiplier
+	}
+	return m
+}
+
+func (m rateMult) at(tSec float64) float64 {
+	mult := 1.0
+	if m.diurnalPeriod > 0 {
+		mult *= 1 + m.diurnalAmp*math.Sin(2*math.Pi*tSec/m.diurnalPeriod)
+	}
+	if m.burstDur > 0 && tSec >= m.burstAt && tSec < m.burstAt+m.burstDur {
+		mult *= m.burstMult
+	}
+	if mult < 0.05 {
+		mult = 0.05
+	}
+	return mult
+}

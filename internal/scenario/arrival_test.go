@@ -1,0 +1,135 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/sim"
+)
+
+// TestSamplerMoments: over a long seeded run, each process hits its
+// analytic interarrival mean (1/rate) and coefficient of variation within
+// loose statistical bounds, and every sample is strictly positive.
+func TestSamplerMoments(t *testing.T) {
+	const n = 40000
+	cases := []struct {
+		name string
+		spec ArrivalSpec
+		cv   float64
+	}{
+		{"poisson", ArrivalSpec{Process: ProcPoisson, RateOpsSec: 1000}, 1},
+		{"gamma-smooth", ArrivalSpec{Process: ProcGamma, RateOpsSec: 500, CV: 0.5}, 0.5},
+		{"gamma-bursty", ArrivalSpec{Process: ProcGamma, RateOpsSec: 2000, CV: 2}, 2},
+		{"weibull-smooth", ArrivalSpec{Process: ProcWeibull, RateOpsSec: 800, CV: 0.6}, 0.6},
+		{"weibull-heavy", ArrivalSpec{Process: ProcWeibull, RateOpsSec: 1200, CV: 1.8}, 1.8},
+	}
+	for _, tc := range cases {
+		s := newSampler(tc.spec)
+		r := rng.New(42)
+		var sum, sumSq float64
+		for i := 0; i < n; i++ {
+			d := s.next(r, 1)
+			if d <= 0 {
+				t.Fatalf("%s: non-positive interarrival %d at draw %d", tc.name, d, i)
+			}
+			sec := d.Seconds()
+			sum += sec
+			sumSq += sec * sec
+		}
+		mean := sum / n
+		wantMean := 1 / tc.spec.RateOpsSec
+		if rel := math.Abs(mean-wantMean) / wantMean; rel > 0.06 {
+			t.Errorf("%s: sample mean %.6g vs %.6g (rel err %.3f)", tc.name, mean, wantMean, rel)
+		}
+		variance := sumSq/n - mean*mean
+		cv := math.Sqrt(variance) / mean
+		if rel := math.Abs(cv-tc.cv) / tc.cv; rel > 0.12 {
+			t.Errorf("%s: sample cv %.4g vs %.4g (rel err %.3f)", tc.name, cv, tc.cv, rel)
+		}
+	}
+}
+
+// TestSamplerDeterministic: the same seed yields a bit-identical event
+// sequence, and a different seed yields a different one.
+func TestSamplerDeterministic(t *testing.T) {
+	for _, spec := range []ArrivalSpec{
+		{Process: ProcPoisson, RateOpsSec: 750},
+		{Process: ProcGamma, RateOpsSec: 750, CV: 1.5},
+		{Process: ProcWeibull, RateOpsSec: 750, CV: 0.7},
+	} {
+		s := newSampler(spec)
+		draw := func(seed uint64) []sim.Time {
+			r := rng.New(seed)
+			out := make([]sim.Time, 500)
+			for i := range out {
+				// Alternate multipliers to cover the modulated path too.
+				mult := 1.0
+				if i%3 == 1 {
+					mult = 2.5
+				}
+				out[i] = s.next(r, mult)
+			}
+			return out
+		}
+		a, b, c := draw(7), draw(7), draw(8)
+		differs := false
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: same seed diverged at draw %d: %d vs %d", spec.Process, i, a[i], b[i])
+			}
+			if a[i] != c[i] {
+				differs = true
+			}
+		}
+		if !differs {
+			t.Fatalf("%s: different seeds produced identical sequences", spec.Process)
+		}
+	}
+}
+
+// TestWeibullShapeForCV: the bisection inverts the analytic CV(k) curve.
+func TestWeibullShapeForCV(t *testing.T) {
+	for _, cv := range []float64{0.1, 0.3, 0.6, 1, 1.5, 2, 4, 8} {
+		k := weibullShapeForCV(cv)
+		g1 := math.Gamma(1 + 1/k)
+		got := math.Sqrt(math.Gamma(1+2/k)/(g1*g1) - 1)
+		if math.Abs(got-cv)/cv > 1e-6 {
+			t.Errorf("cv %g: shape %g gives analytic cv %g", cv, k, got)
+		}
+	}
+	// cv = 1 is the exponential special case: shape 1, scale = mean.
+	if k := weibullShapeForCV(1); math.Abs(k-1) > 1e-6 {
+		t.Errorf("cv 1: shape %g, want 1", k)
+	}
+}
+
+// TestRateMult: the modulation windows are exact and clamped.
+func TestRateMult(t *testing.T) {
+	ten := TenantSpec{
+		Diurnal: &DiurnalSpec{PeriodSec: 4, Amplitude: 0.5},
+		Burst:   &BurstSpec{AtSec: 1, DurationSec: 0.5, Multiplier: 10},
+	}
+	m := newRateMult(&ten, 1)
+	if got := m.at(0); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("t=0: %g, want 1 (sin(0)=0)", got)
+	}
+	if got := m.at(1.25); got < 5 {
+		t.Fatalf("inside burst: %g, want >= 5", got)
+	}
+	if got := m.at(1.6); got > 2 {
+		t.Fatalf("after burst: %g, want diurnal only", got)
+	}
+	// Scale contracts both windows.
+	ms := newRateMult(&ten, 0.1)
+	if got := ms.at(0.125); got < 5 {
+		t.Fatalf("scaled burst window: %g, want >= 5", got)
+	}
+	// The clamp keeps the multiplier positive even at deep diurnal troughs
+	// with amplitude close to 1.
+	deep := TenantSpec{Diurnal: &DiurnalSpec{PeriodSec: 1, Amplitude: 0.95}}
+	dm := newRateMult(&deep, 1)
+	if got := dm.at(0.75); got < 0.05 {
+		t.Fatalf("trough multiplier %g under clamp", got)
+	}
+}

@@ -1,0 +1,24 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestExampleFilesMatchCanon: the runnable files under examples/scenarios/
+// are byte-for-byte the embedded canonical scenarios, so what users run
+// with `afsim -scenario` is exactly what the golden figure and the
+// differential determinism harness measured.
+func TestExampleFilesMatchCanon(t *testing.T) {
+	for _, name := range CanonNames {
+		path := filepath.Join("..", "..", "examples", "scenarios", name+".json")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: %v (regenerate from scenario.Canon)", name, err)
+		}
+		if string(data) != Canon(name) {
+			t.Fatalf("%s: %s has drifted from the embedded canonical scenario", name, path)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package scenario
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseCanonical(t *testing.T) {
+	for _, name := range CanonNames {
+		sc, err := Parse([]byte(Canon(name)))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if sc.Name != name {
+			t.Fatalf("%s: parsed name %q", name, sc.Name)
+		}
+		if len(sc.Tenants) == 0 {
+			t.Fatalf("%s: no tenants", name)
+		}
+	}
+}
+
+func TestParseDefaults(t *testing.T) {
+	sc, err := Parse([]byte(`{
+		"name": "d", "runtime_sec": 1,
+		"cluster": {"nodes": 1, "osds_per_node": 2},
+		"tenants": [{"name": "a", "clients": 1, "arrival": {"process": "poisson", "rate_ops_sec": 10}}]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Seed != 1 {
+		t.Fatalf("default seed = %d, want 1", sc.Seed)
+	}
+	r := resolveTenant(&sc.Tenants[0])
+	if r.Class != "standard" || r.ImageMB != 64 || r.InFlight != 8 {
+		t.Fatalf("tenant defaults = %q/%d/%d", r.Class, r.ImageMB, r.InFlight)
+	}
+	if len(r.sizes) != 1 || r.sizes[0].Bytes != 4096 {
+		t.Fatalf("default sizes = %+v", r.sizes)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	in := `{
+		// a line comment
+		"name": "c", # a hash comment with "quotes"
+		"runtime_sec": 1,
+		"cluster": {"nodes": 1, "osds_per_node": 1},
+		"tenants": [{"name": "a // not a comment", "clients": 1,
+			"arrival": {"process": "poisson", "rate_ops_sec": 5}},]
+	}`
+	sc, err := Parse([]byte(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Tenants[0].Name != "a // not a comment" {
+		t.Fatalf("comment stripping reached into a string: %q", sc.Tenants[0].Name)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"empty", ``, "unexpected end"},
+		{"non-object", `[1]`, "top level"},
+		{"trailing", `{"name": "x", "runtime_sec": 1, "cluster": {"nodes": 1, "osds_per_node": 1}, "tenants": [{"name": "a", "clients": 1, "arrival": {"process": "poisson", "rate_ops_sec": 5}}]} extra`, "trailing data"},
+		{"unknown-top", `{"nmae": "x"}`, `unknown field "nmae"`},
+		{"unknown-tenant", `{"name": "x", "runtime_sec": 1, "cluster": {"nodes": 1, "osds_per_node": 1}, "tenants": [{"name": "a", "clinets": 1}]}`, "tenants[0]"},
+		{"dup-key", `{"name": "x", "name": "y"}`, "duplicate key"},
+		{"bad-type", `{"name": 4}`, "must be a string"},
+		{"no-cluster", `{"name": "x", "runtime_sec": 1, "tenants": []}`, "cluster section is required"},
+		{"no-tenants", `{"name": "x", "runtime_sec": 1, "cluster": {"nodes": 1, "osds_per_node": 1}, "tenants": []}`, "at least one tenant"},
+		{"bad-process", `{"name": "x", "runtime_sec": 1, "cluster": {"nodes": 1, "osds_per_node": 1}, "tenants": [{"name": "a", "clients": 1, "arrival": {"process": "pareto", "rate_ops_sec": 5}}]}`, "not poisson, gamma or weibull"},
+		{"poisson-cv", `{"name": "x", "runtime_sec": 1, "cluster": {"nodes": 1, "osds_per_node": 1}, "tenants": [{"name": "a", "clients": 1, "arrival": {"process": "poisson", "rate_ops_sec": 5, "cv": 2}}]}`, "cv fixed at 1"},
+		{"failure-needs-timeout", `{"name": "x", "runtime_sec": 1, "cluster": {"nodes": 1, "osds_per_node": 2}, "failure": {"osd": 0, "at_sec": 0.5, "recover_at_sec": 0.8}, "tenants": [{"name": "a", "clients": 1, "arrival": {"process": "poisson", "rate_ops_sec": 5}}]}`, "op_timeout_ms"},
+		{"huge-number", `{"name": "x", "seed": 1e300}`, "must be an integer"},
+		{"bad-escape", `{"name": "\q"}`, "invalid escape"},
+		{"deep-nest", `{"a": ` + strings.Repeat(`[`, 100) + strings.Repeat(`]`, 100) + `}`, "nesting deeper"},
+	}
+	for _, tc := range cases {
+		_, err := Parse([]byte(tc.in))
+		if err == nil {
+			t.Fatalf("%s: expected error", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestEncodeFixedPoint: parse→encode→parse is a fixed point for every
+// canonical scenario — the property the fuzz harness extends to the whole
+// valid input space.
+func TestEncodeFixedPoint(t *testing.T) {
+	for _, name := range CanonNames {
+		sc, err := Parse([]byte(Canon(name)))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		e1 := Encode(sc)
+		sc2, err := Parse(e1)
+		if err != nil {
+			t.Fatalf("%s: reparse of canonical encoding: %v\n%s", name, err, e1)
+		}
+		e2 := Encode(sc2)
+		if !bytes.Equal(e1, e2) {
+			t.Fatalf("%s: encode is not a fixed point:\n--- first\n%s\n--- second\n%s", name, e1, e2)
+		}
+	}
+}
+
+func TestEncodeEscaping(t *testing.T) {
+	sc := &Scenario{
+		Name: "weird \"name\"\twith\nescapes\x01", Seed: 7, RuntimeSec: 1,
+		Cluster: ClusterSpec{Nodes: 1, OSDsPerNode: 1},
+		Tenants: []TenantSpec{{Name: "t", Clients: 1, Arrival: ArrivalSpec{Process: ProcPoisson, RateOpsSec: 5}}},
+	}
+	e1 := Encode(sc)
+	sc2, err := Parse(e1)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, e1)
+	}
+	if sc2.Name != sc.Name {
+		t.Fatalf("name round trip: %q != %q", sc2.Name, sc.Name)
+	}
+	if !bytes.Equal(e1, Encode(sc2)) {
+		t.Fatal("escaped encode is not a fixed point")
+	}
+}

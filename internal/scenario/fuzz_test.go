@@ -1,0 +1,36 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzScenarioParse: arbitrary bytes must never panic the parser, invalid
+// specs must come back as errors (Validate never panics on user input),
+// and for anything that parses, parse→encode→parse must be a fixed point.
+func FuzzScenarioParse(f *testing.F) {
+	for _, name := range CanonNames {
+		f.Add([]byte(Canon(name)))
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name": "x", "tenants": [{"arrival": {}}]}`))
+	f.Add([]byte(`[1, 2, {"a": "bé😀"}]`))
+	f.Add([]byte(`{"name": "x", "seed": -1, "runtime_sec": 1e999}`))
+	f.Add([]byte("{\"name\": \"x\" // comment\n}"))
+	f.Add([]byte(`{"a": [[[[[[[[[[[[[[[[1]]]]]]]]]]]]]]]]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := Parse(data) // must not panic
+		if err != nil {
+			return
+		}
+		e1 := Encode(sc)
+		sc2, err := Parse(e1)
+		if err != nil {
+			t.Fatalf("canonical encoding failed to reparse: %v\n%s", err, e1)
+		}
+		e2 := Encode(sc2)
+		if !bytes.Equal(e1, e2) {
+			t.Fatalf("encode not a fixed point:\n--- first\n%s\n--- second\n%s", e1, e2)
+		}
+	})
+}

@@ -1,0 +1,28 @@
+package stats
+
+// JainFairness returns Jain's fairness index over per-tenant allocations:
+//
+//	J = (Σx)² / (n·Σx²)
+//
+// J is 1.0 when every tenant gets the same share and approaches 1/n as one
+// tenant monopolizes the resource. Conventions at the edges: an empty input
+// and an all-zero input both return 1.0 (nobody is being favoured over
+// anybody), and negative allocations are clamped to zero (a throughput
+// cannot be negative; clamping keeps the index in [1/n, 1]).
+func JainFairness(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1.0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		if x < 0 {
+			x = 0
+		}
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1.0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}

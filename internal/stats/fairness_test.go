@@ -1,0 +1,66 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestJainFairnessSingleTenant(t *testing.T) {
+	if j := JainFairness([]float64{1234.5}); j != 1.0 {
+		t.Fatalf("single tenant: J = %v, want 1.0", j)
+	}
+}
+
+func TestJainFairnessEqualShares(t *testing.T) {
+	if j := JainFairness([]float64{7, 7, 7, 7}); math.Abs(j-1.0) > 1e-12 {
+		t.Fatalf("equal shares: J = %v, want 1.0", j)
+	}
+}
+
+// One tenant of N starved to zero while the others share equally:
+// J = (n-1)/n exactly.
+func TestJainFairnessOneStarvedOfN(t *testing.T) {
+	for _, n := range []int{2, 3, 5, 10} {
+		xs := make([]float64, n)
+		for i := 1; i < n; i++ {
+			xs[i] = 100
+		}
+		want := float64(n-1) / float64(n)
+		if j := JainFairness(xs); math.Abs(j-want) > 1e-12 {
+			t.Fatalf("n=%d one starved: J = %v, want %v", n, j, want)
+		}
+	}
+}
+
+// A total monopoly approaches the 1/n lower bound.
+func TestJainFairnessMonopoly(t *testing.T) {
+	xs := []float64{0, 0, 0, 1000}
+	want := 1.0 / 4
+	if j := JainFairness(xs); math.Abs(j-want) > 1e-12 {
+		t.Fatalf("monopoly: J = %v, want %v", j, want)
+	}
+}
+
+func TestJainFairnessZeroThroughputEdges(t *testing.T) {
+	if j := JainFairness(nil); j != 1.0 {
+		t.Fatalf("empty: J = %v, want 1.0", j)
+	}
+	if j := JainFairness([]float64{0, 0, 0}); j != 1.0 {
+		t.Fatalf("all-zero: J = %v, want 1.0", j)
+	}
+	// Negative inputs clamp to zero rather than inflating the index.
+	if j := JainFairness([]float64{-5, 10}); math.Abs(j-0.5) > 1e-12 {
+		t.Fatalf("negative clamps: J = %v, want 0.5", j)
+	}
+}
+
+func TestJainFairnessScaleInvariant(t *testing.T) {
+	a := JainFairness([]float64{1, 2, 3, 4})
+	b := JainFairness([]float64{1000, 2000, 3000, 4000})
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatalf("scale invariance violated: %v vs %v", a, b)
+	}
+	if a <= 0.25 || a >= 1 {
+		t.Fatalf("unequal shares must land strictly inside (1/n, 1): %v", a)
+	}
+}

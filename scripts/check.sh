@@ -9,8 +9,8 @@
 #   test       full suite — unit, integration, recovery/chaos, determinism
 #              (shuffled, to catch test-order dependence)
 #   race       data-race detector: light infrastructure packages at full
-#              scale, the heavy engine packages (osd, core, cluster, qa)
-#              in -short mode — their suites are deterministic by
+#              scale, the heavy engine packages (osd, core, cluster, qa,
+#              figures, scenario) in -short mode — their suites are deterministic by
 #              construction but too slow under -race at full scale
 #   bench      one-iteration smoke over every benchmark (compile + run,
 #              no timing gate; scripts/bench.sh owns the regression gate)
@@ -41,7 +41,8 @@ run_race() {
 
     echo "== go test -race -short (engine packages)"
     go test -race -short ./internal/osd/ ./internal/core/ \
-        ./internal/cluster/ ./internal/qa/ ./internal/figures/
+        ./internal/cluster/ ./internal/qa/ ./internal/figures/ \
+        ./internal/scenario/
 }
 
 case "${1:-all}" in
