@@ -85,6 +85,12 @@ type Config struct {
 	CoresPerNode int
 	PGs          int
 	Replicas     int
+	// Pool selects the redundancy policy: "" keeps Replicas-way
+	// replication, "repN" forces N-way replication, "ecK+M" stripes every
+	// object over K data + M parity shards (RS erasure coding; any K of
+	// the K+M shards reconstruct, so M concurrent OSD losses are survived
+	// at a (K+M)/K storage overhead instead of replication's N).
+	Pool string
 	// Sustained selects worn (steady-state) SSDs; false = clean state.
 	Sustained bool
 	// Verify keeps per-extent stamps so reads can be checked against
@@ -203,6 +209,7 @@ func New(cfg Config) *Cluster {
 	if cfg.Replicas > 0 {
 		p.Replicas = cfg.Replicas
 	}
+	p.Pool = cfg.Pool
 	p.Sustained = cfg.Sustained
 	p.VerifyData = cfg.Verify
 	p.Seed = cfg.Seed

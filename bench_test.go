@@ -337,6 +337,35 @@ func BenchmarkScenarios(b *testing.B) {
 	reportSimWall(b, start)
 }
 
+// BenchmarkECvsRep gates the redundancy-policy seam: 4K random-write
+// throughput, host write amplification and CPU cost per kop for 3x
+// replication vs RS(4,2) erasure coding, plus read latency with one OSD
+// failed out (replica reads fail over, EC reads reconstruct from k
+// shards). The space-advantage metric is structural — RS(4,2) stores
+// 1.5 bytes per logical byte against replication's 3.0 — and is floored
+// just under 2x so a policy-accounting regression fails the gate.
+func BenchmarkECvsRep(b *testing.B) {
+	start := simWallStart()
+	for i := 0; i < b.N; i++ {
+		rep := figures.ECvsRep(benchOptions())
+		b.ReportMetric(cellByRowPair(rep, "rep3", "directstore", 2), "rep3-iops")
+		b.ReportMetric(cellByRowPair(rep, "ec4+2", "directstore", 2), "ec-iops")
+		b.ReportMetric(cellByRowPair(rep, "rep3", "directstore", 4), "rep3-amp")
+		b.ReportMetric(cellByRowPair(rep, "ec4+2", "directstore", 4), "ec-amp")
+		b.ReportMetric(cellByRowPair(rep, "rep3", "directstore", 6), "rep3-cpu-ms-kop")
+		b.ReportMetric(cellByRowPair(rep, "ec4+2", "directstore", 6), "ec-cpu-ms-kop")
+		b.ReportMetric(cellByRowPair(rep, "rep3", "directstore", 7), "rep3-deg-lat-ms")
+		b.ReportMetric(cellByRowPair(rep, "ec4+2", "directstore", 7), "ec-deg-lat-ms")
+		space := cellByRowPair(rep, "rep3", "directstore", 5) /
+			cellByRowPair(rep, "ec4+2", "directstore", 5)
+		b.ReportMetric(space, "space-advantage-x")
+		if i == 0 {
+			b.Log("\n" + rep.String())
+		}
+	}
+	reportSimWall(b, start)
+}
+
 // ---------------------------------------------------------------------------
 // Substrate microbenchmarks.
 

@@ -13,7 +13,9 @@
 // p50/p99, §3 methodology), backends (journal+filestore vs direct-write
 // write amplification), scrub (client impact and time-to-detect/repair
 // for background scrub off/throttled/unthrottled under injected bit-rot),
-// scenarios (multi-tenant SLO classes with admission control on/off).
+// scenarios (multi-tenant SLO classes with admission control on/off),
+// ecvsrep (3x replication vs RS(4,2) erasure coding: write amplification,
+// space overhead, CPU cost and degraded-read latency on both backends).
 // See EXPERIMENTS.md for paper-vs-measured notes.
 package main
 
@@ -31,7 +33,7 @@ import (
 
 func main() {
 	var (
-		figList   = flag.String("fig", "all", "comma-separated figure list: 1,3,4,9,10,11,12,breakdown,backends,scrub,scenarios,load,mixed,dropin or 'all'")
+		figList   = flag.String("fig", "all", "comma-separated figure list: 1,3,4,9,10,11,12,breakdown,backends,scrub,scenarios,ecvsrep,load,mixed,dropin or 'all'")
 		scale     = flag.Float64("scale", 0.25, "experiment scale in (0,1]: multiplies VM counts and runtimes")
 		runtime   = flag.Float64("runtime", 2.0, "measured seconds per point at scale=1")
 		ramp      = flag.Float64("ramp", 0.6, "warm-up seconds per point at scale=1")
@@ -64,7 +66,7 @@ func main() {
 
 	want := map[string]bool{}
 	if *figList == "all" {
-		for _, f := range []string{"1", "3", "4", "9", "10", "11", "12", "breakdown", "backends", "scrub", "scenarios"} {
+		for _, f := range []string{"1", "3", "4", "9", "10", "11", "12", "breakdown", "backends", "scrub", "scenarios", "ecvsrep"} {
 			want[f] = true
 		}
 	} else {
@@ -152,6 +154,9 @@ func main() {
 	}
 	if want["scenarios"] {
 		emit(figures.Scenarios(opt))
+	}
+	if want["ecvsrep"] {
+		emit(figures.ECvsRep(opt))
 	}
 	if want["dropin"] {
 		emit(figures.DropIn(opt))

@@ -8,6 +8,7 @@
 //	afsim -profile community -rw randread -bs 32768 -prefill
 //	afsim -profile afceph -no-light-tx    # ablation: AFCeph minus light tx
 //	afsim -fail-at 500 -recover-at 1500   # crash osd.0 mid-run, watch the dip
+//	afsim -pool ec4+2 -rw randwrite       # RS(4,2) erasure-coded pool
 //	afsim -scenario examples/scenarios/noisy-neighbor.json   # multi-tenant scenario
 package main
 
@@ -75,6 +76,7 @@ func main() {
 		runtime   = flag.Float64("runtime", 2.0, "measured seconds")
 		ramp      = flag.Float64("ramp", 0.5, "warm-up seconds")
 		nodes     = flag.Int("nodes", 4, "OSD nodes")
+		pool      = flag.String("pool", "", "redundancy policy: repN | ecK+M (default: replica count from the profile)")
 		sustained = flag.Bool("sustained", true, "worn (sustained) SSD state")
 		prefill   = flag.Bool("prefill", false, "prefill images before measuring")
 		seed      = flag.Uint64("seed", 1, "random seed")
@@ -140,6 +142,7 @@ func main() {
 
 	cfg := afceph.DefaultConfig()
 	cfg.Nodes = *nodes
+	cfg.Pool = *pool
 	cfg.Sustained = *sustained
 	cfg.Seed = *seed
 	if *trace || *traceOut != "" {

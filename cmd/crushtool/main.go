@@ -6,6 +6,7 @@
 //
 //	crushtool -hosts 4 -osds-per-host 4 -pgs 1024 -replicas 2
 //	crushtool -hosts 5 -remove-host 4     # show remap fraction
+//	crushtool -hosts 3 -osds-per-host 2 -width 6   # validate EC-width placement
 package main
 
 import (
@@ -34,12 +35,58 @@ func buildMap(hosts, osdsPer int, skip int) (*crush.Map, error) {
 	return crush.NewMap(hs)
 }
 
+// widthReport summarizes a placement validation pass at a given set width
+// (an EC pool's k+m, which may exceed the host count).
+type widthReport struct {
+	Short        []uint32 // PGs whose set came back under width (map too small)
+	DupOSD       []uint32 // PGs whose set repeats an OSD (must never happen)
+	MovedPrimary []uint32 // PGs whose primary differs from the replicas-width primary
+	HostReuse    int      // PGs placing two set members on one host (expected when width > hosts)
+}
+
+// validateWidth checks every PG's width-wide placement: full-size sets,
+// distinct OSDs, and a primary stable with the replicated pool's (an EC
+// pool sharing a map with a replicated pool must not move primaries).
+// Host reuse is counted, not flagged: CRUSH relaxes host separation by
+// design once the distinct failure domains run out (an m-host map cannot
+// host-separate more than m shards).
+func validateWidth(m *crush.Map, pgs, width, replicas, osdsPer int) widthReport {
+	var rep widthReport
+	for pg := 0; pg < pgs; pg++ {
+		set := m.PGToOSDs(uint32(pg), width)
+		if len(set) < width {
+			rep.Short = append(rep.Short, uint32(pg))
+		}
+		seen := map[int]bool{}
+		hostsSeen := map[int]bool{}
+		reused := false
+		for _, o := range set {
+			if seen[o] {
+				rep.DupOSD = append(rep.DupOSD, uint32(pg))
+			}
+			seen[o] = true
+			if hostsSeen[o/osdsPer] {
+				reused = true
+			}
+			hostsSeen[o/osdsPer] = true
+		}
+		if reused {
+			rep.HostReuse++
+		}
+		if len(set) > 0 && set[0] != m.Primary(uint32(pg), replicas) {
+			rep.MovedPrimary = append(rep.MovedPrimary, uint32(pg))
+		}
+	}
+	return rep
+}
+
 func main() {
 	var (
 		hosts    = flag.Int("hosts", 4, "number of hosts (failure domains)")
 		osdsPer  = flag.Int("osds-per-host", 4, "OSDs per host")
 		pgs      = flag.Int("pgs", 1024, "placement groups")
 		replicas = flag.Int("replicas", 2, "replica count")
+		width    = flag.Int("width", 0, "validate placement at this set width (an EC pool's k+m) and exit")
 		remove   = flag.Int("remove-host", -1, "also compute remap fraction after removing this host index")
 	)
 	flag.Parse()
@@ -48,6 +95,28 @@ func main() {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "crushtool:", err)
 		os.Exit(1)
+	}
+
+	if *width > 0 {
+		rep := validateWidth(m, *pgs, *width, *replicas, *osdsPer)
+		fmt.Printf("width %d over %d hosts x %d OSDs, %d PGs:\n", *width, *hosts, *osdsPer, *pgs)
+		fmt.Printf("  host-separation relaxed (set reuses a host): %d/%d PGs\n", rep.HostReuse, *pgs)
+		bad := false
+		report := func(what string, pgs []uint32) {
+			if len(pgs) == 0 {
+				return
+			}
+			bad = true
+			fmt.Printf("  VIOLATION %s: %d PGs, first pg %d\n", what, len(pgs), pgs[0])
+		}
+		report("short set (map cannot satisfy width)", rep.Short)
+		report("duplicate OSD in set", rep.DupOSD)
+		report(fmt.Sprintf("primary moved vs %d-replica placement", *replicas), rep.MovedPrimary)
+		if bad {
+			os.Exit(1)
+		}
+		fmt.Println("  ok: full-width sets, distinct OSDs, primaries stable")
+		return
 	}
 
 	counts := make(map[int]int)

@@ -1,0 +1,45 @@
+package main
+
+import "testing"
+
+// TestValidateWidthECOverSmallMap drives the -width validation mode at an
+// EC pool's footprint on a map with fewer hosts than shards: RS(4,2) on
+// 3 hosts x 2 OSDs. Every PG must still get six distinct OSDs (the whole
+// map), primaries must match the replicated placement, and — with twice
+// as many shards as hosts — every PG necessarily reuses hosts.
+func TestValidateWidthECOverSmallMap(t *testing.T) {
+	m, err := buildMap(3, 2, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pgs = 128
+	rep := validateWidth(m, pgs, 6, 2, 2)
+	if len(rep.Short) != 0 {
+		t.Errorf("short sets at width 6 on a 6-OSD map: %v", rep.Short)
+	}
+	if len(rep.DupOSD) != 0 {
+		t.Errorf("duplicate OSDs in sets: %v", rep.DupOSD)
+	}
+	if len(rep.MovedPrimary) != 0 {
+		t.Errorf("primaries moved between width 2 and width 6: %v", rep.MovedPrimary)
+	}
+	if rep.HostReuse != pgs {
+		t.Errorf("HostReuse = %d, want %d (6 shards cannot host-separate on 3 hosts)", rep.HostReuse, pgs)
+	}
+}
+
+// TestValidateWidthWithinHosts checks the strict regime: width at or
+// under the host count must never reuse a host.
+func TestValidateWidthWithinHosts(t *testing.T) {
+	m, err := buildMap(4, 4, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := validateWidth(m, 256, 3, 3, 4)
+	if len(rep.Short) != 0 || len(rep.DupOSD) != 0 || len(rep.MovedPrimary) != 0 {
+		t.Errorf("violations at width 3 on 4 hosts: %+v", rep)
+	}
+	if rep.HostReuse != 0 {
+		t.Errorf("HostReuse = %d at width 3 on 4 hosts, want 0", rep.HostReuse)
+	}
+}

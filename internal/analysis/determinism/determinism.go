@@ -16,7 +16,7 @@ import (
 // auditedPkgs are the package names whose state feeds golden hashes
 // (DESIGN.md §9). Matching is by package name so analysistest fixtures
 // exercise the production configuration.
-var auditedPkgs = []string{"sim", "osd", "store", "filestore", "figures", "qa", "cluster", "fault", "scenario"}
+var auditedPkgs = []string{"sim", "osd", "store", "filestore", "figures", "qa", "cluster", "fault", "scenario", "redundancy"}
 
 // forbiddenImports are entropy sources that bypass repro/internal/rng.
 var forbiddenImports = map[string]bool{

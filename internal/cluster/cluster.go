@@ -15,6 +15,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/netsim"
 	"repro/internal/osd"
+	"repro/internal/redundancy"
 	"repro/internal/rng"
 	"repro/internal/sim"
 )
@@ -34,6 +35,10 @@ type Params struct {
 	// Placement.
 	PGs      uint32
 	Replicas int
+	// Pool selects the redundancy policy ("repN" or "ecK+M"); empty means
+	// Replicas-way replication — the pre-seam behaviour of every existing
+	// configuration, bit-identically.
+	Pool string
 	// Tuning.
 	Allocator     cpumodel.Allocator
 	ClientNoDelay bool // TCP_NODELAY on client connections (KRBD tuning)
@@ -109,6 +114,7 @@ type Cluster struct {
 	Params Params
 
 	cmap    *crush.Map
+	pol     redundancy.Policy
 	osds    []*osd.OSD
 	nodes   []*cpumodel.Node
 	ssds    []*device.SSD
@@ -151,6 +157,11 @@ func New(params Params) *Cluster {
 		replies:  osd.NewReplyPool(),
 		actCache: make(map[uint32][]int),
 	}
+	pol, err := redundancy.ForPool(params.Pool, params.Replicas)
+	if err != nil {
+		panic("cluster: " + err.Error())
+	}
+	c.pol = pol
 
 	perOSDAdmission := params.Admission.PerOSD(params.OSDNodes * params.OSDsPerNode)
 
@@ -259,8 +270,52 @@ func New(params Params) *Cluster {
 			return eps
 		})
 	}
+	// Redundancy policy: every OSD gets the pool's policy (the constructed
+	// default is already plain replication, so this is a no-op for rep
+	// pools). EC pools additionally need the shard placer — the full acting
+	// set in canonical CRUSH order, Self-marked, nil for down members — so
+	// a primary can gather k of k+m shards.
+	for i := range c.osds {
+		c.osds[i].SetPolicy(c.pol)
+	}
+	if c.pol.Kind() == redundancy.KindEC {
+		for i := range c.osds {
+			o := c.osds[i]
+			self := i
+			cache := make(map[uint32][]osd.ShardTarget)
+			cacheEpoch := 0
+			o.SetShardPlacer(func(pg uint32) []osd.ShardTarget {
+				if cacheEpoch != c.epoch {
+					clear(cache)
+					cacheEpoch = c.epoch
+				}
+				if ts, ok := cache[pg]; ok {
+					return ts
+				}
+				set := c.cmap.PGToOSDs(pg, c.pol.Width())
+				ts := make([]osd.ShardTarget, len(set))
+				for j, osdID := range set {
+					switch {
+					case osdID == self:
+						ts[j] = osd.ShardTarget{Self: true}
+					case !c.down[osdID]:
+						ts[j] = osd.ShardTarget{EP: c.osds[osdID].ClusterEndpoint()}
+					}
+				}
+				cache[pg] = ts
+				return ts
+			})
+		}
+	}
 	return c
 }
+
+// Policy returns the pool's redundancy policy.
+func (c *Cluster) Policy() redundancy.Policy { return c.pol }
+
+// PoolWidth is the number of distinct OSDs each PG places on: Replicas for
+// replicated pools, k+m for EC pools.
+func (c *Cluster) PoolWidth() int { return c.pol.Width() }
 
 // OSDs returns all daemons.
 func (c *Cluster) OSDs() []*osd.OSD { return c.osds }
@@ -277,7 +332,7 @@ func (c *Cluster) Map() *crush.Map { return c.cmap }
 // PrimaryFor returns the primary OSD for an object name.
 func (c *Cluster) PrimaryFor(oid string) *osd.OSD {
 	pg := crush.ObjectToPG(oid, c.Params.PGs)
-	return c.osds[c.cmap.Primary(pg, c.Params.Replicas)]
+	return c.osds[c.cmap.Primary(pg, c.pol.Width())]
 }
 
 // DataDevice returns an OSD's RAID0 data array.

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/crush"
 	"repro/internal/filestore"
+	"repro/internal/redundancy"
 	"repro/internal/sim"
 )
 
@@ -112,7 +113,7 @@ func (c *Cluster) actingSet(pg uint32) []int {
 	if up, ok := c.actCache[pg]; ok {
 		return up
 	}
-	set := c.cmap.PGToOSDs(pg, c.Params.Replicas)
+	set := c.cmap.PGToOSDs(pg, c.pol.Width())
 	up := make([]int, 0, len(set))
 	for _, id := range set {
 		if !c.down[id] {
@@ -188,7 +189,7 @@ func (c *Cluster) RecoverOSDIn(p *sim.Proc, id int) RecoveryStats {
 	}
 	var plans []pgPlan
 	for pg := uint32(0); pg < c.Params.PGs; pg++ {
-		set := c.cmap.PGToOSDs(pg, c.Params.Replicas)
+		set := c.cmap.PGToOSDs(pg, c.pol.Width())
 		inSet := false
 		peer := -1
 		var peers []int
@@ -232,13 +233,41 @@ func (c *Cluster) RecoverOSDIn(p *sim.Proc, id int) RecoveryStats {
 				c.osds[pid].AdoptPGState(pg, head)
 			}
 		}
+		// Log heads alone under-count: a sub-op the previous primary fanned
+		// out may still sit unprocessed in a peer's queue — or in flight on
+		// the wire — invisible to PGLogHead. Floor every member's assignment
+		// counter at the maximum assignment horizon over the WHOLE member
+		// set, down members included: pgSeq survives a crash precisely so a
+		// dead assigner still vouches for sequences it launched (this is
+		// interval metadata the monitor would hold, so reading a down
+		// member's counter costs no simulated I/O). Whichever member leads
+		// this PG next can then never re-assign a sequence that is queued or
+		// in flight toward another member's log (the duplicate would break
+		// the PG log's strict ordering).
+		floor := head
+		for _, o := range set {
+			if h := c.osds[o].PGSeqHorizon(pg); h > floor {
+				floor = h
+			}
+		}
+		if floor > head {
+			target.RaisePGSeq(pg, floor)
+			for _, pid := range peers {
+				c.osds[pid].RaisePGSeq(pg, floor)
+			}
+		}
 		plans = append(plans, pgPlan{pg: pg, peer: peer, missed: missed, logCovered: logCovered})
 	}
 
 	// Data motion, in simulated time (the workload may keep running
 	// degraded against the now-complete member sets).
 	for _, pl := range plans {
-		copied := c.recoverPG(p, pl.pg, pl.peer, id, pl.missed, &st)
+		var copied int
+		if c.pol.Kind() == redundancy.KindEC {
+			copied = c.recoverPGEC(p, pl.pg, id, pl.missed, &st)
+		} else {
+			copied = c.recoverPG(p, pl.pg, pl.peer, id, pl.missed, &st)
+		}
 		if copied == 0 {
 			continue
 		}
@@ -333,4 +362,112 @@ func (c *Cluster) recoverPG(p *sim.Proc, pg uint32, srcID, dstID int, missed map
 	}
 	done.Wait(p)
 	return len(todo)
+}
+
+// recoverPGEC rebuilds the rejoining member's shards of one PG by
+// reconstruction: instead of copying a whole replica from a single peer, it
+// reads k surviving shards, reconstructs the lost one on the target's node
+// (GF arithmetic charged via the policy's DecodeCost) and installs it. The
+// authoritative state is the stamp-wise union over *all* up in-set peers —
+// overlapping outages can leave each survivor missing different writes, so
+// a single-peer source would under-recover. An object with fewer than k
+// clean contributors is skipped (unrecoverable until more members return;
+// the final repair pass converges it).
+func (c *Cluster) recoverPGEC(p *sim.Proc, pg uint32, dstID int, missed map[string]bool, st *RecoveryStats) int {
+	dst := c.osds[dstID].Store()
+	k := c.pol.DataShards()
+	var peers []int
+	for _, pid := range c.cmap.PGToOSDs(pg, c.pol.Width()) {
+		if pid != dstID && !c.down[pid] && !c.osds[pid].Crashed() {
+			peers = append(peers, pid)
+		}
+	}
+	if len(peers) < k {
+		return 0 // the stripe itself is below k: nothing can be rebuilt yet
+	}
+	// Work list: any object some peer knows at a version the target lacks.
+	names := map[string]bool{}
+	for _, pid := range peers {
+		for _, oid := range c.osds[pid].Store().ObjectNames() {
+			if crush.ObjectToPG(oid, c.Params.PGs) != pg {
+				continue
+			}
+			if missed != nil && !missed[oid] {
+				continue
+			}
+			names[oid] = true
+		}
+	}
+	var todo []string
+	for oid := range names { //afvet:allow determinism keys are sorted before use
+		var maxV uint64
+		for _, pid := range peers {
+			if v := c.osds[pid].Store().ObjectVersion(oid); v > maxV {
+				maxV = v
+			}
+		}
+		if dst.ObjectVersion(oid) != maxV {
+			todo = append(todo, oid)
+		}
+	}
+	sort.Strings(todo)
+	if len(todo) == 0 {
+		return 0
+	}
+	done := sim.NewWaitGroup(c.K)
+	copied := 0
+	for _, oid := range todo {
+		oid := oid
+		// Union the cleansed shard states of every contributing peer; a
+		// coarsely corrupted copy contributes nothing.
+		var state filestore.ObjectState
+		contributed := 0
+		var readers []int
+		for _, pid := range peers {
+			ps, ok := c.osds[pid].Store().ExportObject(oid)
+			if !ok || (ps.Damaged && len(ps.Rot) == 0) {
+				continue
+			}
+			if contributed == 0 {
+				state = ps.Cleansed()
+			} else {
+				state = filestore.UnionState(state, ps.Cleansed())
+			}
+			contributed++
+			if len(readers) < k {
+				readers = append(readers, pid)
+			}
+		}
+		if contributed < k {
+			continue // fewer than k clean shards: unrecoverable right now
+		}
+		dstState, _ := dst.ExportObject(oid)
+		state = filestore.UnionState(state, dstState.Cleansed())
+		size := state.Size // member sizes are shard-scaled already
+		if size <= 0 {
+			size = 4096
+		}
+		copied++
+		st.ObjectsCopied++
+		st.BytesCopied += size
+		done.Add(1)
+		c.K.Go(fmt.Sprintf("recover.%s", oid), func(pp *sim.Proc) {
+			defer done.Done()
+			// k shard reads on the survivors, k shards over the cluster
+			// network, reconstruction on the rejoining node, local install.
+			for _, pid := range readers {
+				c.osds[pid].Store().Read(pp, oid, 0, size)
+			}
+			pp.Sleep(c.Params.NetParams.Propagation +
+				sim.Time(int64(k)*size*int64(sim.Second)/c.Params.NetParams.BytesPerSec))
+			c.nodes[dstID/c.Params.OSDsPerNode].Use(pp, c.pol.DecodeCost(size*int64(k), 1))
+			dst.IngestObject(pp, oid, state)
+			if dstState.Damaged {
+				c.noteIntegrity(pp.Now(), dstID, oid, IntegrityFinding)
+				c.noteIntegrity(pp.Now(), dstID, oid, IntegrityRepaired)
+			}
+		})
+	}
+	done.Wait(p)
+	return copied
 }

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/crush"
 	"repro/internal/filestore"
+	"repro/internal/redundancy"
 	"repro/internal/sim"
 )
 
@@ -41,7 +42,7 @@ func (c *Cluster) ScrubAll() []Inconsistency {
 
 	for _, oid := range sorted {
 		pg := crush.ObjectToPG(oid, c.Params.PGs)
-		want := c.cmap.PGToOSDs(pg, c.Params.Replicas)
+		want := c.cmap.PGToOSDs(pg, c.pol.Width())
 		inSet := map[int]bool{}
 		for _, id := range want {
 			inSet[id] = true
@@ -160,7 +161,7 @@ func (c *Cluster) RepairIn(p *sim.Proc) int {
 // (AutoRepair). Returns copies healed.
 func (c *Cluster) repairObject(p *sim.Proc, oid string) int {
 	pg := crush.ObjectToPG(oid, c.Params.PGs)
-	want := c.cmap.PGToOSDs(pg, c.Params.Replicas)
+	want := c.cmap.PGToOSDs(pg, c.pol.Width())
 	inSet := map[int]bool{}
 	for _, id := range want {
 		inSet[id] = true
@@ -207,13 +208,41 @@ func (c *Cluster) repairObject(p *sim.Proc, oid string) int {
 	if auth < 0 {
 		return healed // no clean copy survives; nothing to heal from
 	}
+	if contributed < c.pol.DataShards() {
+		// EC: fewer than k clean shards — the stripe cannot be
+		// reconstructed; leave it for the EIO path. (Replication needs one
+		// contributor, which auth >= 0 already guarantees.)
+		return healed
+	}
 	size := target.Size
 	if size <= 0 {
 		size = 4096
 	}
+	ecCharged := false
 	for _, m := range ms {
 		if m.ok && !m.st.Damaged && m.st.Version == target.Version && sameStamps(m.st.Stamps, target.Stamps) {
 			continue
+		}
+		if c.pol.Kind() == redundancy.KindEC && !ecCharged {
+			// Reconstruction reads k-1 shards beyond the authoritative one
+			// (once — later pushes reuse the assembled stripe) and pays the
+			// per-shard decode CPU on the authoritative member's node.
+			ecCharged = true
+			extra := c.pol.DataShards() - 1
+			for _, mm := range ms {
+				if extra == 0 {
+					break
+				}
+				if mm.id == auth || !mm.ok || (mm.st.Damaged && len(mm.st.Rot) == 0) {
+					continue
+				}
+				c.osds[mm.id].Store().Read(p, oid, 0, size)
+				extra--
+			}
+		}
+		if c.pol.Kind() == redundancy.KindEC {
+			c.nodes[auth/c.Params.OSDsPerNode].Use(p,
+				c.pol.DecodeCost(size*int64(c.pol.DataShards()), 1))
 		}
 		// Same data motion as recovery: peer read, network push, install.
 		c.osds[auth].Store().Read(p, oid, 0, size)

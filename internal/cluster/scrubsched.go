@@ -292,7 +292,7 @@ func snapsDiverged(ms []memberSnap, deep bool) bool {
 // stays silent no matter the load.
 func (c *Cluster) scrubObject(p *sim.Proc, pg uint32, oid string, deep bool) {
 	s := c.scrub
-	want := c.cmap.PGToOSDs(pg, c.Params.Replicas)
+	want := c.cmap.PGToOSDs(pg, c.pol.Width())
 	primary := -1
 	for _, id := range want {
 		if !c.down[id] && !c.osds[id].Crashed() {

@@ -142,6 +142,47 @@ func TestAllocatorString(t *testing.T) {
 	}
 }
 
+// TestECCostModelPinned pins the erasure-coding CPU constants: the
+// ec-vs-rep figure's CPU column is derived from these exact values, so a
+// drift here is a golden-figure change and must be deliberate.
+func TestECCostModelPinned(t *testing.T) {
+	cases := []struct {
+		n       int64
+		k, m    int
+		encode  sim.Time
+		lost    int
+		decode  sim.Time
+		comment string
+	}{
+		// 4K write on RS(4,2): 1 KiB shards; 2 parity passes at 2 GiB/s.
+		{4096, 4, 2, 2953 * sim.Nanosecond, 1, 3907 * sim.Nanosecond, "rs42-4k"},
+		// Two lost shards double the reconstruction passes, not the setup.
+		{4096, 4, 2, 2953 * sim.Nanosecond, 2, 5814 * sim.Nanosecond, "rs42-4k-2lost"},
+		// Shard length rounds up: 4097 bytes over k=4 is 1025-byte shards.
+		{4097, 4, 2, 2954 * sim.Nanosecond, 1, 3909 * sim.Nanosecond, "rs42-odd"},
+		// Wider stripes shrink shards but parity count dominates encode.
+		{32768, 8, 3, 7722 * sim.Nanosecond, 1, 17258 * sim.Nanosecond, "rs83-32k"},
+	}
+	for _, c := range cases {
+		if got := ECEncodeCost(c.n, c.k, c.m); got != c.encode {
+			t.Errorf("%s: ECEncodeCost(%d,%d,%d) = %v, want %v", c.comment, c.n, c.k, c.m, got, c.encode)
+		}
+		if got := ECDecodeCost(c.n, c.k, c.lost); got != c.decode {
+			t.Errorf("%s: ECDecodeCost(%d,%d,%d) = %v, want %v", c.comment, c.n, c.k, c.lost, got, c.decode)
+		}
+	}
+	// Degenerate inputs are free: the replicated policy charges nothing
+	// through the same entry points.
+	if ECEncodeCost(0, 4, 2) != 0 || ECEncodeCost(4096, 4, 0) != 0 ||
+		ECDecodeCost(0, 4, 1) != 0 || ECDecodeCost(4096, 4, 0) != 0 {
+		t.Fatal("degenerate EC costs must be zero")
+	}
+	// Setup is per stripe: a tiny write still pays it.
+	if got := ECEncodeCost(1, 4, 2); got < ECStripeSetupCPU {
+		t.Fatalf("tiny encode %v below setup floor %v", got, ECStripeSetupCPU)
+	}
+}
+
 func TestNodeMetadata(t *testing.T) {
 	k := sim.NewKernel()
 	n := NewNode(k, "node7", 16, JEMalloc)

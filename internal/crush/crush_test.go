@@ -244,3 +244,68 @@ func TestPrimaryConsistentWithSet(t *testing.T) {
 		}
 	}
 }
+
+// TestPGToOSDsWideSets exercises the EC regime: set widths beyond the
+// host count, where host separation relaxes (crush.go relaxHosts) but the
+// core placement contract must survive. Over a grid of maps and widths,
+// every PG's set must hold `width` DISTINCT OSDs whenever the map has that
+// many, repeated calls must agree (placement is a pure function), and the
+// primary must not move as the width grows — an EC pool widening a PG's
+// set must leave the replicated pool's primaries where they were.
+func TestPGToOSDsWideSets(t *testing.T) {
+	grids := []struct{ hosts, osdsPer int }{
+		{3, 2}, {3, 4}, {4, 4}, {2, 6},
+	}
+	for _, g := range grids {
+		m := uniformMap(t, g.hosts, g.osdsPer)
+		for _, width := range []int{g.hosts + 1, g.hosts + 2, m.NumOSDs()} {
+			if width > m.NumOSDs() {
+				continue
+			}
+			for pg := uint32(0); pg < 200; pg++ {
+				set := m.PGToOSDs(pg, width)
+				if len(set) != width {
+					t.Fatalf("%d hosts x %d: pg %d width %d got %d OSDs",
+						g.hosts, g.osdsPer, pg, width, len(set))
+				}
+				seen := map[int]bool{}
+				for _, o := range set {
+					if seen[o] {
+						t.Fatalf("%d hosts x %d: pg %d width %d repeats osd.%d",
+							g.hosts, g.osdsPer, pg, width, o)
+					}
+					seen[o] = true
+				}
+				again := m.PGToOSDs(pg, width)
+				for i := range set {
+					if set[i] != again[i] {
+						t.Fatalf("pg %d width %d nondeterministic: %v vs %v", pg, width, set, again)
+					}
+				}
+				if set[0] != m.Primary(pg, 2) {
+					t.Fatalf("%d hosts x %d: pg %d primary moved widening 2 -> %d: %d vs %d",
+						g.hosts, g.osdsPer, pg, width, set[0], m.Primary(pg, 2))
+				}
+			}
+		}
+	}
+}
+
+// TestPGToOSDsStrictHostSeparation pins the strict side of the relaxHosts
+// boundary: at widths up to the host count, no two set members may share a
+// host.
+func TestPGToOSDsStrictHostSeparation(t *testing.T) {
+	m := uniformMap(t, 4, 4)
+	for _, width := range []int{2, 3, 4} {
+		for pg := uint32(0); pg < 200; pg++ {
+			hosts := map[int]bool{}
+			for _, o := range m.PGToOSDs(pg, width) {
+				h := o / 4
+				if hosts[h] {
+					t.Fatalf("pg %d width %d reuses host %d", pg, width, h)
+				}
+				hosts[h] = true
+			}
+		}
+	}
+}

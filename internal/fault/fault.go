@@ -130,23 +130,35 @@ type Plan struct {
 	// BitRotCount scatters silent single-copy corruptions across the
 	// schedule window (interleaved with the other faults, sorted by time).
 	BitRotCount int
+	// MaxDown allows up to MaxDown crash cycles to overlap in time (for
+	// pools that tolerate multiple concurrent failures, e.g. RS(k,m) with
+	// m >= 2). 0 or 1 keeps the original strictly sequential schedule —
+	// same ops, same rng draws, bit-identically.
+	MaxDown int
 }
 
 // Generate derives a deterministic fault schedule from the plan and seed.
-// Ops come out in non-decreasing time order; crash cycles never overlap, so
-// at most one OSD is down at a time (the QA cluster runs two replicas).
+// Ops come out in non-decreasing time order. With MaxDown <= 1 crash
+// cycles never overlap, so at most one OSD is down at a time (the QA
+// cluster runs two replicas); with MaxDown = L > 1 the victims are
+// partitioned into L lanes by id so concurrent cycles always hit distinct
+// OSDs and never more than L are down together.
 func Generate(p Plan, seed uint64) []Op {
 	r := rng.New(seed)
 	var ops []Op
 	t := p.Start
-	for i := 0; i < p.CrashCycles; i++ {
-		victim := r.Intn(p.OSDs)
-		ops = append(ops,
-			Op{At: t, Kind: Crash, Target: victim},
-			Op{At: t + p.CycleGap, Kind: Restart, Target: victim},
-			Op{At: t + 2*p.CycleGap, Kind: Recover, Target: victim},
-		)
-		t += 3 * p.CycleGap
+	if p.MaxDown > 1 {
+		ops, t = generateOverlap(p, r)
+	} else {
+		for i := 0; i < p.CrashCycles; i++ {
+			victim := r.Intn(p.OSDs)
+			ops = append(ops,
+				Op{At: t, Kind: Crash, Target: victim},
+				Op{At: t + p.CycleGap, Kind: Restart, Target: victim},
+				Op{At: t + 2*p.CycleGap, Kind: Recover, Target: victim},
+			)
+			t += 3 * p.CycleGap
+		}
 	}
 	if p.Partition && p.Clients > 0 {
 		victim := r.Intn(p.Clients)
@@ -185,4 +197,36 @@ func Generate(p Plan, seed uint64) []Op {
 		sort.SliceStable(ops, func(i, j int) bool { return ops[i].At < ops[j].At })
 	}
 	return ops
+}
+
+// generateOverlap builds MaxDown overlapping crash-cycle lanes. Lane l's
+// victims are drawn only from the OSD ids with id % lanes == l, so
+// concurrent cycles always target distinct OSDs and at most MaxDown are
+// down at once; lane starts are staggered by one cycle gap so crashes,
+// restarts and recoveries interleave instead of synchronizing. Returns the
+// schedule (time-sorted) and the end of the crash window.
+func generateOverlap(p Plan, r *rng.Rand) ([]Op, sim.Time) {
+	lanes := p.MaxDown
+	if lanes > p.OSDs {
+		lanes = p.OSDs
+	}
+	var ops []Op
+	end := p.Start
+	for i := 0; i < p.CrashCycles; i++ {
+		lane := i % lanes
+		cycle := i / lanes
+		n := (p.OSDs - lane + lanes - 1) / lanes // ids in this lane
+		victim := lane + lanes*r.Intn(n)
+		t := p.Start + sim.Time(lane)*p.CycleGap + sim.Time(cycle)*3*p.CycleGap
+		ops = append(ops,
+			Op{At: t, Kind: Crash, Target: victim},
+			Op{At: t + p.CycleGap, Kind: Restart, Target: victim},
+			Op{At: t + 2*p.CycleGap, Kind: Recover, Target: victim},
+		)
+		if e := t + 3*p.CycleGap; e > end {
+			end = e
+		}
+	}
+	sort.SliceStable(ops, func(i, j int) bool { return ops[i].At < ops[j].At })
+	return ops, end
 }

@@ -118,6 +118,80 @@ func TestGenerateDeterministicOrderedAndBounded(t *testing.T) {
 	}
 }
 
+// TestGenerateMaxDownOneIsUnchanged: MaxDown 0 and 1 must produce the
+// exact sequential schedule — same ops, same rng draw order — so every
+// pre-existing chaos run stays bit-identical.
+func TestGenerateMaxDownOneIsUnchanged(t *testing.T) {
+	plan := Plan{
+		OSDs: 6, Clients: 3,
+		Start:       20 * sim.Millisecond,
+		CrashCycles: 4,
+		CycleGap:    200 * sim.Millisecond,
+		Partition:   true,
+		DiskFaults:  true,
+		BitRotCount: 3,
+	}
+	base := Generate(plan, 42)
+	plan.MaxDown = 1
+	if one := Generate(plan, 42); !reflect.DeepEqual(base, one) {
+		t.Fatal("MaxDown=1 changed the schedule")
+	}
+}
+
+// TestGenerateOverlapInvariants: with MaxDown = L, the lane-partitioned
+// schedule must keep at most L OSDs down at any instant, always on
+// distinct victims, stay deterministic per seed, and still bound every
+// target.
+func TestGenerateOverlapInvariants(t *testing.T) {
+	plan := Plan{
+		OSDs:        6,
+		Start:       20 * sim.Millisecond,
+		CrashCycles: 8,
+		CycleGap:    200 * sim.Millisecond,
+		MaxDown:     2,
+	}
+	a := Generate(plan, 42)
+	if b := Generate(plan, 42); !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different overlap schedules")
+	}
+	if len(a) != 3*plan.CrashCycles {
+		t.Fatalf("schedule has %d ops, want %d", len(a), 3*plan.CrashCycles)
+	}
+	prev := sim.Time(0)
+	down := map[int]bool{}
+	overlapped := false
+	for _, op := range a {
+		if op.At < plan.Start || op.At < prev {
+			t.Fatalf("op out of order: %+v after t=%v", op, prev)
+		}
+		prev = op.At
+		if op.Target < 0 || op.Target >= plan.OSDs {
+			t.Fatalf("target out of range: %+v", op)
+		}
+		switch op.Kind {
+		case Crash:
+			if down[op.Target] {
+				t.Fatalf("osd.%d crashed while already down", op.Target)
+			}
+			down[op.Target] = true
+			if len(down) > plan.MaxDown {
+				t.Fatalf("%d OSDs down, MaxDown is %d", len(down), plan.MaxDown)
+			}
+			if len(down) == plan.MaxDown {
+				overlapped = true
+			}
+		case Recover:
+			if !down[op.Target] {
+				t.Fatalf("recover of osd.%d which is not down", op.Target)
+			}
+			delete(down, op.Target)
+		}
+	}
+	if !overlapped {
+		t.Fatal("schedule never reached MaxDown concurrent failures")
+	}
+}
+
 // TestRAID0FaultHookInflatesLatency wires DiskFaults into a real device
 // array and checks the latency shows up in simulated time, and that an
 // installed-but-inactive hook perturbs nothing.

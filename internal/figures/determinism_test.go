@@ -55,6 +55,7 @@ var goldenFigures = []struct {
 	{"backends", func(o Options) Report { return Backends(o, nil) }},
 	{"scrub", Scrub},
 	{"scenarios", Scenarios},
+	{"ecvsrep", ECvsRep},
 }
 
 // TestFigureDeterminism is the golden gate behind every benchmark

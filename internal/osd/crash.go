@@ -50,15 +50,19 @@ func (o *OSD) Crash() {
 			cut--
 		}
 		l.entries = l.entries[:cut]
-		head := l.trimmedTo
-		if n := len(l.entries); n > 0 {
-			head = l.entries[n-1].Seq
-		}
-		o.pgSeq[pg] = head
+		// pgSeq is deliberately NOT truncated with the log: it is assignment
+		// memory, not durable state. A sequence this primary assigned may be
+		// in flight to (or already logged by) a peer even though it never
+		// became durable here; recovery peering folds this counter into the
+		// seq floor so no later acting primary can ever re-assign it. Writes
+		// this daemon leads after rejoining adopt past any non-durable tail
+		// (see processWrite), so its own log stays contiguous.
 	}
-	// Pending ordered-ack state referenced dead ops.
+	// Pending ordered-ack state referenced dead ops, and the delivered-seq
+	// horizon covered queue entries that just died with the daemon.
 	o.ackNext = make(map[uint32]uint64)
 	o.ackHeld = make(map[uint32]map[uint64]*ClientOp)
+	o.seqSeen = make(map[uint32]uint64)
 }
 
 // Restart boots a fresh daemon instance after a Crash: it rebuilds the

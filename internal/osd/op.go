@@ -16,6 +16,8 @@ const (
 	MsgReply               // OSD -> client (write ack / read reply)
 	MsgRepRead             // primary -> replica: read-repair fetch
 	MsgRepReadReply        // replica -> primary: read-repair result
+	MsgShardRead           // EC primary -> shard holder: gather one shard
+	MsgShardReadReply      // shard holder -> EC primary: shard answer
 )
 
 // OpKind distinguishes client operations.
@@ -110,12 +112,38 @@ type repReadReply struct {
 	state  filestore.ObjectState
 }
 
+// shardRead asks one member of an EC acting set for its shard of an
+// extent. Unlike repRead's serial hunt, the EC primary launches k gathers
+// concurrently and the gather state (ecGather) lives at the primary; idx
+// names which acting-set slot this request covers.
+type shardRead struct {
+	op      *ClientOp // the client read being assembled (primary-owned)
+	primary *netsim.Endpoint
+	gen     int // primary generation that started the gather
+	idx     int // acting-set slot of the queried member
+	g       *ecGather
+}
+
+// shardReadReply carries a shard holder's answer back to the EC primary.
+// ok means the local copy passed verification (a clean "extent absent" is
+// still ok: absence is a valid answer, damage is not). state snapshots the
+// holder's object for read-repair of a damaged primary shard.
+type shardReadReply struct {
+	sr      *shardRead
+	stamp   uint64
+	exists  bool
+	ok      bool
+	state   filestore.ObjectState
+	stateOK bool
+}
+
 // workItem is a PG-queue entry (exactly one field set).
 type workItem struct {
 	cop *ClientOp
 	rop *repOp
 	rc  *repCommit
 	rr  *repRead
+	sr  *shardRead
 }
 
 // jEntry is a commit-queue record carrying the store transaction that must

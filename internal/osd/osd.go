@@ -12,6 +12,7 @@ import (
 	"repro/internal/kvstore"
 	"repro/internal/netsim"
 	"repro/internal/oslog"
+	"repro/internal/redundancy"
 	"repro/internal/rng"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -137,6 +138,14 @@ type OSD struct {
 
 	placer func(pg uint32) []*netsim.Endpoint
 
+	// pol is the pool's redundancy policy; the default (installed at
+	// construction, replaced via SetPolicy) reproduces the pre-seam
+	// replicated behaviour exactly. shardPlacer maps a PG to its full EC
+	// acting set in canonical order (including this OSD, marked Self);
+	// installed only for EC pools.
+	pol         redundancy.Policy
+	shardPlacer func(pg uint32) []ShardTarget
+
 	// integrityNote reports damage events (read-repair, heal, EIO) to the
 	// cluster's integrity log; nil when nobody listens. repairing dedups
 	// concurrent read-repairs of the same object.
@@ -148,7 +157,12 @@ type OSD struct {
 	// so bucket state survives crash/restart like any throttle setting.
 	adm *core.Admission
 
-	pgSeq   map[uint32]uint64
+	pgSeq map[uint32]uint64
+	// seqSeen is the highest replication sub-op sequence delivered per PG,
+	// recorded at message arrival (before dispatch). It widens the peering
+	// seq horizon to cover queued-but-unprocessed sub-ops; reset on crash
+	// because those queue entries die with the daemon.
+	seqSeen map[uint32]uint64
 	pglogs  map[uint32]*pgLog
 	ackNext map[uint32]uint64
 	ackHeld map[uint32]map[uint64]*ClientOp
@@ -216,9 +230,11 @@ func NewSplit(k *sim.Kernel, cfg Config, node *cpumodel.Node, ep, cep *netsim.En
 		cep:              cep,
 		journalDev:       journalDev,
 		pgSeq:            make(map[uint32]uint64),
+		seqSeen:          make(map[uint32]uint64),
 		pglogs:           make(map[uint32]*pgLog),
 		ackNext:          make(map[uint32]uint64),
 		ackHeld:          make(map[uint32]map[uint64]*ClientOp),
+		pol:              redundancy.Replicated{},
 		traces:           NewTraceCollector(cfg.TraceSample > 0),
 		JournalQDelay:    stats.NewHistogram(),
 		ApplyDelay:       stats.NewHistogram(),
@@ -315,6 +331,27 @@ func (o *OSD) spawnWorkers() {
 // SetPlacer installs the function mapping a PG to its replica endpoints
 // (excluding this OSD, which is the primary for PGs it receives writes on).
 func (o *OSD) SetPlacer(f func(pg uint32) []*netsim.Endpoint) { o.placer = f }
+
+// ShardTarget is one member of an EC acting set, in canonical (CRUSH)
+// order. EP is nil while the member is down; Self marks this OSD's own
+// slot (its shard is read locally, not over the wire).
+type ShardTarget struct {
+	EP   *netsim.Endpoint
+	Self bool
+}
+
+// SetPolicy installs the pool's redundancy policy. The construction-time
+// default is plain replication, which keeps every pre-seam configuration
+// bit-identical; the cluster overrides it before traffic starts.
+func (o *OSD) SetPolicy(pol redundancy.Policy) { o.pol = pol }
+
+// Policy returns the active redundancy policy.
+func (o *OSD) Policy() redundancy.Policy { return o.pol }
+
+// SetShardPlacer installs the function mapping a PG to its full EC acting
+// set (canonical order, Self-marked, nil EP for down members). Required
+// before any read arrives on an EC pool; unused under replication.
+func (o *OSD) SetShardPlacer(f func(pg uint32) []ShardTarget) { o.shardPlacer = f }
 
 // SetIntegrityNote installs the cluster's integrity-event listener; fn is
 // called (from simulation context) on read-repair, heal and EIO events.
@@ -417,11 +454,30 @@ func (o *OSD) handleMessage(p *sim.Proc, m *netsim.Message) {
 	case MsgRepOp:
 		rop := m.Payload.(*repOp)
 		rop.parent.tr.Stamp(StageRepReceived, p.Now())
+		// Record the highest primary-assigned sequence seen, even before the
+		// dispatcher processes it: recovery peering consults this horizon so
+		// a new acting primary can never re-assign a sequence that is still
+		// sitting in a peer's queue.
+		if rop.seq > o.seqSeen[rop.pg] {
+			o.seqSeen[rop.pg] = rop.seq
+		}
 		o.enqueue(p, eng, workItem{rop: rop})
 	case MsgRepRead:
 		// Repair fetch from a peer's primary: rides the PG queue like a
 		// replication sub-op (no client-message throttle).
 		o.enqueue(p, eng, workItem{rr: m.Payload.(*repRead)})
+	case MsgShardRead:
+		// EC gather fetch from the primary: rides the PG queue like a
+		// replication sub-op (no client-message throttle).
+		o.enqueue(p, eng, workItem{sr: m.Payload.(*shardRead)})
+	case MsgShardReadReply:
+		srr := m.Payload.(*shardReadReply)
+		if srr.sr.gen != o.gen {
+			return // gather started before a crash; the client retries
+		}
+		// Handled in messenger context like a fast ack: the client op is
+		// still parked on the primary holding its msgCap token.
+		o.handleShardReadReply(p, srr)
 	case MsgRepReadReply:
 		rrr := m.Payload.(*repReadReply)
 		if rrr.rr.gen != o.gen {
@@ -471,6 +527,8 @@ func (o *OSD) itemPG(it workItem) uint32 {
 		return it.rc.parent.PG
 	case it.rr != nil:
 		return it.rr.op.PG
+	case it.sr != nil:
+		return it.sr.op.PG
 	}
 	panic("osd: empty work item")
 }
@@ -525,6 +583,8 @@ func (o *OSD) processItem(p *sim.Proc, eng *engine, shard int, it workItem) {
 		o.processRepOp(p, eng, it.rop)
 	case it.rr != nil:
 		o.processRepRead(p, eng, it.rr)
+	case it.sr != nil:
+		o.processShardRead(p, eng, it.sr)
 	case it.rc != nil:
 		if it.rc.parent.gen != o.gen {
 			return
@@ -551,17 +611,31 @@ func (o *OSD) processWrite(p *sim.Proc, eng *engine, op *ClientOp) {
 	op.gen = eng.gen
 	o.pgSeq[op.PG]++
 	op.seq = o.pgSeq[op.PG]
+	if head := o.PGLogHead(op.PG); op.seq > head+1 {
+		// The assignment counter was floored past this member's own log
+		// (peering learned of sequences assigned by a previous acting
+		// primary that never reached it). Adopt past the hole so the local
+		// log stays contiguous and the ordered-ack cursor cannot wedge on
+		// sequences this member will never see.
+		o.AdoptPGState(op.PG, op.seq-1)
+	}
 	o.appendPGLog(op.PG, PGLogEntry{Seq: op.seq, OID: op.OID, Stamp: op.Stamp})
 
 	// Replication sub-ops (splay: client acked only after all journals).
+	// Under an EC policy the same fan-out ships shard-sized fragments
+	// (ceil(len/k) bytes each) and the primary pays the parity-encode CPU
+	// first; under replication ShardLen is the identity and EncodeCost is
+	// zero, so this block is byte-for-byte the pre-seam path.
+	shardLen := o.pol.ShardLen(op.Len)
+	o.node.Use(p, o.pol.EncodeCost(op.Len))
 	reps := o.placer(op.PG)
 	op.waitCommits = len(reps)
 	for _, r := range reps {
 		o.node.Use(p, c.RepSendCPU)
 		rop := o.getRepOp()
-		rop.oid, rop.pg, rop.off, rop.length = op.OID, op.PG, op.Off, op.Len
+		rop.oid, rop.pg, rop.off, rop.length = op.OID, op.PG, op.Off, shardLen
 		rop.stamp, rop.seq, rop.parent, rop.primary = op.Stamp, op.seq, op, o.cep
-		o.cep.Send(p, r, op.Len+c.RepMsgOverhead, MsgRepOp, rop)
+		o.cep.Send(p, r, shardLen+c.RepMsgOverhead, MsgRepOp, rop)
 	}
 	o.logger.Log(p, siteSubmit, o.cfg.LogPerStage)
 	op.tr.Stamp(StagePrepared, p.Now())
@@ -576,13 +650,19 @@ func (o *OSD) processWrite(p *sim.Proc, eng *engine, op *ClientOp) {
 	}
 	op.tr.Stamp(StageSubmitted, p.Now())
 	e := o.getJEntry()
-	e.t.PG, e.t.Seq, e.t.Bytes, e.enq, e.cop = op.PG, op.seq, op.Len+c.JournalHeaderBytes, p.Now(), op
-	e.t.OID, e.t.Off, e.t.Len, e.t.Stamp = op.OID, op.Off, op.Len, op.Stamp
+	e.t.PG, e.t.Seq, e.t.Bytes, e.enq, e.cop = op.PG, op.seq, shardLen+c.JournalHeaderBytes, p.Now(), op
+	e.t.OID, e.t.Off, e.t.Len, e.t.Stamp = op.OID, op.Off, shardLen, op.Stamp
 	eng.journalQ.Push(p, e)
 }
 
 // processRead services a read on the primary under the PG lock.
 func (o *OSD) processRead(p *sim.Proc, eng *engine, op *ClientOp) {
+	if o.pol.Kind() == redundancy.KindEC {
+		// EC pools cannot serve from one copy: the primary gathers k of the
+		// k+m shards (its own included) and reconstructs if any are parity.
+		o.processECRead(p, eng, op)
+		return
+	}
 	o.metrics.ReadOps.Inc()
 	c := &o.cfg.Costs
 	o.logger.Log(p, siteRead, o.cfg.LogPerStage)
@@ -621,7 +701,24 @@ func (o *OSD) processRepOp(p *sim.Proc, eng *engine, rop *repOp) {
 	if rop.seq > o.pgSeq[rop.pg] {
 		o.pgSeq[rop.pg] = rop.seq
 	}
-	o.appendPGLog(rop.pg, PGLogEntry{Seq: rop.seq, OID: rop.oid, Stamp: rop.stamp})
+	switch head := o.PGLogHead(rop.pg); {
+	case rop.seq == head+1:
+		o.appendPGLog(rop.pg, PGLogEntry{Seq: rop.seq, OID: rop.oid, Stamp: rop.stamp})
+	case rop.seq > head+1:
+		// A previous acting primary's sub-ops for the gap never reached this
+		// member (lost with a crash or a partition) and a new interval has
+		// started above them. Adopt past the hole so the local log stays
+		// contiguous; recovery backfills whatever data the gap carried.
+		o.AdoptPGState(rop.pg, rop.seq-1)
+		o.appendPGLog(rop.pg, PGLogEntry{Seq: rop.seq, OID: rop.oid, Stamp: rop.stamp})
+	default:
+		// rop.seq <= head: a late-delivered sub-op for a sequence the local
+		// log already covers (logged earlier, or adopted during recovery
+		// peering while this message was in flight). Re-logging it would
+		// fork the history; the payload still journals below — the stamp is
+		// the one the log recorded for that sequence, so applying it is
+		// idempotent and the commit keeps the primary's ack path whole.
+	}
 	eng.fsThrottle.Acquire(p, 1)
 	if o.gen != eng.gen {
 		return

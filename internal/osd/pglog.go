@@ -124,6 +124,28 @@ func (o *OSD) PGLogHead(pg uint32) uint64 {
 	return l.trimmedTo
 }
 
+// PGSeqHorizon returns the highest primary-assigned sequence this OSD
+// knows about for a PG: assigned or processed (pgSeq) or delivered but
+// still queued (seqSeen). Recovery peering takes the maximum across a PG's
+// members so a new acting primary never re-assigns a sequence another
+// member has already logged — or is about to log from its queue.
+func (o *OSD) PGSeqHorizon(pg uint32) uint64 {
+	h := o.pgSeq[pg]
+	if s := o.seqSeen[pg]; s > h {
+		h = s
+	}
+	return h
+}
+
+// RaisePGSeq floors the PG's assignment counter at seq without touching
+// the log: the next client write this OSD leads will be numbered past every
+// sequence the peering horizon covered.
+func (o *OSD) RaisePGSeq(pg uint32, seq uint64) {
+	if seq > o.pgSeq[pg] {
+		o.pgSeq[pg] = seq
+	}
+}
+
 // PGLogViolations checks the recovery invariants over every PG this OSD
 // has logged: sequences strictly increasing, no gap between the trimmed
 // prefix and the retained entries, and the applied horizon within range.

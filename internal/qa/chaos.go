@@ -54,6 +54,13 @@ type ChaosConfig struct {
 	// Backend overrides the object-store backend on every OSD when
 	// non-empty ("filestore" / "directstore").
 	Backend string
+	// Pool selects the redundancy policy ("repN" / "ecK+M"); empty keeps
+	// the default two-way replication. MaxDown lets that many crash cycles
+	// overlap (distinct victims) — set it to m for an RS(k,m) pool to prove
+	// the pool rides through its full failure budget; 0 keeps the
+	// sequential single-failure schedule.
+	Pool    string
+	MaxDown int
 	Seed    uint64
 }
 
@@ -97,6 +104,7 @@ type ChaosResult struct {
 	BitRots       int    // corruptions actually injected
 	RotDetected   int    // injections with a detection event (scrub finding or read-repair)
 	RotRepaired   int    // injections with a repair event after injection
+	RotVacated    int    // injections erased by client overwrites before any scrub saw them
 	ReadRepairs   uint64 // primary reads served from a replica after damage
 	EIOs          uint64 // reads failed for want of any healthy copy
 	ScrubFindings uint64 // background scrub findings
@@ -132,6 +140,7 @@ func RunChaos(cfg ChaosConfig) *ChaosResult {
 	p.SSDsPerOSD = 2
 	p.PGs = 128
 	p.Replicas = 2
+	p.Pool = cfg.Pool
 	p.VerifyData = true
 	p.Sustained = false
 	p.Backend = cfg.Backend
@@ -228,15 +237,21 @@ func RunChaos(cfg ChaosConfig) *ChaosResult {
 		Partition:   cfg.Partition,
 		DiskFaults:  cfg.DiskFaults,
 		BitRotCount: cfg.BitRot,
+		MaxDown:     cfg.MaxDown,
 	}
 	sched := fault.Generate(plan, cfg.Seed^0x5eedfa51)
 	type rotInject struct {
 		oid string
 		osd int
 		at  sim.Time
+		// rot snapshots the stamp of every extent the corruption hit, so
+		// the final check can prove an undetected injection was vacated by
+		// client overwrites (every rotten extent's stamp moved on).
+		rot map[int64]uint64
 	}
 	var injected []rotInject
 	rotRng := rng.New(cfg.Seed ^ 0xb17b07)
+	recWG := sim.NewWaitGroup(c.K)
 	driver := sim.NewWaitGroup(c.K)
 	driver.Add(1)
 	c.K.Go("chaos.driver", func(pp *sim.Proc) {
@@ -258,6 +273,23 @@ func RunChaos(cfg ChaosConfig) *ChaosResult {
 			case fault.Recover:
 				if !c.Down(op.Target) {
 					res.violate("heartbeats never marked crashed osd.%d down", op.Target)
+					continue
+				}
+				if cfg.MaxDown > 1 {
+					// Overlapping schedules must keep faulting on time: a
+					// long rebuild run inline would delay the next lane's
+					// crash past its own restart, collapsing the down window
+					// before heartbeats can detect it. Recover concurrently;
+					// the controller waits for stragglers.
+					id := op.Target
+					recWG.Add(1)
+					c.K.Go(fmt.Sprintf("chaos.recover.osd%d", id), func(rp *sim.Proc) {
+						defer recWG.Done()
+						st := c.RecoverOSDIn(rp, id)
+						res.Recovered += st.ObjectsCopied
+						res.JournalReplays += st.JournalReplays
+						res.DegradedPGs += st.DegradedPGs
+					})
 					continue
 				}
 				st := c.RecoverOSDIn(pp, op.Target)
@@ -288,7 +320,13 @@ func RunChaos(cfg ChaosConfig) *ChaosResult {
 				// deterministic yet varied.
 				if oid, victim, ok := pickRotVictim(c, rotRng); ok {
 					c.OSDs()[victim].Store().CorruptObject(oid)
-					injected = append(injected, rotInject{oid: oid, osd: victim, at: pp.Now()})
+					inj := rotInject{oid: oid, osd: victim, at: pp.Now(), rot: map[int64]uint64{}}
+					if st, ok := c.OSDs()[victim].Store().ExportObject(oid); ok {
+						for off := range st.Rot { //afvet:allow determinism map-to-map copy is order-insensitive
+							inj.rot[off] = st.Stamps[off]
+						}
+					}
+					injected = append(injected, inj)
 					res.BitRots++
 				}
 			}
@@ -301,6 +339,7 @@ func RunChaos(cfg ChaosConfig) *ChaosResult {
 	c.K.Go("chaos.controller", func(pp *sim.Proc) {
 		workers.Wait(pp)
 		driver.Wait(pp)
+		recWG.Wait(pp)
 		c.Net.HealAll()
 		for id := range c.OSDs() {
 			if c.OSDs()[id].Crashed() {
@@ -341,6 +380,11 @@ func RunChaos(cfg ChaosConfig) *ChaosResult {
 	// repaired after its injection instant. The final RepairIn's scrub pass
 	// backstops detection, so an injection the online paths missed still
 	// counts — but only through the same integrity log everyone else uses.
+	// One legitimate escape: a client can overwrite every rotten extent
+	// before any scrub reads the copy, erasing the damage along with all
+	// evidence of it. Such an injection is counted as vacated, but only on
+	// proof — the copy must be clean now and every rotten extent's stamp
+	// must have moved past its at-injection value.
 	events := c.IntegrityEvents()
 	for _, inj := range injected {
 		detected, repaired := false, false
@@ -353,6 +397,21 @@ func RunChaos(cfg ChaosConfig) *ChaosResult {
 				detected = true
 			case cluster.IntegrityRepaired:
 				repaired = true
+			}
+		}
+		if !detected && !repaired {
+			if st, ok := c.OSDs()[inj.osd].Store().ExportObject(inj.oid); ok && !st.Damaged && len(inj.rot) > 0 {
+				vacated := true
+				for off, stamp := range inj.rot { //afvet:allow determinism all-must-hold check is order-insensitive
+					if st.Stamps[off] == stamp {
+						vacated = false
+						break
+					}
+				}
+				if vacated {
+					res.RotVacated++
+					continue
+				}
 			}
 		}
 		if detected {
@@ -382,8 +441,8 @@ func RunChaos(cfg ChaosConfig) *ChaosResult {
 				holders++
 			}
 		}
-		if holders != c.Params.Replicas {
-			res.violate("object %s on %d OSDs, want %d", oid, holders, c.Params.Replicas)
+		if holders != c.PoolWidth() {
+			res.violate("object %s on %d OSDs, want %d", oid, holders, c.PoolWidth())
 		}
 	}
 	for id, o := range c.OSDs() {
@@ -427,12 +486,15 @@ func RunChaos(cfg ChaosConfig) *ChaosResult {
 	return res
 }
 
-// pickRotVictim selects a (object, OSD) pair for bit-rot injection whose
-// whole replica set is up, uncrashed and clean — guaranteeing a healthy
-// peer survives, so detection and repair are always possible. The sorted
-// name space is scanned from a seeded start for deterministic variety; the
-// victim copy is drawn from the set. Returns ok=false when nothing
-// qualifies (e.g. the whole window is degraded).
+// pickRotVictim selects a (object, OSD) pair for bit-rot injection such
+// that detection and repair stay possible after the corruption: every *up*
+// member's copy must be clean, and enough clean copies must survive the
+// hit to rebuild it — strictly more than the policy's DataShards (so all
+// replicas for the two-way replicated QA pool, at least k+1 shards for an
+// EC pool riding through concurrent outages). The sorted name space is
+// scanned from a seeded start for deterministic variety; the victim copy
+// is drawn from the up members. Returns ok=false when nothing qualifies
+// (e.g. the whole window is degraded).
 func pickRotVictim(c *cluster.Cluster, r *rng.Rand) (string, int, bool) {
 	names := map[string]bool{}
 	for _, o := range c.OSDs() {
@@ -448,20 +510,24 @@ func pickRotVictim(c *cluster.Cluster, r *rng.Rand) (string, int, bool) {
 	for k := 0; k < len(sorted); k++ {
 		oid := sorted[(start+k)%len(sorted)]
 		pg := crush.ObjectToPG(oid, c.Params.PGs)
-		set := c.Map().PGToOSDs(pg, c.Params.Replicas)
+		set := c.Map().PGToOSDs(pg, c.PoolWidth())
 		eligible := true
+		var up []int
 		for _, id := range set {
 			o := c.OSDs()[id]
-			if c.Down(id) || o.Crashed() ||
-				o.Store().ObjectVersion(oid) == 0 || o.Store().ObjectDamaged(oid) {
+			if c.Down(id) || o.Crashed() {
+				continue
+			}
+			if o.Store().ObjectVersion(oid) == 0 || o.Store().ObjectDamaged(oid) {
 				eligible = false
 				break
 			}
+			up = append(up, id)
 		}
-		if !eligible {
+		if !eligible || len(up) <= c.Policy().DataShards() {
 			continue
 		}
-		return oid, set[r.Intn(len(set))], true
+		return oid, up[r.Intn(len(up))], true
 	}
 	return "", -1, false
 }
@@ -494,6 +560,7 @@ func (r *ChaosResult) fingerprint(c *cluster.Cluster, touched map[string]bool) u
 	mix(uint64(r.BitRots))
 	mix(uint64(r.RotDetected))
 	mix(uint64(r.RotRepaired))
+	mix(uint64(r.RotVacated))
 	mix(r.ReadRepairs)
 	mix(r.EIOs)
 	mix(r.ScrubFindings)

@@ -26,9 +26,9 @@ func TestChaosSingleSeed(t *testing.T) {
 	if res.BitRots != cfg.BitRot {
 		t.Errorf("bit-rot injections = %d, want %d", res.BitRots, cfg.BitRot)
 	}
-	if res.RotDetected != res.BitRots || res.RotRepaired != res.BitRots {
-		t.Errorf("self-healing incomplete: %d injected, %d detected, %d repaired",
-			res.BitRots, res.RotDetected, res.RotRepaired)
+	if res.RotDetected+res.RotVacated != res.BitRots || res.RotRepaired+res.RotVacated != res.BitRots {
+		t.Errorf("self-healing incomplete: %d injected, %d detected, %d repaired, %d vacated",
+			res.BitRots, res.RotDetected, res.RotRepaired, res.RotVacated)
 	}
 	if res.ScrubFindings == 0 {
 		t.Error("background scrub found nothing despite injected rot")

@@ -180,8 +180,8 @@ func checkInvariants(c *cluster.Cluster, cfg StressConfig, res *Result, touched 
 				holders++
 			}
 		}
-		if holders != c.Params.Replicas {
-			res.violate("object %s on %d OSDs, want %d", oid, holders, c.Params.Replicas)
+		if holders != c.PoolWidth() {
+			res.violate("object %s on %d OSDs, want %d", oid, holders, c.PoolWidth())
 		}
 	}
 	res.ObjectsWritten = len(touched)

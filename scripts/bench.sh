@@ -17,7 +17,7 @@
 set -eu
 cd "$(dirname "$0")/.."
 
-PATTERN="${BENCH_PATTERN:-Fig|DropIn|MixedRW|Backends|Scrub|Scenarios}"
+PATTERN="${BENCH_PATTERN:-Fig|DropIn|MixedRW|Backends|Scrub|Scenarios|ECvsRep}"
 # A custom BENCH_PATTERN intentionally runs a subset of the baseline;
 # benchgate would otherwise fail on the benchmarks the pattern skipped.
 SUBSET=""

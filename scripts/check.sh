@@ -37,7 +37,8 @@ run_race() {
     go test -race ./internal/sim/ ./internal/rng/ ./internal/stats/ \
         ./internal/crush/ ./internal/fault/ ./internal/netsim/ \
         ./internal/oslog/ ./internal/journal/ ./internal/kvstore/ \
-        ./internal/trace/ ./internal/metrics/ ./internal/store/
+        ./internal/trace/ ./internal/metrics/ ./internal/store/ \
+        ./internal/redundancy/
 
     echo "== go test -race -short (engine packages)"
     go test -race -short ./internal/osd/ ./internal/core/ \
