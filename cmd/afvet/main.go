@@ -1,44 +1,72 @@
-// Command afvet runs the project's static-analysis suite (DESIGN.md §9)
-// over the given package patterns, in the style of a go/analysis
+// Command afvet runs the project's static-analysis suite (DESIGN.md §9,
+// §14) over the given package patterns, in the style of a go/analysis
 // multichecker:
 //
-//	afvet ./...             run all five analyzers
-//	afvet -only determinism,logpath ./internal/osd
-//	afvet -list             print the analyzers and exit
+//	afvet ./...                     run all analyzers
+//	afvet -only determinism ./internal/osd
+//	afvet -json ./...               machine-readable diagnostics
+//	afvet -audit-allows ./...       validate //afvet:allow annotations
+//	afvet -hotalloc-update ./...    re-tighten the allocation baseline
+//	afvet -list                     print the analyzers and exit
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load error. Findings are
 // reported as file:line:col: analyzer: message. A finding is suppressed by
 // annotating the offending line (or the line above it) with
 //
 //	//afvet:allow <analyzer> <reason>
+//
+// -json emits every diagnostic — suppressed ones included, flagged — as a
+// stable JSON array sorted by (file, line, col, analyzer, message), so CI
+// tooling can diff findings and audit the suppression inventory. The exit
+// status still counts only unsuppressed findings.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"repro/internal/analysis"
 	"repro/internal/analysis/driver"
+	"repro/internal/analysis/hotalloc"
 )
 
 func main() {
-	os.Exit(run())
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run() int {
-	list := flag.Bool("list", false, "print the analyzers and exit")
-	only := flag.String("only", "", "comma-separated subset of analyzers to run")
-	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: afvet [-list] [-only a,b] packages...\n")
-		flag.PrintDefaults()
+// jsonDiag is the stable machine-readable diagnostic schema.
+type jsonDiag struct {
+	Analyzer   string `json:"analyzer"`
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("afvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "print the analyzers and exit")
+	only := fs.String("only", "", "comma-separated subset of analyzers to run")
+	jsonOut := fs.Bool("json", false, "emit diagnostics (suppressed included) as a JSON array")
+	auditAllows := fs.Bool("audit-allows", false, "audit //afvet:allow annotations instead of running analyzers")
+	hotallocUpdate := fs.Bool("hotalloc-update", false, "re-tighten the hotalloc baseline to observed counts and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: afvet [-list] [-only a,b] [-json] [-audit-allows] [-hotalloc-update] packages...\n")
+		fs.PrintDefaults()
 	}
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	if *list {
 		for _, a := range analysis.All() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
@@ -49,32 +77,82 @@ func run() int {
 		for _, name := range strings.Split(*only, ",") {
 			a := analysis.ByName(strings.TrimSpace(name))
 			if a == nil {
-				fmt.Fprintf(os.Stderr, "afvet: unknown analyzer %q (try -list)\n", name)
+				fmt.Fprintf(stderr, "afvet: unknown analyzer %q (try -list)\n", name)
 				return 2
 			}
 			analyzers = append(analyzers, a)
 		}
 	}
-	if flag.NArg() == 0 {
-		flag.Usage()
+	if fs.NArg() == 0 {
+		fs.Usage()
 		return 2
 	}
 
-	pkgs, err := driver.Load("", flag.Args()...)
+	pkgs, err := driver.Load("", fs.Args()...)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "afvet: %v\n", err)
+		fmt.Fprintf(stderr, "afvet: %v\n", err)
 		return 2
 	}
-	diags, err := driver.Run(pkgs, analyzers)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "afvet: %v\n", err)
+
+	if *hotallocUpdate {
+		path := hotalloc.DefaultBaselinePath(pkgs)
+		if path == "" {
+			fmt.Fprintf(stderr, "afvet: -hotalloc-update: cannot locate the module baseline\n")
+			return 2
+		}
+		if err := hotalloc.Update(pkgs, path); err != nil {
+			fmt.Fprintf(stderr, "afvet: -hotalloc-update: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "afvet: baseline updated: %s\n", path)
+		return 0
+	}
+
+	var diags []driver.Diagnostic
+	if *auditAllows {
+		var known []string
+		for _, a := range analysis.All() {
+			known = append(known, a.Name)
+		}
+		diags = driver.AuditAllows(pkgs, known)
+	} else if diags, err = driver.RunAll(pkgs, analyzers); err != nil {
+		fmt.Fprintf(stderr, "afvet: %v\n", err)
 		return 2
 	}
+
+	findings := 0
 	for _, d := range diags {
-		fmt.Println(d)
+		if !d.Suppressed {
+			findings++
+		}
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "afvet: %d finding(s)\n", len(diags))
+	if *jsonOut {
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{
+				Analyzer:   d.Analyzer,
+				File:       d.Pos.Filename,
+				Line:       d.Pos.Line,
+				Col:        d.Pos.Column,
+				Message:    d.Message,
+				Suppressed: d.Suppressed,
+			})
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "afvet: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			if !d.Suppressed {
+				fmt.Fprintln(stdout, d)
+			}
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(stderr, "afvet: %d finding(s)\n", findings)
 		return 1
 	}
 	return 0

@@ -31,4 +31,11 @@ func TestAfvetCleanOnRepo(t *testing.T) {
 	for _, d := range diags {
 		t.Errorf("%s", d)
 	}
+	var known []string
+	for _, a := range analysis.All() {
+		known = append(known, a.Name)
+	}
+	for _, d := range driver.AuditAllows(pkgs, known) {
+		t.Errorf("%s", d)
+	}
 }

@@ -1,0 +1,68 @@
+package driver
+
+// Suppression audit: //afvet:allow annotations rot in two ways — they
+// name an analyzer that no longer exists (or never did: a typo silently
+// suppresses nothing while looking like it does), or they carry no
+// justification, which collectAllows deliberately ignores so the code
+// author believes a finding is silenced when it is not. `afvet
+// -audit-allows` turns both into hard findings so stale suppressions
+// cannot survive in the module.
+
+import (
+	"fmt"
+	"strings"
+)
+
+// AuditAllows scans every //afvet:allow annotation in pkgs and returns a
+// diagnostic for each malformed one: no analyzer named, an analyzer name
+// outside known (or "all"), or a missing justification. known is the set
+// of valid analyzer names.
+func AuditAllows(pkgs []*Package, known []string) []Diagnostic {
+	knownSet := map[string]bool{"all": true}
+	for _, n := range known {
+		knownSet[n] = true
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Syntax {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimPrefix(c.Text, "//")
+					if !strings.HasPrefix(text, "afvet:allow") {
+						continue
+					}
+					rest := strings.TrimPrefix(text, "afvet:allow")
+					if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+						continue // a different marker, e.g. afvet:allowed
+					}
+					fields := strings.Fields(rest)
+					pos := pkg.Fset.Position(c.Pos())
+					switch {
+					case len(fields) == 0:
+						diags = append(diags, Diagnostic{
+							Pos:      pos,
+							Analyzer: "audit-allows",
+							Message:  "afvet:allow names no analyzer; use //afvet:allow <analyzer> <reason>",
+						})
+					case !knownSet[fields[0]]:
+						diags = append(diags, Diagnostic{
+							Pos:      pos,
+							Analyzer: "audit-allows",
+							Message: fmt.Sprintf("afvet:allow names unknown analyzer %q (known: %s); the annotation suppresses nothing",
+								fields[0], strings.Join(known, ", ")),
+						})
+					case len(fields) < 2:
+						diags = append(diags, Diagnostic{
+							Pos:      pos,
+							Analyzer: "audit-allows",
+							Message: fmt.Sprintf("afvet:allow %s carries no justification; a reason is mandatory and an unjustified annotation does not suppress",
+								fields[0]),
+						})
+					}
+				}
+			}
+		}
+	}
+	SortDiagnostics(diags)
+	return diags
+}

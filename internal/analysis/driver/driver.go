@@ -51,6 +51,18 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// PkgPath and Dir identify the package on disk (import path and
+	// source directory); hotalloc uses them to drive the compiler.
+	PkgPath string
+	Dir     string
+
+	// Summaries is the cross-package fact table (facts.go): transitive
+	// lock-acquisition, pool-release/retention, and global-write facts
+	// plus call-graph edges for every module-internal function in the
+	// dependency closure. Nil only in hand-constructed test passes; the
+	// accessors on Summaries are nil-safe.
+	Summaries *Summaries
+
 	diags *[]Diagnostic
 }
 
@@ -63,11 +75,15 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 	})
 }
 
-// Diagnostic is one finding, with a resolved file position.
+// Diagnostic is one finding, with a resolved file position. Suppressed
+// marks findings silenced by a valid //afvet:allow annotation; Run drops
+// them, RunAll keeps them flagged so tooling (afvet -json) can surface
+// the suppression inventory.
 type Diagnostic struct {
-	Pos      token.Position
-	Analyzer string
-	Message  string
+	Pos        token.Position
+	Analyzer   string
+	Message    string
+	Suppressed bool
 }
 
 func (d Diagnostic) String() string {
@@ -78,6 +94,23 @@ func (d Diagnostic) String() string {
 // diagnostics sorted by position. Diagnostics silenced by a valid
 // //afvet:allow annotation are dropped.
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	all, err := RunAll(pkgs, analyzers)
+	if err != nil {
+		return nil, err
+	}
+	diags := all[:0:0]
+	for _, d := range all {
+		if !d.Suppressed {
+			diags = append(diags, d)
+		}
+	}
+	return diags, nil
+}
+
+// RunAll applies every analyzer to every package and returns all
+// diagnostics sorted by position, with suppressed findings kept and
+// flagged rather than dropped.
+func RunAll(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
 	for _, pkg := range pkgs {
 		allows := collectAllows(pkg)
@@ -89,6 +122,9 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Files:     pkg.Syntax,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				PkgPath:   pkg.PkgPath,
+				Dir:       pkg.Dir,
+				Summaries: pkg.Summaries,
 				diags:     &pkgDiags,
 			}
 			if err := a.Run(pass); err != nil {
@@ -96,11 +132,17 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			}
 		}
 		for _, d := range pkgDiags {
-			if !allows.suppresses(d) {
-				diags = append(diags, d)
-			}
+			d.Suppressed = allows.suppresses(d)
+			diags = append(diags, d)
 		}
 	}
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// SortDiagnostics orders diagnostics by position, then analyzer, then
+// message — the stable order every afvet output mode emits.
+func SortDiagnostics(diags []Diagnostic) {
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -112,9 +154,11 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 		if a.Pos.Column != b.Pos.Column {
 			return a.Pos.Column < b.Pos.Column
 		}
-		return a.Analyzer < b.Analyzer
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
 	})
-	return diags, nil
 }
 
 // allowKey addresses one annotated line of one file.

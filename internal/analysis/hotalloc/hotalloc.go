@@ -1,0 +1,273 @@
+// Package hotalloc enforces per-function allocation budgets on the op
+// path. The paper's single-queue OSD works because the per-op cost is
+// dominated by media and fabric time, not allocator work: the hot path
+// recycles jEntries, repOps, and trace spans through free lists precisely
+// so that steady-state writes allocate nothing. A regression that makes a
+// hot-path value escape to the heap is invisible to the golden hashes
+// (the result is still correct) and easy to miss in a benchmark delta —
+// so it is pinned at lint time instead.
+//
+// The analyzer drives the real compiler: it rebuilds the audited package
+// with -gcflags=-m, parses the escape diagnostics ("escapes to heap",
+// "moved to heap"), attributes each to its enclosing function, and fails
+// when a function allocates more than its committed baseline in
+// internal/analysis/hotalloc/baseline.json. The audited set IS the
+// baseline's key set — only functions with a committed budget are
+// checked, and a baseline entry whose function no longer exists is itself
+// a finding. Budgets are an upper bound: allocating less than the
+// baseline passes (and afvet -hotalloc-update re-tightens the file to
+// observed counts).
+package hotalloc
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis/driver"
+)
+
+// Analyzer checks against the module's committed baseline.
+var Analyzer = New("")
+
+// New returns a hotalloc analyzer reading the baseline at path; "" means
+// <module root>/internal/analysis/hotalloc/baseline.json, resolved by
+// walking up from the audited package's directory.
+func New(path string) *driver.Analyzer {
+	c := &checker{path: path}
+	return &driver.Analyzer{
+		Name: "hotalloc",
+		Doc: "op-path functions must not allocate above their committed " +
+			"per-function baseline (internal/analysis/hotalloc/baseline.json); " +
+			"verified against the compiler's -gcflags=-m escape analysis " +
+			"(DESIGN.md §14)",
+		Run: c.run,
+	}
+}
+
+// Baseline is the committed allocation-budget file.
+type Baseline struct {
+	// Comment documents the file for human readers.
+	Comment string `json:"comment,omitempty"`
+	// Funcs maps a qualified function name (driver.FuncID format:
+	// "path.Name" or "path.(*Recv).Name") to its allocation budget — the
+	// number of escape-analysis findings the function may accumulate.
+	Funcs map[string]int `json:"funcs"`
+}
+
+// LoadBaseline reads the baseline at path. A missing file is an empty
+// baseline: nothing is audited.
+func LoadBaseline(path string) (*Baseline, error) {
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Baseline{Funcs: map[string]int{}}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	var base Baseline
+	if err := json.Unmarshal(b, &base); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	if base.Funcs == nil {
+		base.Funcs = map[string]int{}
+	}
+	return &base, nil
+}
+
+// WriteBaseline writes base to path, sorted and indented.
+func WriteBaseline(path string, base *Baseline) error {
+	b, err := json.MarshalIndent(base, "", "\t")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+type checker struct {
+	path string
+}
+
+// moduleRoot walks up from dir to the directory holding go.mod; dir
+// itself when no module is found.
+func moduleRoot(dir string) string {
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return dir
+		}
+		d = parent
+	}
+}
+
+// baselinePath resolves the baseline file for a package rooted at dir.
+func (c *checker) baselinePath(dir string) string {
+	if c.path != "" {
+		return c.path
+	}
+	for d := dir; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return filepath.Join(d, "internal", "analysis", "hotalloc", "baseline.json")
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return ""
+		}
+		d = parent
+	}
+}
+
+func (c *checker) run(pass *driver.Pass) error {
+	path := c.baselinePath(pass.Dir)
+	if path == "" {
+		return nil
+	}
+	base, err := LoadBaseline(path)
+	if err != nil {
+		return err
+	}
+	prefix := pass.PkgPath + "."
+	var keys []string
+	for k := range base.Funcs {
+		if strings.HasPrefix(k, prefix) && !strings.ContainsRune(k[len(prefix):], '/') {
+			keys = append(keys, k)
+		}
+	}
+	if len(keys) == 0 {
+		return nil
+	}
+	counts, decls, err := EscapeCounts(pass.Fset, pass.Files, pass.TypesInfo, pass.Dir)
+	if err != nil {
+		return fmt.Errorf("escape analysis of %s: %v", pass.PkgPath, err)
+	}
+	for _, k := range keys {
+		fd, ok := decls[k]
+		if !ok {
+			pos := pass.Files[0].Package
+			pass.Reportf(pos,
+				"hotalloc baseline entry %s matches no function in %s; remove it or run afvet -hotalloc-update (DESIGN.md §14)",
+				k, pass.PkgPath)
+			continue
+		}
+		if n, budget := counts[k], base.Funcs[k]; n > budget {
+			pass.Reportf(fd.Name.Pos(),
+				"%s allocates %d time(s) on the op path, above its committed baseline of %d; batch or pool the allocation, or consciously raise the budget with afvet -hotalloc-update (DESIGN.md §14)",
+				fd.Name.Name, n, budget)
+		}
+	}
+	return nil
+}
+
+// escapeLine matches one compiler diagnostic position.
+var escapeLine = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+// EscapeCounts rebuilds the package at dir with -gcflags=-m and attributes
+// every escape-analysis finding ("... escapes to heap", "moved to heap:
+// ...") to its enclosing function. It returns the per-function counts and
+// every top-level function declaration, both keyed by qualified name
+// (driver.FuncID format). Findings positioned outside dir — e.g. generic
+// instantiation notes replayed from dependencies — are discarded.
+func EscapeCounts(fset *token.FileSet, files []*ast.File, info *types.Info, dir string) (map[string]int, map[string]*ast.FuncDecl, error) {
+	// funcAt locates the top-level function enclosing (file, line), and
+	// decls indexes every declaration by qualified name.
+	type span struct {
+		from, to int
+		id       string
+	}
+	decls := map[string]*ast.FuncDecl{}
+	spans := map[string][]span{} // absolute filename -> sorted decl spans
+	for _, f := range files {
+		fname := fset.Position(f.Pos()).Filename
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := info.Defs[fd.Name].(*types.Func)
+			if fn == nil {
+				continue
+			}
+			id := string(driver.IDOf(fn))
+			decls[id] = fd
+			spans[fname] = append(spans[fname], span{
+				from: fset.Position(fd.Pos()).Line,
+				to:   fset.Position(fd.End()).Line,
+				id:   id,
+			})
+		}
+	}
+
+	cmd := exec.Command("go", "build", "-gcflags=-m", ".")
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go build -gcflags=-m: %v\n%s", err, out)
+	}
+	// The go tool replays cached compiler output verbatim, so the path
+	// spelling depends on the working directory of the first uncached
+	// compile: "./osd.go", "internal/osd/osd.go", or absolute. Resolve
+	// each candidate base and accept only files that belong to this
+	// package — which also discards diagnostics replayed from
+	// dependencies (generic instantiation notes).
+	pkgFiles := map[string]bool{}
+	for fname := range spans {
+		pkgFiles[fname] = true
+	}
+	root := moduleRoot(dir)
+	resolve := func(f string) string {
+		if filepath.IsAbs(f) {
+			if p := filepath.Clean(f); pkgFiles[p] {
+				return p
+			}
+			return ""
+		}
+		for _, base := range []string{dir, root} {
+			if p := filepath.Clean(filepath.Join(base, f)); pkgFiles[p] {
+				return p
+			}
+		}
+		return ""
+	}
+	counts := map[string]int{}
+	seen := map[string]bool{}
+	for _, line := range strings.Split(string(out), "\n") {
+		m := escapeLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.HasSuffix(msg, "escapes to heap") && !strings.HasPrefix(msg, "moved to heap") {
+			continue
+		}
+		file := resolve(m[1])
+		if file == "" {
+			continue
+		}
+		if seen[line] {
+			continue // the compiler replays instantiation notes verbatim
+		}
+		seen[line] = true
+		lineNo, err := strconv.Atoi(m[2])
+		if err != nil {
+			continue
+		}
+		for _, sp := range spans[file] {
+			if sp.from <= lineNo && lineNo <= sp.to {
+				counts[sp.id]++
+				break
+			}
+		}
+	}
+	return counts, decls, nil
+}

@@ -1,0 +1,92 @@
+package hotalloc_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/driver"
+	"repro/internal/analysis/hotalloc"
+)
+
+func fixtureBaseline(t *testing.T) string {
+	t.Helper()
+	p, err := filepath.Abs(filepath.Join("..", "testdata", "src", "hotalloc", "baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestHotalloc(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"),
+		hotalloc.New(fixtureBaseline(t)), "hotalloc/osd")
+}
+
+// TestUpdateRoundTrip re-tightens a copy of the fixture baseline: the
+// over-budget function's budget rises to its observed count, the stale
+// entry is dropped, at-budget entries keep their values, and a second
+// update is a fixed point.
+func TestUpdateRoundTrip(t *testing.T) {
+	src, err := os.ReadFile(fixtureBaseline(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, src, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	dir, err := filepath.Abs(filepath.Join("..", "testdata", "src", "hotalloc", "osd"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := driver.Load(dir, ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hotalloc.Update(pkgs, path); err != nil {
+		t.Fatal(err)
+	}
+
+	base, err := hotalloc.LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const pkg = "repro/internal/analysis/testdata/src/hotalloc/osd"
+	want := map[string]int{
+		pkg + ".(*engine).getOp": 1,
+		pkg + ".coldSetup":       1,
+		pkg + ".hotWrite":        1, // raised from 0 to the observed count
+	}
+	if len(base.Funcs) != len(want) {
+		t.Errorf("got %d entries %v, want %d", len(base.Funcs), base.Funcs, len(want))
+	}
+	for k, v := range want {
+		if base.Funcs[k] != v {
+			t.Errorf("%s = %d, want %d", k, base.Funcs[k], v)
+		}
+	}
+	if _, ok := base.Funcs[pkg+".vanished"]; ok {
+		t.Errorf("stale entry %s.vanished survived update", pkg)
+	}
+
+	// The updated baseline must satisfy the analyzer...
+	diags, err := driver.Run(pkgs, []*driver.Analyzer{hotalloc.New(path)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("updated baseline still yields findings: %v", diags)
+	}
+	// ...and a second update must be a fixed point.
+	before, _ := os.ReadFile(path)
+	if err := hotalloc.Update(pkgs, path); err != nil {
+		t.Fatal(err)
+	}
+	after, _ := os.ReadFile(path)
+	if string(before) != string(after) {
+		t.Errorf("second update changed the baseline:\n%s\nvs\n%s", before, after)
+	}
+}

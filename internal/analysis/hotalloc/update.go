@@ -1,0 +1,58 @@
+package hotalloc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/analysis/driver"
+)
+
+// DefaultBaselinePath resolves the module's committed baseline from the
+// loaded packages' directories (the same walk the analyzer performs), or
+// "" when no module root is found.
+func DefaultBaselinePath(pkgs []*driver.Package) string {
+	c := checker{}
+	for _, p := range pkgs {
+		if path := c.baselinePath(p.Dir); path != "" {
+			return path
+		}
+	}
+	return ""
+}
+
+// Update re-tightens the baseline at path against the loaded packages:
+// every audited function that still exists gets its budget set to the
+// observed escape count, and entries whose function vanished from a
+// loaded package are dropped. Entries belonging to packages outside pkgs
+// are left untouched, so a partial run (afvet -hotalloc-update
+// ./internal/osd) cannot erase the rest of the audit set.
+func Update(pkgs []*driver.Package, path string) error {
+	base, err := LoadBaseline(path)
+	if err != nil {
+		return err
+	}
+	for _, pkg := range pkgs {
+		prefix := pkg.PkgPath + "."
+		var keys []string
+		for k := range base.Funcs {
+			if strings.HasPrefix(k, prefix) && !strings.ContainsRune(k[len(prefix):], '/') {
+				keys = append(keys, k)
+			}
+		}
+		if len(keys) == 0 {
+			continue
+		}
+		counts, decls, err := EscapeCounts(pkg.Fset, pkg.Syntax, pkg.TypesInfo, pkg.Dir)
+		if err != nil {
+			return fmt.Errorf("escape analysis of %s: %v", pkg.PkgPath, err)
+		}
+		for _, k := range keys {
+			if _, ok := decls[k]; !ok {
+				delete(base.Funcs, k)
+				continue
+			}
+			base.Funcs[k] = counts[k]
+		}
+	}
+	return WriteBaseline(path, base)
+}

@@ -8,9 +8,11 @@
 // two locks held: the §3.1 batching design works precisely because each
 // batch runs its callbacks under exactly one shard lock.
 //
-// The check is intraprocedural with one level of same-package call
-// summaries: a call to a function that itself acquires a lock class is
-// treated as an acquisition at the call site.
+// The check simulates each function body intraprocedurally and treats a
+// call to any function that acquires a lock class — resolved through the
+// driver's interprocedural summaries (DESIGN.md §14), so the acquisition
+// may be any number of calls deep and in any module package — as an
+// acquisition at the call site.
 package lockorder
 
 import (
@@ -21,21 +23,17 @@ import (
 	"repro/internal/analysis/driver"
 )
 
-// Lock classes, outermost-first. Rank order is the documented acquisition
-// order: a lock may only be acquired while holding locks of strictly
-// lower rank.
+// Lock classes and rank order live in the driver (facts.go) so the
+// summary layer carries them across package boundaries: a lock may only
+// be acquired while holding locks of strictly lower rank.
 const (
-	classUnknown = iota
-	classPG      // core.ShardLocks shard (PG) mutex
-	classDirty   // filestore dirty-list mutex (field dirtyMu)
-	classKV      // kvstore LSM mutex (field mu)
+	classUnknown = driver.LockNone
+	classPG      = driver.LockPG    // core.ShardLocks shard (PG) mutex
+	classDirty   = driver.LockDirty // filestore dirty-list mutex (field dirtyMu)
+	classKV      = driver.LockKV    // kvstore LSM mutex (field mu)
 )
 
-var className = map[int]string{
-	classPG:    "PG/shard lock",
-	classDirty: "filestore dirty-list mutex",
-	classKV:    "kvstore mutex",
-}
+var className = driver.LockClassName
 
 // Analyzer implements the lockorder check.
 var Analyzer = &driver.Analyzer{
@@ -55,19 +53,15 @@ type heldLock struct {
 type checker struct {
 	pass     *driver.Pass
 	varClass map[*types.Var]int
-	// summary maps same-package functions to the set of lock classes they
-	// acquire anywhere in their body.
-	summary map[*types.Func]map[int]bool
 }
 
 func run(pass *driver.Pass) error {
 	c := &checker{
 		pass:     pass,
 		varClass: map[*types.Var]int{},
-		summary:  map[*types.Func]map[int]bool{},
 	}
-	// Pass 1: variable provenance (lock := locks.Get(pg)) and per-function
-	// acquisition summaries.
+	// Pass 1: variable provenance (lock := locks.Get(pg)). Call-site
+	// acquisition facts come from the driver's interprocedural summaries.
 	for _, f := range pass.Files {
 		ast.Inspect(f, func(n ast.Node) bool {
 			if as, ok := n.(*ast.AssignStmt); ok {
@@ -75,34 +69,6 @@ func run(pass *driver.Pass) error {
 			}
 			return true
 		})
-	}
-	for _, f := range pass.Files {
-		for _, decl := range f.Decls {
-			fd, ok := decl.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			fn, _ := pass.TypesInfo.Defs[fd.Name].(*types.Func)
-			if fn == nil {
-				continue
-			}
-			acq := map[int]bool{}
-			ast.Inspect(fd.Body, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
-				}
-				if recv, kind := c.lockCall(call); kind == "Lock" {
-					if cls := c.classify(recv); cls != classUnknown {
-						acq[cls] = true
-					}
-				}
-				return true
-			})
-			if len(acq) > 0 {
-				c.summary[fn] = acq
-			}
-		}
 	}
 	// Pass 2: simulate acquisition order through each function body.
 	for _, f := range pass.Files {
@@ -139,54 +105,16 @@ func (c *checker) trackAssign(as *ast.AssignStmt) {
 	}
 }
 
-// classify maps an expression denoting a mutex to its lock class.
+// classify maps an expression denoting a mutex to its lock class, via
+// the driver's shared classification plus this checker's provenance.
 func (c *checker) classify(e ast.Expr) int {
-	e = ast.Unparen(e)
-	switch e := e.(type) {
-	case *ast.UnaryExpr:
-		if e.Op == token.AND {
-			return c.classify(e.X)
-		}
-	case *ast.CallExpr:
-		// core.(*ShardLocks).Get(shard) hands out a PG/shard lock.
-		fn := driver.CalleeFunc(c.pass.TypesInfo, e)
-		if fn != nil && fn.Name() == "Get" && driver.NamedIs(driver.RecvNamed(fn), "core", "ShardLocks") {
-			return classPG
-		}
-	case *ast.SelectorExpr:
-		if sel, ok := c.pass.TypesInfo.Selections[e]; ok && sel.Kind() == types.FieldVal {
-			pkg := typePkgName(sel.Recv())
-			switch {
-			case e.Sel.Name == "dirtyMu" && pkg == "filestore":
-				return classDirty
-			case e.Sel.Name == "mu" && pkg == "kvstore":
-				return classKV
-			}
-		}
-	case *ast.Ident:
-		if v, ok := c.pass.TypesInfo.Uses[e].(*types.Var); ok {
-			return c.varClass[v]
-		}
-	}
-	return classUnknown
+	return driver.ClassifyLock(c.pass.TypesInfo, c.varClass, e)
 }
 
 // lockCall returns (receiver, "Lock"|"Unlock") when call is a sim.Mutex
 // Lock/Unlock method call, else ("", "").
 func (c *checker) lockCall(call *ast.CallExpr) (ast.Expr, string) {
-	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
-	if !ok {
-		return nil, ""
-	}
-	name := sel.Sel.Name
-	if name != "Lock" && name != "Unlock" {
-		return nil, ""
-	}
-	fn := driver.CalleeFunc(c.pass.TypesInfo, call)
-	if fn == nil || !driver.NamedIs(driver.RecvNamed(fn), "sim", "Mutex") {
-		return nil, ""
-	}
-	return sel.X, name
+	return driver.MutexLockCall(c.pass.TypesInfo, call)
 }
 
 // walkStmts simulates the statement list in order, tracking held locks.
@@ -328,23 +256,30 @@ func (c *checker) checkCall(call *ast.CallExpr, held *[]heldLock) {
 		}
 		return
 	}
-	// Same-package call summary: treat the callee's acquisitions as
-	// happening here.
-	if acq, ok := c.summary[fn]; ok && len(*held) > 0 {
-		for cls := range acq {
-			for _, h := range *held {
-				if h.class == classUnknown || cls == classUnknown {
-					continue
-				}
-				if h.class == cls {
-					c.pass.Reportf(call.Pos(),
-						"call to %s acquires the %s while it is already held (acquired %s); sim.Mutex is not reentrant (DESIGN.md §9)",
-						fn.Name(), className[cls], c.pos(h.pos))
-				} else if h.class > cls {
-					c.pass.Reportf(call.Pos(),
-						"call to %s acquires the %s while holding the %s; documented order is PG/shard -> filestore dirty -> kvstore (DESIGN.md §9)",
-						fn.Name(), className[cls], className[h.class])
-				}
+	// Interprocedural call summary: treat every lock class the callee may
+	// acquire — any number of calls deep, in any module package — as an
+	// acquisition at the call site (driver facts, DESIGN.md §14).
+	facts := c.pass.Summaries.Facts(driver.IDOf(fn))
+	if facts == nil || len(*held) == 0 {
+		return
+	}
+	name := fn.Name()
+	if fn.Pkg() != nil && fn.Pkg() != c.pass.Pkg {
+		name = fn.Pkg().Name() + "." + name
+	}
+	for _, cls := range facts.Acquires {
+		for _, h := range *held {
+			if h.class == classUnknown || cls == classUnknown {
+				continue
+			}
+			if h.class == cls {
+				c.pass.Reportf(call.Pos(),
+					"call to %s acquires the %s while it is already held (acquired %s); sim.Mutex is not reentrant (DESIGN.md §9)",
+					name, className[cls], c.pos(h.pos))
+			} else if h.class > cls {
+				c.pass.Reportf(call.Pos(),
+					"call to %s acquires the %s while holding the %s; documented order is PG/shard -> filestore dirty -> kvstore (DESIGN.md §9)",
+					name, className[cls], className[h.class])
 			}
 		}
 	}
@@ -426,17 +361,4 @@ func copyHeld(h []heldLock) []heldLock {
 	out := make([]heldLock, len(h))
 	copy(out, h)
 	return out
-}
-
-// typePkgName returns the name of the package declaring t's named type
-// (through one pointer), or "".
-func typePkgName(t types.Type) string {
-	if p, ok := t.(*types.Pointer); ok {
-		t = p.Elem()
-	}
-	named, ok := t.(*types.Named)
-	if !ok || named.Obj().Pkg() == nil {
-		return ""
-	}
-	return named.Obj().Pkg().Name()
 }

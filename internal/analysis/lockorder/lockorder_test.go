@@ -10,5 +10,6 @@ import (
 
 func TestLockorder(t *testing.T) {
 	analysistest.Run(t, filepath.Join("..", "testdata"), lockorder.Analyzer,
-		"lockorder/osd", "lockorder/filestore", "lockorder/kvstore")
+		"lockorder/osd", "lockorder/filestore", "lockorder/kvstore",
+		"lockorder/cross/osd")
 }

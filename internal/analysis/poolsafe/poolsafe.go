@@ -4,7 +4,8 @@
 // lists; a pooled object handed back with putX/Release — or appended to a
 // *Free list — is immediately eligible for reuse, so any surviving alias
 // is a use-after-free that manifests as cross-op state corruption, not a
-// crash. The analyzer is intraprocedural and flags, per function:
+// crash. The analyzer simulates each function body, resolving release
+// points through the driver's interprocedural summaries, and flags:
 //
 //   - use-after-release: any mention of a released expression (or a field
 //     path under it) after the release, before reassignment;
@@ -13,10 +14,12 @@
 //     free list) or captured by a closure — the stored alias outlives the
 //     release.
 //
-// Release points are: appends to fields whose name ends in "free"; calls
-// to same-package unexported put*/release*/free* helpers (their first
-// pooled-pointer argument, never the *sim.Proc); zero-argument Release()
-// methods (their receiver); and (*sync.Pool).Put.
+// Release points are: appends to fields whose name ends in "free"; any
+// call whose callee's interprocedural summary (driver facts, DESIGN.md
+// §14) says it releases or retains the argument — cross-package and any
+// number of calls deep; same-package unexported put*/release*/free*
+// helpers (their first pooled-pointer argument, never the *sim.Proc);
+// zero-argument Release() methods (their receiver); and (*sync.Pool).Put.
 package poolsafe
 
 import (
@@ -407,8 +410,45 @@ func (c *checker) recordReleaseCall(call *ast.CallExpr, st *state) {
 		}
 		return
 	}
-	// Same-package unexported put*/release*/free* helper: its first
-	// pooled-pointer argument is recycled.
+	// Interprocedural: the callee's summary records which of its parameters
+	// it may release or retain — any number of calls deep, in any module
+	// package (driver facts, DESIGN.md §14). Retentions are recorded first
+	// so that a callee that both stores and frees an argument reports the
+	// surviving alias.
+	if facts := c.pass.Summaries.Facts(driver.IDOf(fn)); facts != nil {
+		resolve := func(idx int) ast.Expr {
+			if idx == driver.RecvIdx {
+				if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+					return sel.X
+				}
+				return nil
+			}
+			if idx >= 0 && idx < len(call.Args) {
+				return call.Args[idx]
+			}
+			return nil
+		}
+		for _, idx := range facts.RetainsParams {
+			if arg := resolve(idx); arg != nil && c.pooledCandidate(arg) {
+				e := ast.Unparen(arg)
+				key := types.ExprString(e)
+				c.escapes[key] = append(c.escapes[key], e.Pos())
+			}
+		}
+		released := false
+		for _, idx := range facts.ReleasesParams {
+			if arg := resolve(idx); arg != nil && c.pooledCandidate(arg) {
+				c.markReleased(arg, st)
+				released = true
+			}
+		}
+		if released {
+			return
+		}
+	}
+	// Heuristic fallback: a same-package unexported put*/release*/free*
+	// helper recycles its first pooled-pointer argument even when its body
+	// yields no summarizable release (e.g. hand-rolled pool internals).
 	if fn.Pkg() != c.pass.Pkg || fn.Exported() || !isReleaseName(fn.Name()) {
 		return
 	}

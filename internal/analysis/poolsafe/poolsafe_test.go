@@ -10,5 +10,5 @@ import (
 
 func TestPoolsafe(t *testing.T) {
 	analysistest.Run(t, filepath.Join("..", "testdata"), poolsafe.Analyzer,
-		"poolsafe/osd")
+		"poolsafe/osd", "poolsafe/cross/osd")
 }

@@ -1,0 +1,274 @@
+// Package shardsafe machine-checks the parallel-execution contract of
+// DESIGN.md §11: code running in a shard's execution context owns exactly
+// its shard's state. Within a synchronization window every shard executes
+// concurrently with its peers, so a per-shard event handler that writes
+// package-level state races against every other shard, and a cross-shard
+// event that carries a pointer into the sending shard's heap gives two
+// kernels a mutable alias neither can coordinate on. The only sanctioned
+// cross-shard seams are Shard.Send (payload copied through the arg
+// parameter) and the window barrier's sorted merge.
+//
+// A function body is a shard execution context when it takes a *sim.Proc
+// (simulated-process code runs only inside some shard's kernel) or when it
+// is a func literal handed to the kernel's scheduling entry points
+// (At/After/AtCall/AfterCall/Go) or to Shard.Send. Inside such a context
+// the analyzer flags, using the driver's interprocedural summaries
+// (DESIGN.md §14) so a violation any number of calls deep — in any module
+// package — surfaces at the call site:
+//
+//   - writes to package-level variables, direct or transitive;
+//   - calls to (*sim.ShardGroup).Shard: addressing a peer shard is the
+//     coordinator's privilege, handlers must use Shard.Send;
+//   - Shard.Send callbacks (func literals) that capture reference-typed
+//     variables from the sending context — the closure runs on the
+//     destination shard, so every captured pointer/slice/map/chan is
+//     cross-shard shared mutable state.
+//
+// The audit is scoped to the packages that run inside shards: sim, osd,
+// cluster (by package name, so analysistest fixtures exercise the
+// production configuration). The sim executive itself — methods on Shard
+// and ShardGroup — is exempt: it is the coordinator.
+package shardsafe
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/driver"
+)
+
+// auditedPkgs are the package names whose code runs inside shard execution
+// contexts (DESIGN.md §11).
+var auditedPkgs = []string{"sim", "osd", "cluster"}
+
+// Analyzer implements the shardsafe check.
+var Analyzer = &driver.Analyzer{
+	Name: "shardsafe",
+	Doc: "code in a shard execution context must not write package-level " +
+		"state, address peer shards, or capture cross-shard pointers in " +
+		"Shard.Send callbacks; Shard.Send and the window barrier are the " +
+		"only cross-shard seams (DESIGN.md §11)",
+	Run: run,
+}
+
+func run(pass *driver.Pass) error {
+	if !driver.PkgNamed(pass.Pkg, auditedPkgs...) {
+		return nil
+	}
+	c := &checker{pass: pass}
+	// Send-callback captures are checked everywhere in the package:
+	// Shard.Send is only callable from a shard's own execution context by
+	// contract, so every call site is one.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok {
+				c.checkSendCallback(call)
+			}
+			return true
+		})
+	}
+	// Shard-context bodies: *sim.Proc functions plus scheduling callbacks
+	// not already nested inside one.
+	var roots []contextRoot
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || c.isExecutive(fd) {
+				continue
+			}
+			if c.hasProcParam(fd) {
+				roots = append(roots, contextRoot{name: fd.Name.Name, body: fd.Body})
+				continue
+			}
+			fdName := fd.Name.Name
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				for _, arg := range call.Args {
+					if fl, ok := ast.Unparen(arg).(*ast.FuncLit); ok && c.isSchedulingCall(call) {
+						roots = append(roots, contextRoot{name: fdName + " (scheduled callback)", body: fl.Body})
+					}
+				}
+				return true
+			})
+		}
+	}
+	for _, r := range roots {
+		c.checkContext(r)
+	}
+	return nil
+}
+
+type contextRoot struct {
+	name string
+	body *ast.BlockStmt
+}
+
+type checker struct {
+	pass *driver.Pass
+}
+
+// isExecutive reports whether fd is a method of the sim executive (Shard,
+// ShardGroup): the coordinator legitimately addresses every shard.
+func (c *checker) isExecutive(fd *ast.FuncDecl) bool {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return false
+	}
+	t := c.pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return driver.NamedIs(named, "sim", "Shard") || driver.NamedIs(named, "sim", "ShardGroup")
+}
+
+// hasProcParam reports whether fd takes a *sim.Proc anywhere in its
+// signature — the marker of simulated-process execution context.
+func (c *checker) hasProcParam(fd *ast.FuncDecl) bool {
+	for _, field := range fd.Type.Params.List {
+		t := c.pass.TypesInfo.TypeOf(field.Type)
+		if p, ok := t.(*types.Pointer); ok {
+			if named, ok := p.Elem().(*types.Named); ok && driver.NamedIs(named, "sim", "Proc") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkContext walks one shard-context body, flagging global writes
+// (direct and via callee summaries) and peer-shard addressing.
+func (c *checker) checkContext(r contextRoot) {
+	info := c.pass.TypesInfo
+	ast.Inspect(r.body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if g := driver.GlobalWritten(info, lhs); g != "" {
+					c.pass.Reportf(lhs.Pos(),
+						"%s writes package-level state %s from a shard execution context; shards executing the same window race on it (DESIGN.md §11)",
+						r.name, g)
+				}
+			}
+		case *ast.IncDecStmt:
+			if g := driver.GlobalWritten(info, n.X); g != "" {
+				c.pass.Reportf(n.X.Pos(),
+					"%s writes package-level state %s from a shard execution context; shards executing the same window race on it (DESIGN.md §11)",
+					r.name, g)
+			}
+		case *ast.CallExpr:
+			c.checkContextCall(r, n)
+		}
+		return true
+	})
+}
+
+// checkContextCall flags peer-shard addressing and transitive global
+// writes at one call site inside a shard context.
+func (c *checker) checkContextCall(r contextRoot, call *ast.CallExpr) {
+	fn := driver.CalleeFunc(c.pass.TypesInfo, call)
+	if fn == nil {
+		return
+	}
+	if fn.Name() == "Shard" && driver.NamedIs(driver.RecvNamed(fn), "sim", "ShardGroup") {
+		c.pass.Reportf(call.Pos(),
+			"%s addresses a peer shard via ShardGroup.Shard from a shard execution context; only the coordinator may do that — use Shard.Send (DESIGN.md §11)",
+			r.name)
+		return
+	}
+	facts := c.pass.Summaries.Facts(driver.IDOf(fn))
+	if facts == nil || len(facts.WritesGlobals) == 0 {
+		return
+	}
+	name := fn.Name()
+	if fn.Pkg() != nil && fn.Pkg() != c.pass.Pkg {
+		name = fn.Pkg().Name() + "." + name
+	}
+	c.pass.Reportf(call.Pos(),
+		"%s calls %s, which writes package-level state (%s) from a shard execution context; shards executing the same window race on it (DESIGN.md §11)",
+		r.name, name, strings.Join(facts.WritesGlobals, ", "))
+}
+
+// isSchedulingCall reports whether call hands a callback to a shard's own
+// kernel (At/After/AtCall/AfterCall/Go) or to Shard.Send — the points
+// where a func literal becomes a shard-context body.
+func (c *checker) isSchedulingCall(call *ast.CallExpr) bool {
+	fn := driver.CalleeFunc(c.pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	recv := driver.RecvNamed(fn)
+	switch {
+	case driver.NamedIs(recv, "sim", "Kernel"):
+		switch fn.Name() {
+		case "At", "After", "AtCall", "AfterCall", "Go":
+			return true
+		}
+	case driver.NamedIs(recv, "sim", "Shard"):
+		return fn.Name() == "Send"
+	}
+	return false
+}
+
+// checkSendCallback flags reference-typed captures in a func literal
+// passed to Shard.Send: the literal runs on the destination shard.
+func (c *checker) checkSendCallback(call *ast.CallExpr) {
+	fn := driver.CalleeFunc(c.pass.TypesInfo, call)
+	if fn == nil || fn.Name() != "Send" || !driver.NamedIs(driver.RecvNamed(fn), "sim", "Shard") {
+		return
+	}
+	for _, arg := range call.Args {
+		fl, ok := ast.Unparen(arg).(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		// Objects declared inside the literal (params included) are its own.
+		declared := map[types.Object]bool{}
+		ast.Inspect(fl, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok {
+				if obj := c.pass.TypesInfo.Defs[id]; obj != nil {
+					declared[obj] = true
+				}
+			}
+			return true
+		})
+		reported := map[*types.Var]bool{}
+		ast.Inspect(fl.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			v, ok := c.pass.TypesInfo.Uses[id].(*types.Var)
+			if !ok || declared[v] || v.IsField() || reported[v] {
+				return true
+			}
+			if v.Parent() == nil || (v.Pkg() != nil && v.Parent() == v.Pkg().Scope()) {
+				return true // package-level reads are the global-write check's turf
+			}
+			if !isRefType(v.Type()) {
+				return true
+			}
+			reported[v] = true
+			c.pass.Reportf(id.Pos(),
+				"Shard.Send callback captures %s (%s) from the sending shard; the callback runs on the destination shard — pass the payload by value through the arg parameter (DESIGN.md §11)",
+				v.Name(), v.Type().String())
+			return true
+		})
+	}
+}
+
+// isRefType reports whether t aliases mutable state when copied: pointer,
+// slice, map, or channel (through named types).
+func isRefType(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,14 @@
+package shardsafe_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/shardsafe"
+)
+
+func TestShardsafe(t *testing.T) {
+	analysistest.Run(t, filepath.Join("..", "testdata"), shardsafe.Analyzer,
+		"shardsafe/osd", "shardsafe/util")
+}

@@ -1,0 +1,16 @@
+// Package osd is a cmd/afvet fixture for -audit-allows: a typo'd analyzer
+// name, an annotation with no justification, an annotation naming no
+// analyzer, and one valid annotation that must produce no finding.
+package osd
+
+//afvet:allow determinsm typo: names no real analyzer
+var a int
+
+//afvet:allow poolsafe
+var b int
+
+//afvet:allow
+var c int
+
+//afvet:allow determinism fixture: a valid, justified annotation
+var d int

@@ -1,0 +1,41 @@
+// Package osd is an afvet fixture exercising the hotalloc analyzer: a
+// function allocating above its committed budget, a function exactly at
+// budget, a pooled getter keyed by method name, and a stale baseline
+// entry (the want below anchors to the package clause).
+package osd // want `hotalloc baseline entry repro/internal/analysis/testdata/src/hotalloc/osd.vanished matches no function`
+
+type op struct {
+	n    int
+	data []byte
+}
+
+type engine struct {
+	free []*op
+	sink *op
+}
+
+// getOp reuses a pooled op; its budget covers the one dry-pool allocation.
+func (e *engine) getOp() *op {
+	if n := len(e.free); n > 0 {
+		o := e.free[n-1]
+		e.free = e.free[:n-1]
+		return o
+	}
+	return &op{}
+}
+
+// hotWrite is committed to zero allocations but escapes one op.
+func hotWrite(e *engine, n int) { // want `hotWrite allocates 1 time\(s\) on the op path, above its committed baseline of 0`
+	o := &op{n: n}
+	e.sink = o
+}
+
+// coldSetup allocates exactly its budget.
+func coldSetup(e *engine) {
+	e.free = append(e.free, &op{})
+}
+
+// unaudited has no baseline entry and may allocate freely.
+func unaudited(e *engine) {
+	e.sink = &op{data: make([]byte, 64)}
+}

@@ -1,0 +1,33 @@
+// Package locklib is the dependency side of the cross-package lockorder
+// fixture: it acquires the PG/shard lock behind exported wrappers, so the
+// caller package can only see the acquisition through the driver's
+// interprocedural summaries.
+package locklib
+
+import (
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+// AcquireShard takes and releases one PG/shard lock.
+func AcquireShard(p *sim.Proc, locks *core.ShardLocks) {
+	l := locks.Get(11)
+	l.Lock(p)
+	l.Unlock(p)
+}
+
+// OuterAcquire reaches the acquisition one more call deep.
+func OuterAcquire(p *sim.Proc, locks *core.ShardLocks) {
+	acquireInner(p, locks)
+}
+
+func acquireInner(p *sim.Proc, locks *core.ShardLocks) {
+	l := locks.Get(12)
+	l.Lock(p)
+	l.Unlock(p)
+}
+
+// Harmless touches no locks; callers holding a lock may call it freely.
+func Harmless(p *sim.Proc) int {
+	return 1
+}

@@ -1,0 +1,40 @@
+// Package osd is the caller side of the cross-package lockorder fixture:
+// every flagged acquisition happens inside the imported locklib package,
+// one or two calls deep, and is visible here only through the driver's
+// interprocedural summaries (DESIGN.md §14).
+package osd
+
+import (
+	"repro/internal/analysis/testdata/src/lockorder/cross/locklib"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+func nestedViaImport(p *sim.Proc, locks *core.ShardLocks) {
+	l := locks.Get(1)
+	l.Lock(p)
+	locklib.AcquireShard(p, locks) // want `call to locklib.AcquireShard acquires the PG/shard lock while it is already held`
+	l.Unlock(p)
+}
+
+func nestedTwoDeep(p *sim.Proc, locks *core.ShardLocks) {
+	l := locks.Get(2)
+	l.Lock(p)
+	locklib.OuterAcquire(p, locks) // want `call to locklib.OuterAcquire acquires the PG/shard lock while it is already held`
+	l.Unlock(p)
+}
+
+func harmlessUnderLock(p *sim.Proc, locks *core.ShardLocks) int {
+	l := locks.Get(3)
+	l.Lock(p)
+	n := locklib.Harmless(p)
+	l.Unlock(p)
+	return n
+}
+
+func importAfterRelease(p *sim.Proc, locks *core.ShardLocks) {
+	l := locks.Get(4)
+	l.Lock(p)
+	l.Unlock(p)
+	locklib.AcquireShard(p, locks)
+}

@@ -1,0 +1,44 @@
+// Package pool is the dependency side of the cross-package poolsafe
+// fixture: an exported free-list pool whose release and retention points
+// are visible to callers only through the driver's interprocedural
+// summaries — the exported method names deliberately avoid the analyzer's
+// same-package put*/release*/free* heuristic.
+package pool
+
+// Entry is a pooled record.
+type Entry struct {
+	N    int
+	next *Entry
+}
+
+// Pool recycles Entries through a free list.
+type Pool struct {
+	free []*Entry
+	last *Entry
+}
+
+// Get returns a fresh or recycled Entry.
+func (pl *Pool) Get() *Entry {
+	if n := len(pl.free); n > 0 {
+		e := pl.free[n-1]
+		pl.free = pl.free[:n-1]
+		return e
+	}
+	return &Entry{}
+}
+
+// HandBack returns e to the free list; e must not be touched afterwards.
+func (pl *Pool) HandBack(e *Entry) {
+	e.N = 0
+	pl.free = append(pl.free, e)
+}
+
+// Stash keeps a reference to e that outlives the call.
+func (pl *Pool) Stash(e *Entry) {
+	pl.last = e
+}
+
+// Peek reads e without releasing or retaining it.
+func (pl *Pool) Peek(e *Entry) int {
+	return e.N
+}

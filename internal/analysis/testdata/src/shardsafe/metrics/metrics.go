@@ -1,0 +1,17 @@
+// Package metrics is the dependency side of the cross-package shardsafe
+// fixture: its global write is visible to the audited caller package only
+// through the driver's interprocedural summaries.
+package metrics
+
+// Total is package-level mutable state.
+var Total int
+
+// Record bumps the package-level counter.
+func Record(n int) {
+	Total += n
+}
+
+// Read is a pure read; calling it from a shard context is fine.
+func Read() int {
+	return Total
+}

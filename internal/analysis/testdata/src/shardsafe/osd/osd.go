@@ -1,0 +1,63 @@
+// Package osd is an afvet fixture exercising the shardsafe analyzer in an
+// audited package name: global writes from shard execution contexts
+// (direct, same-package transitive, cross-package transitive), peer-shard
+// addressing, scheduled-callback contexts, and cross-shard pointer
+// captures in Shard.Send callbacks.
+package osd
+
+import (
+	"repro/internal/analysis/testdata/src/shardsafe/metrics"
+	"repro/internal/sim"
+)
+
+var opCount int
+
+func handleOp(p *sim.Proc) {
+	opCount++ // want `handleOp writes package-level state .*osd.opCount from a shard execution context`
+}
+
+func handleIndirect(p *sim.Proc) {
+	bump() // want `handleIndirect calls bump, which writes package-level state`
+}
+
+// bump is not itself a shard context: its direct write is flagged only at
+// shard-context call sites, through its summary.
+func bump() {
+	opCount = opCount + 1
+}
+
+func handleCross(p *sim.Proc) {
+	metrics.Record(1) // want `handleCross calls metrics.Record, which writes package-level state`
+}
+
+func handleRead(p *sim.Proc) int {
+	return metrics.Read()
+}
+
+func peekPeer(p *sim.Proc, g *sim.ShardGroup) {
+	g.Shard(0) // want `peekPeer addresses a peer shard via ShardGroup.Shard`
+}
+
+func armTimer(k *sim.Kernel) {
+	k.After(10, func() {
+		opCount++ // want `armTimer \(scheduled callback\) writes package-level state`
+	})
+}
+
+func sendCapture(s *sim.Shard, buf []byte) {
+	s.Send(1, 100, func(arg any) {
+		buf[0] = 1 // want `Shard.Send callback captures buf \(\[\]byte\) from the sending shard`
+	}, nil)
+}
+
+func sendByValue(s *sim.Shard, n int) {
+	s.Send(1, 100, func(arg any) {
+		_ = arg.(int) + n
+	}, n)
+}
+
+func localStateIsFine(p *sim.Proc) int {
+	count := 0
+	count++
+	return count
+}

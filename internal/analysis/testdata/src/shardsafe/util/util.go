@@ -1,0 +1,24 @@
+// Package util is the scoping control for the shardsafe fixture: the same
+// patterns as the osd fixture in a package name outside the audit set must
+// produce no diagnostics.
+package util
+
+import (
+	"repro/internal/sim"
+)
+
+var opCount int
+
+func handleOp(p *sim.Proc) {
+	opCount++
+}
+
+func peekPeer(p *sim.Proc, g *sim.ShardGroup) {
+	g.Shard(0)
+}
+
+func sendCapture(s *sim.Shard, buf []byte) {
+	s.Send(1, 100, func(arg any) {
+		buf[0] = 1
+	}, nil)
+}

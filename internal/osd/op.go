@@ -9,15 +9,15 @@ import (
 
 // Network message kinds used by the storage protocol.
 const (
-	MsgWrite        = iota // client -> primary OSD
-	MsgRead                // client -> primary OSD
-	MsgRepOp               // primary -> replica OSD
-	MsgRepCommit           // replica -> primary OSD
-	MsgReply               // OSD -> client (write ack / read reply)
-	MsgRepRead             // primary -> replica: read-repair fetch
-	MsgRepReadReply        // replica -> primary: read-repair result
-	MsgShardRead           // EC primary -> shard holder: gather one shard
-	MsgShardReadReply      // shard holder -> EC primary: shard answer
+	MsgWrite          = iota // client -> primary OSD
+	MsgRead                  // client -> primary OSD
+	MsgRepOp                 // primary -> replica OSD
+	MsgRepCommit             // replica -> primary OSD
+	MsgReply                 // OSD -> client (write ack / read reply)
+	MsgRepRead               // primary -> replica: read-repair fetch
+	MsgRepReadReply          // replica -> primary: read-repair result
+	MsgShardRead             // EC primary -> shard holder: gather one shard
+	MsgShardReadReply        // shard holder -> EC primary: shard answer
 )
 
 // OpKind distinguishes client operations.

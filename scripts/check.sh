@@ -30,6 +30,9 @@ run_lint() {
 
     echo "== afvet ./..."
     go run ./cmd/afvet ./...
+
+    echo "== afvet -audit-allows ./..."
+    go run ./cmd/afvet -audit-allows ./...
 }
 
 run_race() {
